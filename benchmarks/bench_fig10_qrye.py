@@ -1,0 +1,76 @@
+"""Figure 10 — Qry_E (SecDupElim per depth) time per depth, varying k, m.
+
+Paper result: Qry_E runs ~5-7x faster than Qry_F because elimination
+shrinks the candidate list the costly EncSort touches.  Same sweeps as
+Figure 9; the cross-figure comparison lives in Figure 12's bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, measure_query, oracle_halting_depth
+from repro.core.results import QueryConfig
+
+K_SWEEP = [2, 10, 20]
+M_SWEEP = [2, 3, 4]
+MAX_DEPTH = 6
+
+
+def _config() -> QueryConfig:
+    return QueryConfig(
+        variant="elim", engine="eager", halting="paper", max_depth=MAX_DEPTH
+    )
+
+
+@pytest.mark.parametrize("k", K_SWEEP)
+def test_fig10a_vary_k(benchmark, bench_ctx, dataset_by_name, k):
+    """Fig 10a: one (dataset=synthetic, m=3) point per k."""
+    relation = dataset_by_name["synthetic"]
+    metrics = benchmark.pedantic(
+        measure_query,
+        args=(bench_ctx, relation, [0, 1, 2], k, _config(), "Qry_E"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ms_per_depth"] = metrics.time_per_depth * 1000
+
+
+def test_fig10_series(benchmark, bench_ctx, datasets):
+    """Emit the Figure 10 series (both panels, all datasets)."""
+    report = SeriesReport(
+        title="Figure 10a: Qry_E time/depth varying k (m=3)",
+        header=["dataset"] + [f"k={k}" for k in K_SWEEP],
+    )
+    report_total = SeriesReport(
+        title="Figure 10a': Qry_E estimated total seconds varying k "
+        "(ms/depth x true halting depth)",
+        header=["dataset"] + [f"k={k}" for k in K_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        row_total = [relation.name]
+        for k in K_SWEEP:
+            metrics = measure_query(bench_ctx, relation, [0, 1, 2], k, _config(), "Qry_E")
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+            depth = oracle_halting_depth(relation, [0, 1, 2], k)
+            row_total.append(f"{metrics.time_per_depth * depth:.1f}s")
+        report.add(row)
+        report_total.add(row_total)
+    report.note("paper shape: faster than Qry_F at matching settings")
+    report.emit("fig10_qrye.txt")
+    report_total.emit("fig10_qrye.txt")
+
+    report_b = SeriesReport(
+        title="Figure 10b: Qry_E time/depth varying m (k=5)",
+        header=["dataset"] + [f"m={m}" for m in M_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        for m in M_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, list(range(m)), 5, _config(), "Qry_E"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+        report_b.add(row)
+    report_b.emit("fig10_qrye.txt")

@@ -1,0 +1,93 @@
+"""Figure 11 — Qry_Ba (batched) time per depth, varying k, m and p.
+
+Paper series: batching SecDupElim + EncSort every p depths cuts the
+average per-depth time well below Qry_E (e.g. 74.5 ms/depth at k=2 on
+synthetic vs >500 ms for Qry_F), growing mildly with k and m; panel (c)
+shows a dataset-dependent sweet spot in p.
+
+Scale: the paper sweeps p in 150..550 over relations of 100k+ rows; our
+scaled relations are ~70 rows, so p is scaled to single digits (same
+ratio of p to halting depth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, measure_query
+from repro.core.results import QueryConfig
+
+K_SWEEP = [2, 10, 20]
+M_SWEEP = [2, 3, 4]
+P_SWEEP = [2, 3, 5, 8]      # paper: 200..550 (scaled with relation size)
+MAX_DEPTH = 10
+
+
+def _config(p: int) -> QueryConfig:
+    return QueryConfig(
+        variant="batch",
+        batch_p=p,
+        engine="eager",
+        halting="paper",
+        max_depth=MAX_DEPTH,
+    )
+
+
+@pytest.mark.parametrize("k", K_SWEEP)
+def test_fig11a_vary_k(benchmark, bench_ctx, dataset_by_name, k):
+    """Fig 11a: one (dataset=synthetic, m=3, p=3) point per k."""
+    relation = dataset_by_name["synthetic"]
+    metrics = benchmark.pedantic(
+        measure_query,
+        args=(bench_ctx, relation, [0, 1, 2], k, _config(3), "Qry_Ba"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ms_per_depth"] = metrics.time_per_depth * 1000
+
+
+def test_fig11_series(benchmark, bench_ctx, datasets):
+    """Emit the Figure 11 series (all three panels)."""
+    report = SeriesReport(
+        title="Figure 11a: Qry_Ba time/depth varying k (m=3, p=3)",
+        header=["dataset"] + [f"k={k}" for k in K_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        for k in K_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, [0, 1, 2], k, _config(3), "Qry_Ba"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+        report.add(row)
+    report.note("paper shape: mild linear growth in k; fastest variant")
+    report.emit("fig11_qryba.txt")
+
+    report_b = SeriesReport(
+        title="Figure 11b: Qry_Ba time/depth varying m (k=5, p=3)",
+        header=["dataset"] + [f"m={m}" for m in M_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        for m in M_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, list(range(m)), 5, _config(3), "Qry_Ba"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+        report_b.add(row)
+    report_b.emit("fig11_qryba.txt")
+
+    report_c = SeriesReport(
+        title="Figure 11c: Qry_Ba time/depth varying p (k=5, m=3)",
+        header=["dataset"] + [f"p={p}" for p in P_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        for p in P_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, [0, 1, 2], 5, _config(p), "Qry_Ba"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+        report_c.add(row)
+    report_c.note("paper shape: dataset-dependent optimum in p")
+    report_c.emit("fig11_qryba.txt")

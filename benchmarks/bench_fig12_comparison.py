@@ -1,0 +1,65 @@
+"""Figure 12 — Qry_F vs Qry_E vs Qry_Ba head-to-head.
+
+Paper settings: k=5, m=3, p=500 (scaled here), all four datasets.
+Expected shape: Qry_Ba << Qry_E << Qry_F, with Qry_Ba roughly an order of
+magnitude faster than Qry_F (paper: ~15x on PAMAP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, measure_query
+from repro.core.results import QueryConfig
+
+MAX_DEPTH = 6
+
+CONFIGS = {
+    "Qry_F": QueryConfig(variant="full", engine="eager", halting="paper", max_depth=MAX_DEPTH),
+    "Qry_E": QueryConfig(variant="elim", engine="eager", halting="paper", max_depth=MAX_DEPTH),
+    "Qry_Ba": QueryConfig(
+        variant="batch", batch_p=5, engine="eager", halting="paper", max_depth=MAX_DEPTH
+    ),
+}
+
+
+@pytest.mark.parametrize("variant", list(CONFIGS))
+def test_fig12_variant(benchmark, bench_ctx, dataset_by_name, variant):
+    """One bar of the Figure 12 chart (dataset=PAMAP)."""
+    relation = dataset_by_name["PAMAP"]
+    metrics = benchmark.pedantic(
+        measure_query,
+        args=(bench_ctx, relation, [0, 1, 2], 5, CONFIGS[variant], variant),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ms_per_depth"] = metrics.time_per_depth * 1000
+
+
+def test_fig12_series(benchmark, bench_ctx, datasets):
+    """Emit the Figure 12 comparison and assert the paper's ordering."""
+    report = SeriesReport(
+        title="Figure 12: variant comparison, time/depth (k=5, m=3, p=5)",
+        header=["dataset", "Qry_F", "Qry_E", "Qry_Ba", "F/Ba speedup"],
+    )
+    orderings_ok = 0
+    for relation in datasets:
+        times = {}
+        for variant, config in CONFIGS.items():
+            metrics = measure_query(bench_ctx, relation, [0, 1, 2], 5, config, variant)
+            times[variant] = metrics.time_per_depth
+        report.add(
+            [
+                relation.name,
+                f"{times['Qry_F'] * 1000:.0f}ms",
+                f"{times['Qry_E'] * 1000:.0f}ms",
+                f"{times['Qry_Ba'] * 1000:.0f}ms",
+                f"{times['Qry_F'] / times['Qry_Ba']:.1f}x",
+            ]
+        )
+        if times["Qry_Ba"] < times["Qry_E"] < times["Qry_F"]:
+            orderings_ok += 1
+    report.note("paper shape: Qry_Ba < Qry_E < Qry_F on every dataset (~15x F/Ba)")
+    report.emit("fig12_comparison.txt")
+    # The strict ordering should hold on (at least) most datasets.
+    assert orderings_ok >= 3

@@ -1,0 +1,83 @@
+"""Figure 14 — secure top-k join (``⋈_sec``) time vs joined attributes.
+
+Paper setup: R1 uniform 5K x 10, R2 uniform 10K x 15; the total number of
+carried (joined) attributes M sweeps 5..20; k does not matter (the
+operator is a full oblivious cross-join regardless of k).  Expected
+shape: time grows linearly in M at fixed |R1 x R2| (the per-pair
+combination work is proportional to the carried width).
+
+Scale: |R1| x |R2| reduced from 5Kx10K to 10x14 (pure-Python crypto on a
+full cross product); the per-pair linear-in-M behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import SeriesReport
+from repro.core.params import SystemParams
+from repro.crypto.rng import SecureRandom
+from repro.join import SecTopKJoin
+from repro.protocols.sec_filter import sec_filter
+from repro.protocols.sec_join import sec_join
+
+M_SWEEP = [5, 8, 10, 15, 20]
+
+
+@pytest.fixture(scope="module")
+def join_setup():
+    rng = SecureRandom(17)
+    left = [[rng.randint_below(6)] + [rng.randint_below(100) for _ in range(9)] for _ in range(10)]
+    right = [[rng.randint_below(6)] + [rng.randint_below(100) for _ in range(14)] for _ in range(14)]
+    scheme = SecTopKJoin(SystemParams.tiny(), seed=23)
+    er1 = scheme.encrypt("R1", left)
+    er2 = scheme.encrypt("R2", right)
+    token = scheme.token("R1", "R2", join_on=(0, 0), order_by=(1, 1), k=5)
+    return scheme, er1, er2, token
+
+
+def _run_join(scheme, er1, er2, token, carried: int) -> float:
+    """Time SecJoin + SecFilter carrying ``carried`` total attributes."""
+    n_left = min(carried // 2, er1.n_attributes)
+    n_right = min(carried - n_left, er2.n_attributes)
+    ctx = scheme.make_clouds()
+    started = time.perf_counter()
+    combined = sec_join(
+        ctx,
+        er1.tuples,
+        er2.tuples,
+        join_attrs=(token.t1, token.t2),
+        score_attrs=(token.t3, token.t4),
+        carry_attrs=(list(range(n_left)), list(range(n_right))),
+    )
+    sec_filter(ctx, combined, scheme._s1_keypair)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("carried", M_SWEEP)
+def test_fig14_join(benchmark, join_setup, carried):
+    """One Figure 14 point: join time for ``carried`` attributes."""
+    scheme, er1, er2, token = join_setup
+    seconds = benchmark.pedantic(
+        _run_join, args=(scheme, er1, er2, token, carried), rounds=1, iterations=1
+    )
+    benchmark.extra_info["carried_attributes"] = carried
+
+
+def test_fig14_series(benchmark, join_setup):
+    """Emit the Figure 14 series and assert linear-in-M growth."""
+    scheme, er1, er2, token = join_setup
+    report = SeriesReport(
+        title="Figure 14: secure top-k join time vs carried attributes M "
+        "(|R1|x|R2| = 10x14, scaled from 5Kx10K)",
+        header=[f"M={m}" for m in M_SWEEP],
+    )
+    times = [_run_join(scheme, er1, er2, token, m) for m in M_SWEEP]
+    report.add([f"{t:.2f}s" for t in times])
+    report.note("paper shape: linear growth in the number of joined attributes")
+    report.emit("fig14_join.txt")
+    # Linear-ish: M=20 should cost clearly more than M=5, but far less
+    # than the quadratic blow-up.
+    assert times[-1] > times[0]

@@ -1,0 +1,87 @@
+"""Figure 7 — EHL vs EHL+ database encryption: time (7a) and size (7b).
+
+Paper series: number of items 0.1M..1M; EHL (H=23, s=5) vs EHL+ (s=5).
+Expected shape: both linear in n; EHL+ roughly H/s times cheaper in both
+time and space (paper: 54 s / 111 MB for 1M items with EHL+).
+
+Scale here: item counts divided by 1000 (pure-Python big-int crypto);
+the linearity and the EHL/EHL+ ratio are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import SeriesReport
+from repro.core.params import SystemParams
+from repro.crypto.paillier import PaillierKeypair
+from repro.crypto.rng import SecureRandom
+from repro.structures.ehl import EhlFactory
+from repro.structures.ehl_plus import EhlPlusFactory
+
+PARAMS = SystemParams.tiny()
+ITEM_COUNTS = [100, 250, 500, 750, 1000]   # paper: 0.1M .. 1M (scale 1/1000)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return PaillierKeypair.generate(PARAMS.key_bits, SecureRandom(7))
+
+
+def _factory(variant: str, keypair):
+    rng = SecureRandom(11)
+    if variant == "ehl":
+        return EhlFactory(
+            keypair.public_key, b"k" * 32, table_size=23, n_hashes=5, rng=rng
+        )
+    return EhlPlusFactory(keypair.public_key, b"k" * 32, n_hashes=5, rng=rng)
+
+
+def _encode_items(factory, count: int) -> float:
+    started = time.perf_counter()
+    for object_id in range(count):
+        factory.encode(object_id)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("variant", ["ehl", "ehl_plus"])
+@pytest.mark.parametrize("count", ITEM_COUNTS)
+def test_fig7_construction(benchmark, keypair, variant, count):
+    """Fig 7a/7b: construction time and size for one item-count point."""
+    factory = _factory(variant, keypair)
+    result = benchmark.pedantic(
+        _encode_items, args=(factory, count), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["items"] = count
+    benchmark.extra_info["size_bytes"] = factory.structure_bytes() * count
+
+
+def test_fig7_series(benchmark, keypair):
+    """Emit the full Figure 7 series (both panels)."""
+    report = SeriesReport(
+        title="Figure 7: EHL vs EHL+ encryption (scale: paper item counts / 1000)",
+        header=["items", "EHL time(s)", "EHL+ time(s)", "EHL MB", "EHL+ MB"],
+    )
+    for count in ITEM_COUNTS:
+        ehl = _factory("ehl", keypair)
+        ehlp = _factory("ehl_plus", keypair)
+        t_ehl = _encode_items(ehl, count)
+        t_ehlp = _encode_items(ehlp, count)
+        report.add(
+            [
+                count,
+                f"{t_ehl:.2f}",
+                f"{t_ehlp:.2f}",
+                f"{ehl.structure_bytes() * count / 1e6:.3f}",
+                f"{ehlp.structure_bytes() * count / 1e6:.3f}",
+            ]
+        )
+    report.note("paper shape: both linear in n; EHL+ ~H/s x cheaper (time & space)")
+    report.emit("fig7_encryption.txt")
+    # Shape assertions: linear-ish growth and EHL+ strictly cheaper.
+    ehl = _factory("ehl", keypair)
+    ehlp = _factory("ehl_plus", keypair)
+    assert ehlp.structure_bytes() < ehl.structure_bytes()

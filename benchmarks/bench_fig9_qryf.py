@@ -1,0 +1,84 @@
+"""Figure 9 — Qry_F (full privacy) time per depth, varying k and m.
+
+Paper series: average seconds per scanned depth for all four datasets,
+(a) k in 2..20 with m=3, (b) m in 2..8 with k=5.  Expected shape:
+time/depth grows roughly linearly in k (bigger candidate list to sort/
+check) and in m (more items per depth, quadratic dedup term), with Qry_F
+the slowest of the three variants.
+
+Scan depth is capped (``max_depth``) to bound wall-clock; time/depth is
+per-depth work and unaffected by the cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, measure_query, oracle_halting_depth
+from repro.core.results import QueryConfig
+
+K_SWEEP = [2, 10, 20]
+M_SWEEP = [2, 3, 4]
+MAX_DEPTH = 6
+
+
+def _config(k: int) -> QueryConfig:
+    return QueryConfig(
+        variant="full", engine="eager", halting="paper", max_depth=MAX_DEPTH
+    )
+
+
+@pytest.mark.parametrize("k", K_SWEEP)
+def test_fig9a_vary_k(benchmark, bench_ctx, dataset_by_name, k):
+    """Fig 9a: one (dataset=synthetic, m=3) point per k."""
+    relation = dataset_by_name["synthetic"]
+    metrics = benchmark.pedantic(
+        measure_query,
+        args=(bench_ctx, relation, [0, 1, 2], k, _config(k), "Qry_F"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ms_per_depth"] = metrics.time_per_depth * 1000
+
+
+def test_fig9_series(benchmark, bench_ctx, datasets):
+    """Emit the full Figure 9 series (both panels, all datasets)."""
+    report = SeriesReport(
+        title="Figure 9a: Qry_F time/depth varying k (m=3)",
+        header=["dataset"] + [f"k={k}" for k in K_SWEEP],
+    )
+    report_total = SeriesReport(
+        title="Figure 9a': Qry_F estimated total seconds varying k "
+        "(ms/depth x true halting depth)",
+        header=["dataset"] + [f"k={k}" for k in K_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        row_total = [relation.name]
+        for k in K_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, [0, 1, 2], k, _config(k), "Qry_F"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+            depth = oracle_halting_depth(relation, [0, 1, 2], k)
+            row_total.append(f"{metrics.time_per_depth * depth:.1f}s")
+        report.add(row)
+        report_total.add(row_total)
+    report.note("paper shape: k-growth flows through the halting depth")
+    report.emit("fig9_qryf.txt")
+    report_total.emit("fig9_qryf.txt")
+
+    report_b = SeriesReport(
+        title="Figure 9b: Qry_F time/depth varying m (k=5)",
+        header=["dataset"] + [f"m={m}" for m in M_SWEEP],
+    )
+    for relation in datasets:
+        row = [relation.name]
+        for m in M_SWEEP:
+            metrics = measure_query(
+                bench_ctx, relation, list(range(m)), 5, _config(5), "Qry_F"
+            )
+            row.append(f"{metrics.time_per_depth * 1000:.0f}ms")
+        report_b.add(row)
+    report_b.note("paper shape: grows with m (per-depth item count)")
+    report_b.emit("fig9_qryf.txt")

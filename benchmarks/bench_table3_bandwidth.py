@@ -1,0 +1,88 @@
+"""Table 3 — inter-cloud communication bandwidth and modeled latency.
+
+Paper settings: Qry_F, k=20, m=4, 50 Mbps link.  Paper rows:
+
+    insurance  8.87 MB  1.41 s
+    diabetes  12.45 MB  1.99 s
+    PAMAP     15.72 MB  2.52 s
+    synthetic 17.30 MB  2.77 s
+
+Expected shape: bandwidth grows with the dataset's halting depth (deeper
+scans, more per-depth messages) and latency = bytes / 50 Mbps; the key
+qualitative claim — communication is *not* the bottleneck (latency well
+below computation time) — must hold here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, measure_query
+from repro.core.results import QueryConfig
+
+MAX_DEPTH = 6
+
+
+def _config() -> QueryConfig:
+    return QueryConfig(
+        variant="full", engine="eager", halting="paper", max_depth=MAX_DEPTH
+    )
+
+
+def test_table3(benchmark, bench_ctx, datasets):
+    """Emit Table 3 (bandwidth MB + latency at 50 Mbps, k=20, m=4)."""
+
+    def run():
+        from repro.nra import SortedLists, nra_topk
+
+        report = SeriesReport(
+            title="Table 3: communication bandwidth & latency (k=20, m=4, Qry_F)",
+            header=[
+                "dataset",
+                "KB/depth",
+                "halt depth",
+                "est. total MB",
+                "latency(s) @50Mbps",
+                "compute(s)",
+            ],
+        )
+        rows = []
+        for relation in datasets:
+            metrics = measure_query(
+                bench_ctx, relation, [0, 1, 2, 3], 20, _config(), "Qry_F"
+            )
+            # Per-depth traffic is measured exactly over the first
+            # MAX_DEPTH depths; the full-query total is extrapolated with
+            # the dataset's true NRA halting depth (the eager engine
+            # halts at exactly that depth when uncapped).
+            oracle_depth = nra_topk(
+                SortedLists(relation.rows, [0, 1, 2, 3]), 20, halting="paper"
+            ).halting_depth
+            est_total = metrics.bytes_per_depth * oracle_depth
+            latency = est_total * 8 / (50 * 1_000_000)
+            report.add(
+                [
+                    relation.name,
+                    f"{metrics.bytes_per_depth / 1000:.1f}",
+                    oracle_depth,
+                    f"{est_total / 1e6:.3f}",
+                    f"{latency:.4f}",
+                    f"{metrics.total_seconds / MAX_DEPTH * oracle_depth:.2f}",
+                ]
+            )
+            rows.append((metrics, latency, metrics.total_seconds / MAX_DEPTH * oracle_depth))
+        report.note(
+            "paper shape: totals ordered by halting depth; latency << computation"
+        )
+        report.note(
+            "totals extrapolated as measured-bytes/depth x true NRA halting depth "
+            "(lower bound: per-depth traffic grows with the candidate list)"
+        )
+        report.emit("table3_bandwidth.txt")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The qualitative claim of Section 11.2.5: communication is not the
+    # bottleneck — the modeled link latency is far below computation.
+    for metrics, latency, compute in rows:
+        assert latency < compute

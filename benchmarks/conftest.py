@@ -1,0 +1,43 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Everything runs at laptop scale: ``SystemParams.tiny()`` keys and scaled
+datasets (the scale is printed with every series).  The pytest-benchmark
+table gives the per-case timings; each module additionally emits a
+paper-style series to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchContext
+from repro.core.params import SystemParams
+from repro.data.uci import diabetes, insurance, pamap, synthetic_1m
+
+#: Dataset row-count scale relative to the paper (documented per series).
+DATASET_SCALE = {
+    "insurance": 0.012,   # 5822  -> ~70
+    "diabetes": 0.0007,   # 101k  -> ~71
+    "PAMAP": 0.0002,      # 376k  -> ~75
+    "synthetic": 0.00007, # 1M    -> ~70
+}
+
+
+@pytest.fixture(scope="session")
+def bench_ctx() -> BenchContext:
+    return BenchContext(SystemParams.tiny(), seed=2024)
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return [
+        insurance(DATASET_SCALE["insurance"]),
+        diabetes(DATASET_SCALE["diabetes"]),
+        pamap(DATASET_SCALE["PAMAP"]),
+        synthetic_1m(DATASET_SCALE["synthetic"]),
+    ]
+
+
+@pytest.fixture(scope="session")
+def dataset_by_name(datasets):
+    return {d.name: d for d in datasets}

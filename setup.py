@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs cannot build. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern environments via pyproject.toml) work
+everywhere.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — reproduction of Meng, Zhu & Kollios, *Top-k Query Processing on
+Encrypted Databases with Strong Security Guarantees* (ICDE 2018).
+
+The package implements the complete system described in the paper:
+
+* a from-scratch cryptographic substrate (Paillier, Damgård–Jurik, HMAC
+  PRFs, pseudo-random permutations) in :mod:`repro.crypto`;
+* the encrypted hash list structures EHL / EHL+ in :mod:`repro.structures`;
+* the two-cloud secure sub-protocols (``RecoverEnc``, ``EncCompare``,
+  ``EncSort``, ``SecWorst``, ``SecBest``, ``SecDedup``, ``SecDupElim``,
+  ``SecUpdate``, ``SecFilter``, ``SecJoin``) in :mod:`repro.protocols`;
+* the plaintext No-Random-Access algorithm and baselines in
+  :mod:`repro.nra`;
+* the top-level ``SecTopK = (Enc, Token, SecQuery)`` scheme in
+  :mod:`repro.core`;
+* the secure top-k join operator of Section 12 in :mod:`repro.join`;
+* the secure-kNN comparator of Section 11.3 in :mod:`repro.baselines`;
+* dataset generators mirroring the paper's evaluation data in
+  :mod:`repro.data`;
+* the experiment harness regenerating every table and figure in
+  :mod:`repro.bench`.
+
+Quickstart
+----------
+
+>>> from repro import SecTopK, SystemParams
+>>> from repro.data import gaussian_relation
+>>> relation = gaussian_relation(n_objects=40, n_attributes=4, seed=7)
+>>> scheme = SecTopK(SystemParams.insecure_demo())
+>>> encrypted = scheme.encrypt(relation)
+>>> token = scheme.token(attributes=[0, 1, 2], k=3)
+>>> result = scheme.query(encrypted, token)
+>>> len(scheme.reveal(result))
+3
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ReproError,
+    KeyMismatchError,
+    EncodingRangeError,
+    ProtocolError,
+    QueryError,
+)
+
+__all__ = [
+    "__version__",
+    "SecTopK",
+    "SystemParams",
+    "ReproError",
+    "KeyMismatchError",
+    "EncodingRangeError",
+    "ProtocolError",
+    "QueryError",
+]
+
+_LAZY = {
+    "SecTopK": ("repro.core.scheme", "SecTopK"),
+    "SystemParams": ("repro.core.params", "SystemParams"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the heavyweight top-level exports.
+
+    Keeps ``import repro`` cheap and avoids import cycles between the
+    sub-packages during interpreter start-up.
+    """
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

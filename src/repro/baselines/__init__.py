@@ -1,0 +1,16 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.sknn` — the secure k-nearest-neighbour scheme of
+  Elmehdwi, Samanthula & Jiang (ICDE 2014), adapted to answer top-k
+  selection queries the way Section 11.3 describes: restrict the scoring
+  function to ``Σ x_i^2`` and query a maximal point.  Re-implemented over
+  the same two-cloud channel so its ``O(n·m)`` per-query computation and
+  communication can be compared with ``SecTopK`` directly.
+* :mod:`repro.baselines.plaintext` — insecure plaintext reference
+  implementations used for correctness checks and as a lower bound.
+"""
+
+from repro.baselines.sknn import SknnScheme
+from repro.baselines.plaintext import plaintext_topk_join
+
+__all__ = ["SknnScheme", "plaintext_topk_join"]

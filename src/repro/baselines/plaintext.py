@@ -1,0 +1,40 @@
+"""Plaintext reference implementations (correctness oracles)."""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+
+
+def plaintext_topk_join(
+    left: list[list[int]],
+    right: list[list[int]],
+    join_on: tuple[int, int],
+    order_by: tuple[int, int],
+    k: int,
+) -> list[tuple[int, int, int]]:
+    """Equi-join + top-k oracle for the Section 12 operator.
+
+    Returns up to ``k`` tuples ``(score, left_row, right_row)`` sorted by
+    descending ``left[order_by[0]] + right[order_by[1]]``; ties broken by
+    row ids for determinism.
+    """
+    if k < 1:
+        raise QueryError("k must be >= 1")
+    a, b = join_on
+    c, d = order_by
+    joined = [
+        (lrow[c] + rrow[d], i, j)
+        for i, lrow in enumerate(left)
+        for j, rrow in enumerate(right)
+        if lrow[a] == rrow[b]
+    ]
+    joined.sort(key=lambda t: (-t[0], t[1], t[2]))
+    return joined[:k]
+
+
+def plaintext_sknn_topk(rows: list[list[int]], k: int) -> list[tuple[int, int]]:
+    """Top-k by ``Σ x_i^2`` — the scoring function the SkNN adaptation
+    supports (Section 11.3)."""
+    scored = [(o, sum(v * v for v in row)) for o, row in enumerate(rows)]
+    scored.sort(key=lambda t: (-t[1], t[0]))
+    return scored[:k]

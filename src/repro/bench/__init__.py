@@ -1,0 +1,18 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+:mod:`repro.bench.harness` provides the shared machinery — cached
+scheme/relation construction, single-query measurement, and paper-style
+series printers — and :mod:`repro.bench.experiments` defines one runner
+per table/figure.  The pytest-benchmark modules under ``benchmarks/``
+are thin wrappers around these runners; each also appends its series to
+``benchmarks/results/`` so ``EXPERIMENTS.md`` can quote measured rows.
+"""
+
+from repro.bench.harness import (
+    BenchContext,
+    QueryMetrics,
+    SeriesReport,
+    measure_query,
+)
+
+__all__ = ["BenchContext", "QueryMetrics", "SeriesReport", "measure_query"]

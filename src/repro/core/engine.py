@@ -1,0 +1,349 @@
+"""S1's oblivious NRA engine — ``SecQuery`` (Algorithm 3).
+
+Two engines implement the same functionality:
+
+* :class:`EagerEngine` maintains, for every candidate, per-query-list
+  encrypted state: the accumulated list score ``Enc(s_j)`` and the layered
+  seen-indicator ``E2(seen_j)``.  At every *check point* it recomputes
+  every candidate's worst score ``Σ_j s_j`` and best score
+  ``Σ_j s_j + Σ_j (1 - seen_j)·bottom_j`` with one batched ``RecoverEnc``,
+  deduplicates, sorts with ``EncSort`` and evaluates the halting rule with
+  ``EncCompare``.  This engine reproduces textbook NRA exactly (same
+  halting depth as the plaintext oracle) and powers all three query
+  variants; the batching variant Qry_Ba simply spaces out the check
+  points.
+
+* :class:`LiteralEngine` follows Algorithm 3 line by line: per depth it
+  runs ``SecWorst`` (Algorithm 4) and ``SecBest`` (Algorithm 6) for the
+  depth's items, deduplicates the depth batch, merges it into ``T`` with
+  ``SecUpdate`` (Algorithm 9), then sorts and checks halting.  Candidates
+  untouched at the current depth keep stale (conservative) upper bounds,
+  so halting can come later than plaintext NRA — but the reported top-k
+  set is still correct (DESIGN.md §3).
+
+Neither engine ever sees a plaintext: every decision flows through the
+sub-protocols, and S1's only observations are the declared ``L1`` leakage
+(query pattern, halting depth, and — in the elim variants — the
+uniqueness pattern).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto.damgard_jurik import (
+    LayeredCiphertext,
+    layered_one_hot_select,
+    layered_select,
+)
+from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.exceptions import QueryError
+from repro.protocols.base import S1Context
+from repro.protocols.enc_compare import enc_compare
+from repro.protocols.enc_sort import enc_sort
+from repro.protocols.recover_enc import recover_enc_batch
+from repro.protocols.sec_best import sec_best
+from repro.protocols.sec_dedup import sec_dedup
+from repro.protocols.sec_dup_elim import sec_dup_elim
+from repro.protocols.sec_update import sec_update
+from repro.protocols.sec_worst import sec_worst
+from repro.core.results import QueryConfig
+from repro.structures.items import EncryptedItem, ScoredItem
+
+PROTOCOL = "SecQuery"
+
+
+class _EngineBase:
+    """Shared plumbing: sorting, halting rule, per-depth timing."""
+
+    def __init__(
+        self,
+        ctx: S1Context,
+        own_keypair: PaillierKeypair,
+        enc_lists: list[list[EncryptedItem]],
+        k: int,
+        config: QueryConfig,
+        compare_method: str,
+        sort_method: str,
+    ):
+        if not enc_lists:
+            raise QueryError("query selects no lists")
+        lengths = {len(lst) for lst in enc_lists}
+        if len(lengths) != 1:
+            raise QueryError("sorted lists have inconsistent lengths")
+        self.ctx = ctx
+        self.own_keypair = own_keypair
+        self.lists = enc_lists
+        self.n = lengths.pop()
+        self.m = len(enc_lists)
+        self.k = k
+        if k > self.n:
+            raise QueryError(f"k={k} exceeds relation size n={self.n}")
+        self.config = config
+        self.compare_method = compare_method
+        self.sort_method = sort_method
+        self.depth_seconds: list[float] = []
+
+    # -- halting ---------------------------------------------------------
+
+    def _halting_check(
+        self, t_sorted: list[ScoredItem], depth: int
+    ) -> bool:
+        """Evaluate the halting rule on the sorted candidate list."""
+        if len(t_sorted) < self.k:
+            return False
+        last_depth = depth == self.n - 1
+        if last_depth:
+            return True
+        w_k = t_sorted[self.k - 1].worst
+
+        # Unseen-object bound: B(unseen) = sum of current bottom scores.
+        bottom_sum = self.lists[0][depth].score
+        for j in range(1, self.m):
+            bottom_sum = bottom_sum + self.lists[j][depth].score
+        if not enc_compare(
+            self.ctx, bottom_sum, w_k, method=self.compare_method, protocol=PROTOCOL
+        ):
+            return False
+
+        if self.config.halting == "paper":
+            if len(t_sorted) == self.k:
+                return True
+            nxt = t_sorted[self.k]
+            return enc_compare(
+                self.ctx, nxt.best, w_k, method=self.compare_method, protocol=PROTOCOL
+            )
+        # strict: every candidate outside the top-k must be dominated.
+        for item in t_sorted[self.k :]:
+            if not enc_compare(
+                self.ctx, item.best, w_k, method=self.compare_method, protocol=PROTOCOL
+            ):
+                return False
+        return True
+
+    def _sort(self, items: list[ScoredItem]) -> list[ScoredItem]:
+        with self.ctx.channel.protocol(PROTOCOL):
+            return enc_sort(
+                self.ctx,
+                items,
+                self.own_keypair,
+                descending=True,
+                method=self.sort_method,
+                key="worst",
+            )
+
+    def _dedup(self, items: list[ScoredItem], ranks: list[int]) -> list[ScoredItem]:
+        with self.ctx.channel.protocol(PROTOCOL):
+            if self.config.variant == "full":
+                return sec_dedup(self.ctx, items, self.own_keypair, ranks)
+            return sec_dup_elim(self.ctx, items, self.own_keypair, ranks)
+
+    def _is_check_depth(self, depth: int) -> bool:
+        every = self.config.check_every()
+        return (depth + 1) % every == 0 or depth == self.n - 1
+
+    def _max_depth(self) -> int:
+        if self.config.max_depth is None:
+            return self.n
+        return min(self.n, self.config.max_depth)
+
+
+class EagerEngine(_EngineBase):
+    """Stateful engine: exact NRA bounds for every candidate."""
+
+    def run(self) -> tuple[list[ScoredItem], int]:
+        """Execute the query; returns (top-k items, 1-based halting depth)."""
+        t_list: list[ScoredItem] = []
+        dj = self.ctx.dj
+        for depth in range(self._max_depth()):
+            started = time.perf_counter()
+            for j in range(self.m):
+                t_list = self._absorb(t_list, j, self.lists[j][depth])
+            if self._is_check_depth(depth):
+                self._refresh_bounds(t_list, depth)
+                t_list = self._dedup(t_list, list(range(len(t_list))))
+                if len(t_list) >= self.k:
+                    t_list = self._sort(t_list)
+                    if self._halting_check(t_list, depth):
+                        self.depth_seconds.append(time.perf_counter() - started)
+                        return t_list[: self.k], depth + 1
+            self.depth_seconds.append(time.perf_counter() - started)
+        # Budget exhausted (max_depth cap): best-effort answer.
+        self._refresh_bounds(t_list, self._max_depth() - 1)
+        t_list = self._dedup(t_list, list(range(len(t_list))))
+        t_list = self._sort(t_list)
+        return t_list[: self.k], self._max_depth()
+
+    # -- per-item absorption ---------------------------------------------
+
+    def _absorb(
+        self, t_list: list[ScoredItem], list_slot: int, item: EncryptedItem
+    ) -> list[ScoredItem]:
+        """Fold one sorted-access item into the candidate state.
+
+        Runs the equality test against every current candidate, credits
+        the matched candidate's ``list_slot`` score/seen state, and
+        appends a new candidate entry that is homomorphically neutralized
+        when the object was already known (S1 cannot branch on the
+        encrypted match bit); check-point deduplication clears the
+        neutralized husks.
+        """
+        ctx = self.ctx
+        dj = ctx.dj
+        zero = ctx.zero()
+
+        bits: list[LayeredCiphertext] = []
+        if t_list:
+            # Permute before shipping so S2's equality-pattern view is the
+            # declared EP_d leakage (pattern up to a random permutation).
+            order = ctx.rng.permutation(len(t_list))
+            with ctx.channel.round(PROTOCOL):
+                eq_cts = [item.ehl.minus(t_list[i].ehl, ctx.rng) for i in order]
+                ctx.channel.send(eq_cts)
+                permuted_bits = ctx.channel.receive(
+                    ctx.s2.test_zero_batch(eq_cts, PROTOCOL)
+                )
+            bits = [None] * len(t_list)
+            for slot, i in enumerate(order):
+                bits[i] = permuted_bits[slot]
+
+        matched = None
+        for bit in bits:
+            matched = bit if matched is None else matched + bit
+
+        layered = [layered_select(dj, bit, item.score, zero) for bit in bits]
+        if matched is None:
+            own_seen = dj.encrypt(1, ctx.rng)
+            own_layered = None
+        else:
+            own_seen = dj.encrypt(1, ctx.rng) - matched
+            # matched -> Enc(0), fresh object -> Enc(x).
+            own_layered = layered_one_hot_select(dj, [matched], [zero], item.score)
+            layered.append(own_layered)
+
+        with ctx.channel.protocol(PROTOCOL):
+            recovered = recover_enc_batch(ctx, layered, PROTOCOL)
+
+        for t_item, bit, credit in zip(t_list, bits, recovered):
+            t_item.list_scores[list_slot] = t_item.list_scores[list_slot] + credit
+            t_item.seen_bits[list_slot] = t_item.seen_bits[list_slot] + bit
+
+        own_score = recovered[-1] if own_layered is not None else item.score
+        entry = ScoredItem(
+            ehl=item.ehl,
+            worst=zero,
+            best=zero,
+            list_scores=[
+                own_score if j == list_slot else ctx.public_key.encrypt(0, ctx.rng)
+                for j in range(self.m)
+            ],
+            seen_bits=[
+                own_seen if j == list_slot else dj.encrypt(0, ctx.rng)
+                for j in range(self.m)
+            ],
+            record=item.record,
+        )
+        return t_list + [entry]
+
+    # -- bound recomputation ----------------------------------------------
+
+    def _refresh_bounds(self, t_list: list[ScoredItem], depth: int) -> None:
+        """Recompute every candidate's worst/best from the per-list state."""
+        if not t_list:
+            return
+        ctx = self.ctx
+        dj = ctx.dj
+        zero = ctx.zero()
+        bottoms = [self.lists[j][depth].score for j in range(self.m)]
+
+        layered = []
+        for t_item in t_list:
+            for j in range(self.m):
+                # seen -> Enc(0) contribution, unseen -> Enc(bottom_j).
+                layered.append(
+                    layered_one_hot_select(
+                        dj, [t_item.seen_bits[j]], [zero], bottoms[j]
+                    )
+                )
+        with ctx.channel.protocol(PROTOCOL):
+            recovered = recover_enc_batch(ctx, layered, PROTOCOL)
+
+        idx = 0
+        for t_item in t_list:
+            worst = t_item.list_scores[0]
+            for j in range(1, self.m):
+                worst = worst + t_item.list_scores[j]
+            best = worst
+            for j in range(self.m):
+                best = best + recovered[idx]
+                idx += 1
+            t_item.worst = worst
+            t_item.best = best
+
+
+class LiteralEngine(_EngineBase):
+    """Algorithm 3 verbatim: SecWorst/SecBest/SecDedup/SecUpdate per depth."""
+
+    def run(self) -> tuple[list[ScoredItem], int]:
+        """Execute the query; returns (top-k items, 1-based halting depth)."""
+        ctx = self.ctx
+        t_list: list[ScoredItem] = []
+        for depth in range(self._max_depth()):
+            started = time.perf_counter()
+            depth_items = [self.lists[j][depth] for j in range(self.m)]
+
+            gammas: list[ScoredItem] = []
+            with ctx.channel.protocol(PROTOCOL):
+                for idx, item in enumerate(depth_items):
+                    others = depth_items[:idx] + depth_items[idx + 1 :]
+                    worst = sec_worst(ctx, item, others)
+                    prefixes = [
+                        self.lists[j][: depth + 1]
+                        for j in range(self.m)
+                        if j != idx
+                    ]
+                    best = sec_best(ctx, item, prefixes)
+                    gammas.append(
+                        ScoredItem(
+                            ehl=item.ehl,
+                            worst=worst,
+                            best=best,
+                            record=item.record,
+                        )
+                    )
+                if len(gammas) > 1:
+                    if self.config.variant == "full":
+                        gammas = sec_dedup(ctx, gammas, self.own_keypair)
+                    else:
+                        gammas = sec_dup_elim(ctx, gammas, self.own_keypair)
+                t_list = sec_update(
+                    ctx,
+                    t_list,
+                    gammas,
+                    self.own_keypair,
+                    eliminate=self.config.variant != "full",
+                )
+
+            if self._is_check_depth(depth) and len(t_list) >= self.k:
+                t_list = self._sort(t_list)
+                if self._halting_check(t_list, depth):
+                    self.depth_seconds.append(time.perf_counter() - started)
+                    return t_list[: self.k], depth + 1
+            self.depth_seconds.append(time.perf_counter() - started)
+
+        t_list = self._sort(t_list)
+        return t_list[: self.k], self._max_depth()
+
+
+def build_engine(
+    ctx: S1Context,
+    own_keypair: PaillierKeypair,
+    enc_lists: list[list[EncryptedItem]],
+    k: int,
+    config: QueryConfig,
+    compare_method: str,
+    sort_method: str,
+):
+    """Instantiate the engine the config asks for."""
+    cls = EagerEngine if config.engine == "eager" else LiteralEngine
+    return cls(ctx, own_keypair, enc_lists, k, config, compare_method, sort_method)

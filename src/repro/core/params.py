@@ -1,0 +1,95 @@
+"""System-wide parameters for the SecTopK scheme.
+
+Collects every knob the construction has — key sizes, EHL shape, score
+encoding widths, and the default choices for the pluggable building
+blocks — with presets matching the paper's evaluation and a fast preset
+for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Immutable scheme parameters.
+
+    Attributes
+    ----------
+    key_bits:
+        Paillier modulus size.  The paper's experiments use a 256-bit
+        modulus ("128-bit security for the Paillier and DJ encryption").
+    score_bits:
+        Maximum bit-width of a single attribute score.
+    blind_bits:
+        Statistical blinding parameter ``κ``.
+    ehl_variant:
+        ``"plus"`` for EHL+ (default, what the paper's query experiments
+        use) or ``"bits"`` for the original EHL.
+    ehl_hashes:
+        Number of PRFs ``s`` (paper: 5).
+    ehl_table_size:
+        Bit-table length ``H`` for the ``"bits"`` variant (paper: 23).
+    compare_method / sort_method:
+        Default constructions for ``EncCompare`` (``"blinded"``/``"dgk"``)
+        and ``EncSort`` (``"affine"``/``"network"``).
+    """
+
+    key_bits: int = 256
+    score_bits: int = 32
+    blind_bits: int = 40
+    ehl_variant: str = "plus"
+    ehl_hashes: int = 5
+    ehl_table_size: int = 23
+    compare_method: str = "blinded"
+    sort_method: str = "affine"
+
+    def __post_init__(self):
+        if self.ehl_variant not in ("plus", "bits"):
+            raise QueryError(f"unknown EHL variant: {self.ehl_variant!r}")
+        if self.compare_method not in ("blinded", "dgk"):
+            raise QueryError(f"unknown compare method: {self.compare_method!r}")
+        if self.sort_method not in ("affine", "network"):
+            raise QueryError(f"unknown sort method: {self.sort_method!r}")
+        # The widest range any protocol needs: affine sort blinding of
+        # sentinel-magnitude keys.
+        needed = self.score_bits + 2 * self.blind_bits + 4
+        if needed >= self.key_bits:
+            raise QueryError(
+                f"key_bits={self.key_bits} too small for score_bits="
+                f"{self.score_bits}, blind_bits={self.blind_bits} "
+                f"(need > {needed})"
+            )
+
+    @classmethod
+    def paper(cls) -> "SystemParams":
+        """The configuration of the paper's experiments (Section 11)."""
+        return cls(key_bits=256, score_bits=32, blind_bits=40, ehl_hashes=5)
+
+    @classmethod
+    def insecure_demo(cls) -> "SystemParams":
+        """Small, fast parameters for tests and examples.
+
+        192-bit modulus and narrower blinding: functionally identical,
+        *not* a secure key size.
+        """
+        return cls(key_bits=192, score_bits=20, blind_bits=28, ehl_hashes=4)
+
+    @classmethod
+    def tiny(cls) -> "SystemParams":
+        """Minimal parameters for fast unit tests (128-bit modulus)."""
+        return cls(
+            key_bits=128,
+            score_bits=16,
+            blind_bits=24,
+            ehl_hashes=3,
+            ehl_table_size=16,
+        )
+
+    @classmethod
+    def secure(cls) -> "SystemParams":
+        """A conservatively-sized configuration for real deployments."""
+        return cls(key_bits=2048, score_bits=48, blind_bits=60, ehl_hashes=5)

@@ -1,0 +1,44 @@
+"""The encrypted relation ``ER`` produced by ``Enc`` (Algorithm 2).
+
+``ER`` is a set of per-attribute sorted lists whose entries are
+``E(I^d) = ⟨EHL(o^d), Enc(x^d), Enc(o^d)⟩`` — the encrypted-hash-list of
+the object id, the Paillier-encrypted local score, and the encrypted
+record id that lets the client decrypt the winners.  Lists are stored
+under their *permuted* names ``P_K(i)``, so an S1 holding ``ER`` learns
+only the relation size and attribute count (Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.structures.items import EncryptedItem
+
+
+@dataclass
+class EncryptedRelation:
+    """``ER`` — what the data owner uploads to S1."""
+
+    lists: dict[int, list[EncryptedItem]]
+    """Permuted list name -> entries in descending local-score order."""
+
+    n_objects: int
+    n_attributes: int
+    ehl_variant: str
+
+    def list_for(self, permuted_name: int) -> list[EncryptedItem]:
+        """Sorted list stored under a permuted name."""
+        if permuted_name not in self.lists:
+            raise QueryError(f"no list named {permuted_name}")
+        return self.lists[permuted_name]
+
+    def serialized_size(self) -> int:
+        """Total size of ``ER`` in bytes (Fig. 7b / 8b series)."""
+        return sum(
+            item.serialized_size() for lst in self.lists.values() for item in lst
+        )
+
+    def size_mb(self) -> float:
+        """Total size in megabytes."""
+        return self.serialized_size() / 1_000_000

@@ -1,0 +1,93 @@
+"""Query configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.net.channel import ChannelStats
+from repro.structures.items import ScoredItem
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Knobs for one ``SecQuery`` execution.
+
+    Attributes
+    ----------
+    variant:
+        ``"full"`` — Qry_F: ``SecDedup`` (burial) every check point,
+        maximum privacy;
+        ``"elim"`` — Qry_E: ``SecDupElim`` every check point (leaks the
+        uniqueness pattern ``UP_d``, 5–7x faster per the paper);
+        ``"batch"`` — Qry_Ba: like ``elim`` but deduplication, sorting and
+        halting checks run only every ``batch_p`` depths (Section 10.2).
+    batch_p:
+        The batching parameter ``p`` (only used by ``"batch"``).
+    engine:
+        ``"eager"`` — stateful engine: per-list encrypted score/seen state,
+        best scores refreshed for *all* candidates every check point
+        (matches textbook NRA and the paper's Fig. 3 walkthrough; halts at
+        the plaintext NRA depth).
+        ``"literal"`` — Algorithm 3 to the letter: per-depth ``SecWorst``/
+        ``SecBest``/``SecUpdate``; best scores of candidates not seen at
+        the current depth go stale (conservative upper bounds, later
+        halting).  See DESIGN.md §3.
+    halting:
+        ``"strict"`` — check every candidate outside the top-k plus the
+        unseen-objects bound (exact NRA halting);
+        ``"paper"`` — only the (k+1)-th candidate plus the unseen bound.
+    compare_method / sort_method:
+        Override the scheme defaults per query.
+    max_depth:
+        Optional scan cap (benchmarks use it to bound run time; results
+        are then best-effort as in a budgeted NRA run).
+    """
+
+    variant: str = "elim"
+    batch_p: int = 150
+    engine: str = "eager"
+    halting: str = "strict"
+    compare_method: str | None = None
+    sort_method: str | None = None
+    max_depth: int | None = None
+
+    def __post_init__(self):
+        if self.variant not in ("full", "elim", "batch"):
+            raise QueryError(f"unknown query variant: {self.variant!r}")
+        if self.engine not in ("eager", "literal"):
+            raise QueryError(f"unknown engine: {self.engine!r}")
+        if self.halting not in ("strict", "paper"):
+            raise QueryError(f"unknown halting rule: {self.halting!r}")
+        if self.variant == "batch" and self.batch_p < 1:
+            raise QueryError("batch_p must be >= 1")
+
+    def check_every(self) -> int:
+        """How many depths between check points (dedup + sort + halt)."""
+        return self.batch_p if self.variant == "batch" else 1
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one secure top-k query."""
+
+    items: list[ScoredItem]
+    """The k winning candidates, best first, still encrypted."""
+
+    halting_depth: int
+    """1-based depth at which the oblivious NRA halted."""
+
+    channel_stats: ChannelStats
+    """Inter-cloud traffic of this query."""
+
+    depth_seconds: list[float] = field(default_factory=list)
+    """Wall-clock seconds spent per scanned depth (bench series)."""
+
+    config: QueryConfig | None = None
+
+    @property
+    def time_per_depth(self) -> float:
+        """Average seconds per depth — the paper's main query metric."""
+        if not self.depth_seconds:
+            return 0.0
+        return sum(self.depth_seconds) / len(self.depth_seconds)

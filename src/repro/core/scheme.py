@@ -1,0 +1,242 @@
+"""``SecTopK = (Enc, Token, SecQuery)`` — the top-level scheme
+(Definition 4.1).
+
+A :class:`SecTopK` instance plays the *data owner* (it generates and keeps
+all keys) and mints the artifacts for the other parties:
+
+* :meth:`encrypt` — Algorithm 2: sort each attribute column, encrypt every
+  entry as ``⟨EHL(o), Enc(x), Enc(o)⟩`` and permute the list names with
+  the PRP ``P_K``.  The result is what S1 stores.
+* :meth:`token` — Section 7: map the queried attribute indices through
+  ``P_K``.
+* :meth:`query` — Algorithm 3: spin up the two-cloud machinery (S1
+  context, S2 crypto cloud, accounting channel) and run the oblivious NRA
+  engine.  In a deployment the two sides run on different providers; the
+  in-process simulation routes every exchanged byte through the
+  accounting channel so the communication results stay exact.
+* :meth:`reveal` — client-side decryption of the winners (the paper's
+  clients fetch the decryption keys from the data owner).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.damgard_jurik import DamgardJurik
+from repro.crypto.encoding import SignedEncoder
+from repro.crypto.paillier import PaillierKeypair
+from repro.crypto.prf import random_key
+from repro.crypto.prp import Prp
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import DataError, QueryError
+from repro.net.channel import Channel
+from repro.protocols.base import CryptoCloud, LeakageLog, S1Context
+from repro.core.engine import build_engine
+from repro.core.params import SystemParams
+from repro.core.relation import EncryptedRelation
+from repro.core.results import QueryConfig, QueryResult
+from repro.core.token import Token
+from repro.structures.ehl import EhlFactory
+from repro.structures.ehl_plus import EhlPlusFactory
+from repro.structures.items import EncryptedItem
+
+
+class SecTopK:
+    """The secure top-k query scheme."""
+
+    def __init__(self, params: SystemParams | None = None, seed: int | None = None):
+        self.params = params or SystemParams.paper()
+        self._rng = SecureRandom(seed)
+        self.keypair = PaillierKeypair.generate(self.params.key_bits, self._rng.spawn("keygen"))
+        self.public_key = self.keypair.public_key
+        self.dj = DamgardJurik(self.public_key, s=2)
+        self.encoder = SignedEncoder(
+            self.public_key.n,
+            score_bits=self.params.score_bits,
+            blind_bits=self.params.blind_bits,
+        )
+        self._ehl_master = random_key(self._rng.spawn("ehl-master"))
+        self._prp_key = self._rng.spawn("prp").randbytes(32)
+        # S1's own keypair for blinding-seed transport (Algorithm 7's pk');
+        # generated once and reused across protocol invocations.  Its
+        # modulus is oversized so that SecFilter's combined unblinding
+        # values (products/sums of residues mod N) never wrap under pk'.
+        self._s1_keypair = PaillierKeypair.generate(
+            2 * self.params.key_bits + 16, self._rng.spawn("s1-own")
+        )
+        self._query_history: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Enc (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _ehl_factory(self, rng: SecureRandom):
+        if self.params.ehl_variant == "plus":
+            return EhlPlusFactory(
+                self.public_key,
+                self._ehl_master,
+                n_hashes=self.params.ehl_hashes,
+                rng=rng,
+            )
+        return EhlFactory(
+            self.public_key,
+            self._ehl_master,
+            table_size=self.params.ehl_table_size,
+            n_hashes=self.params.ehl_hashes,
+            rng=rng,
+        )
+
+    def encrypt(self, rows: list[list[int]]) -> EncryptedRelation:
+        """Encrypt a relation into ``ER`` (Algorithm 2)."""
+        if not rows:
+            raise DataError("relation is empty")
+        width = len(rows[0])
+        if any(len(r) != width for r in rows):
+            raise DataError("ragged relation")
+        for row in rows:
+            for value in row:
+                self.encoder.check_score(value)
+
+        rng = self._rng.spawn("enc")
+        factory = self._ehl_factory(rng)
+        prp = Prp(self._prp_key, width)
+        self._attribute_width = width
+
+        lists: dict[int, list[EncryptedItem]] = {}
+        for attribute in range(width):
+            ranked = sorted(
+                range(len(rows)),
+                key=lambda o: (-rows[o][attribute], o),
+            )
+            entries = [
+                EncryptedItem(
+                    ehl=factory.encode(o),
+                    score=self.public_key.encrypt(rows[o][attribute], rng),
+                    record=self.public_key.encrypt(o, rng),
+                )
+                for o in ranked
+            ]
+            lists[prp.forward(attribute)] = entries
+        return EncryptedRelation(
+            lists=lists,
+            n_objects=len(rows),
+            n_attributes=width,
+            ehl_variant=self.params.ehl_variant,
+        )
+
+    # ------------------------------------------------------------------
+    # Token (Section 7)
+    # ------------------------------------------------------------------
+
+    def token(
+        self, attributes: list[int], k: int, weights: list[int] | None = None
+    ) -> Token:
+        """Build a query token for the client (Section 7).
+
+        The PRP domain is the attribute width of the most recently
+        encrypted relation (the client learns it together with the key
+        material).
+        """
+        if not attributes:
+            raise QueryError("query selects no attributes")
+        width = getattr(self, "_attribute_width", None)
+        if width is None:
+            raise QueryError("encrypt a relation before generating tokens")
+        for a in attributes:
+            if not 0 <= a < width:
+                raise QueryError(f"attribute {a} out of range")
+        prp = Prp(self._prp_key, width)
+        return Token(
+            permuted_lists=tuple(prp.forward(a) for a in attributes),
+            k=k,
+            weights=tuple(weights) if weights else (),
+        )
+
+    # ------------------------------------------------------------------
+    # SecQuery (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def make_clouds(self) -> S1Context:
+        """Wire up a fresh S1 context and S2 crypto cloud."""
+        leakage = LeakageLog()
+        s2 = CryptoCloud(
+            self.keypair, self.dj, self._rng.spawn("s2"), leakage
+        )
+        return S1Context(
+            public_key=self.public_key,
+            dj=self.dj,
+            encoder=self.encoder,
+            channel=Channel(),
+            s2=s2,
+            rng=self._rng.spawn("s1"),
+            leakage=leakage,
+        )
+
+    def query(
+        self,
+        relation: EncryptedRelation,
+        token: Token,
+        config: QueryConfig | None = None,
+        ctx: S1Context | None = None,
+    ) -> QueryResult:
+        """Process a top-k query on the encrypted relation."""
+        config = config or QueryConfig()
+        ctx = ctx or self.make_clouds()
+
+        # L1 leakage: query pattern + (later) halting depth.
+        fingerprint = token.fingerprint()
+        repeated = fingerprint in self._query_history
+        self._query_history.add(fingerprint)
+        ctx.leakage.record("S1", "SecQuery", "query_pattern", repeated)
+
+        weights = token.effective_weights()
+        enc_lists = []
+        for name, weight in zip(token.permuted_lists, weights):
+            entries = relation.list_for(name)
+            if weight == 1:
+                enc_lists.append(entries)
+            else:
+                enc_lists.append(
+                    [
+                        EncryptedItem(
+                            ehl=e.ehl, score=e.score * weight, record=e.record
+                        )
+                        for e in entries
+                    ]
+                )
+
+        engine = build_engine(
+            ctx,
+            self._s1_keypair,
+            enc_lists,
+            token.k,
+            config,
+            config.compare_method or self.params.compare_method,
+            config.sort_method or self.params.sort_method,
+        )
+        items, halting_depth = engine.run()
+        ctx.leakage.record("S1", "SecQuery", "halting_depth", halting_depth)
+        return QueryResult(
+            items=items,
+            halting_depth=halting_depth,
+            channel_stats=ctx.channel.snapshot(),
+            depth_seconds=engine.depth_seconds,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # Client-side reveal
+    # ------------------------------------------------------------------
+
+    def reveal(self, result: QueryResult) -> list[tuple[int, int]]:
+        """Decrypt the winners into ``(object_id, score)`` pairs.
+
+        The client obtains the decryption key from the data owner
+        (Section 3.1); this method plays both roles.
+        """
+        out = []
+        for item in result.items:
+            if item.record is None:
+                raise QueryError("result items carry no record ciphertexts")
+            object_id = self.keypair.secret_key.decrypt(item.record)
+            score = self.keypair.secret_key.decrypt_signed(item.worst)
+            out.append((object_id, score))
+        return out

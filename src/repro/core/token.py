@@ -1,0 +1,58 @@
+"""Query tokens (Section 7).
+
+``Token(K, q)`` is deliberately lightweight: the client holding the PRP
+key ``K`` maps each queried attribute index ``i`` to the permuted list
+name ``P_K(i)`` and sends ``{P_K(i)}``, the weights (if not binary) and
+``k``.  The token reveals to S1 only *which permuted lists* to scan — the
+query pattern ``QP`` leakage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class Token:
+    """A top-k query token.
+
+    ``permuted_lists[i]`` is ``P_K(attribute_i)``; the ordering pairs with
+    ``weights``.
+    """
+
+    permuted_lists: tuple[int, ...]
+    k: int
+    weights: tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise QueryError("k must be >= 1")
+        if len(set(self.permuted_lists)) != len(self.permuted_lists):
+            raise QueryError("duplicate attribute in token")
+        if not self.permuted_lists:
+            raise QueryError("token selects no attributes")
+        if self.weights and len(self.weights) != len(self.permuted_lists):
+            raise QueryError("weights/attributes length mismatch")
+        if any(w < 0 for w in self.weights):
+            raise QueryError("weights must be non-negative")
+
+    @property
+    def m(self) -> int:
+        """Number of scoring attributes ``m``."""
+        return len(self.permuted_lists)
+
+    def effective_weights(self) -> tuple[int, ...]:
+        """Weights with the binary default filled in."""
+        return self.weights if self.weights else (1,) * self.m
+
+    def fingerprint(self) -> str:
+        """Deterministic digest used for the query-pattern leakage ``QP``.
+
+        Two identical queries produce identical tokens, which is exactly
+        what S1 can observe (Section 9's ``QP`` leakage function).
+        """
+        material = repr((self.permuted_lists, self.k, self.weights)).encode()
+        return hashlib.sha256(material).hexdigest()[:16]

@@ -1,0 +1,145 @@
+"""Randomness plumbing.
+
+Every component that consumes randomness takes a :class:`SecureRandom`
+instance so that
+
+* production use draws from the operating system CSPRNG, while
+* tests and benchmarks can inject a deterministic, seeded stream and get
+  bit-for-bit reproducible runs.
+
+The deterministic mode is implemented as SHA-256 in counter mode, which is
+more than adequate for reproducibility purposes (it is *not* claimed to be
+a certified DRBG).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+
+class SecureRandom:
+    """Uniform random integers, optionally deterministic.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (default) draws from :mod:`secrets`.  Any ``int`` or
+        ``bytes`` value switches the instance to a deterministic SHA-256
+        counter-mode stream seeded by that value.
+    """
+
+    def __init__(self, seed: int | bytes | None = None):
+        if seed is None:
+            self._buf = b""
+            self._counter = 0
+            self._key = None
+        else:
+            if isinstance(seed, int):
+                sign = b"-" if seed < 0 else b"+"
+                magnitude = abs(seed)
+                seed = sign + magnitude.to_bytes(
+                    (magnitude.bit_length() + 7) // 8 or 1, "big"
+                )
+            self._key = hashlib.sha256(b"repro-rng:" + seed).digest()
+            self._counter = 0
+            self._buf = b""
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether this instance replays a seeded stream."""
+        return self._key is not None
+
+    def _refill(self, need: int) -> None:
+        chunks = [self._buf]
+        have = len(self._buf)
+        while have < need:
+            block = hashlib.sha256(
+                self._key + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            chunks.append(block)
+            have += len(block)
+        self._buf = b"".join(chunks)
+
+    def randbytes(self, n: int) -> bytes:
+        """Return ``n`` uniform random bytes."""
+        if self._key is None:
+            return secrets.token_bytes(n)
+        self._refill(n)
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def randbits(self, k: int) -> int:
+        """Return a uniform integer in ``[0, 2**k)``."""
+        if k <= 0:
+            return 0
+        nbytes = (k + 7) // 8
+        value = int.from_bytes(self.randbytes(nbytes), "big")
+        return value >> (nbytes * 8 - k)
+
+    def randint_below(self, upper: int) -> int:
+        """Return a uniform integer in ``[0, upper)`` (rejection sampling)."""
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        k = upper.bit_length()
+        while True:
+            value = self.randbits(k)
+            if value < upper:
+                return value
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a uniform integer in the inclusive range ``[low, high]``."""
+        if high < low:
+            raise ValueError("empty range")
+        return low + self.randint_below(high - low + 1)
+
+    def rand_unit(self, modulus: int) -> int:
+        """Return a uniform element of the multiplicative group ``Z_n^*``.
+
+        For an RSA-style modulus the probability of hitting a non-unit is
+        negligible, but we check anyway so small test moduli stay correct.
+        """
+        import math
+
+        while True:
+            candidate = self.randint(1, modulus - 1)
+            if math.gcd(candidate, modulus) == 1:
+                return candidate
+
+    def rand_nonzero(self, modulus: int) -> int:
+        """Return a uniform element of ``Z_n \\ {0}``."""
+        return self.randint(1, modulus - 1)
+
+    def shuffle(self, items: list) -> None:
+        """Fisher–Yates shuffle of ``items`` in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def permutation(self, n: int) -> list[int]:
+        """Return a uniform random permutation of ``range(n)`` as a list."""
+        perm = list(range(n))
+        self.shuffle(perm)
+        return perm
+
+    def choice(self, items: list):
+        """Return a uniform random element of ``items``."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint_below(len(items))]
+
+    def spawn(self, label: str) -> "SecureRandom":
+        """Derive an independent child stream (deterministic mode only).
+
+        In non-deterministic mode the child simply draws from the OS CSPRNG
+        as well, so ``spawn`` is always safe to call.
+        """
+        if self._key is None:
+            return SecureRandom()
+        return SecureRandom(self._key + label.encode("utf-8"))
+
+
+def system_random() -> SecureRandom:
+    """Return a fresh OS-backed :class:`SecureRandom`."""
+    return SecureRandom()

@@ -1,0 +1,37 @@
+"""Datasets mirroring the paper's evaluation (Section 11).
+
+The paper uses three UCI datasets (``insurance``, ``diabetes``,
+``PAMAP``) plus a 1M-row Gaussian ``synthetic`` dataset.  This offline
+environment has no network access, so :mod:`repro.data.uci` provides
+synthetic stand-ins with the same schema shapes and integer-valued,
+realistically-skewed columns, and a ``scale`` knob that shrinks row
+counts proportionally (every benchmark prints the scale it ran at).
+:mod:`repro.data.synthetic` provides the distribution-controlled
+generators (Gaussian, uniform, correlated, anti-correlated) that NRA
+behaviour depends on.
+"""
+
+from repro.data.synthetic import (
+    Relation,
+    gaussian_relation,
+    uniform_relation,
+    correlated_relation,
+    anticorrelated_relation,
+)
+from repro.data.uci import insurance, diabetes, pamap, synthetic_1m, paper_datasets
+from repro.data.workloads import QuerySpec, random_queries
+
+__all__ = [
+    "Relation",
+    "gaussian_relation",
+    "uniform_relation",
+    "correlated_relation",
+    "anticorrelated_relation",
+    "insurance",
+    "diabetes",
+    "pamap",
+    "synthetic_1m",
+    "paper_datasets",
+    "QuerySpec",
+    "random_queries",
+]

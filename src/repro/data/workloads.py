@@ -1,0 +1,50 @@
+"""Query workload generators for the evaluation harness.
+
+Section 11.2.1: "For each query, we randomly choose the number of
+attributes m that are used for the ranking function ranging from 2 to 8,
+and we also vary k between 2 and 20.  The ranking function F that we use
+is the sum function."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One top-k query: which attributes, which k (sum scoring)."""
+
+    attributes: tuple[int, ...]
+    k: int
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise QueryError("k must be >= 1")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise QueryError("duplicate attributes in query")
+
+
+def random_queries(
+    n_queries: int,
+    n_attributes: int,
+    m_range: tuple[int, int] = (2, 8),
+    k_range: tuple[int, int] = (2, 20),
+    seed: int = 0,
+) -> list[QuerySpec]:
+    """Sample the paper's query workload."""
+    if m_range[0] < 1 or m_range[1] > n_attributes:
+        raise QueryError("m_range incompatible with the relation width")
+    rng = SecureRandom(("workload", seed).__repr__().encode())
+    queries = []
+    for _ in range(n_queries):
+        m = rng.randint(*m_range)
+        attrs = list(range(n_attributes))
+        rng.shuffle(attrs)
+        queries.append(
+            QuerySpec(attributes=tuple(sorted(attrs[:m])), k=rng.randint(*k_range))
+        )
+    return queries

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still being able to distinguish the finer-grained categories below.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this package."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused or an internal check failed."""
+
+
+class KeyMismatchError(CryptoError):
+    """Ciphertexts from different key pairs were combined."""
+
+
+class EncodingRangeError(CryptoError):
+    """A plaintext value does not fit the configured signed-encoding range."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext failed to decrypt to a valid plaintext."""
+
+
+class ProtocolError(ReproError):
+    """A two-party sub-protocol received malformed or inconsistent input."""
+
+
+class QueryError(ReproError):
+    """A top-k query was malformed (bad attributes, k out of range, ...)."""
+
+
+class DataError(ReproError):
+    """A relation or dataset violates the shape the scheme requires."""

@@ -1,0 +1,12 @@
+"""Secure top-k join over multiple encrypted relations (Section 12).
+
+:class:`repro.join.scheme.SecTopKJoin` encrypts a pair of relations with
+per-*attribute-value* EHLs (Algorithm 10), mints join tokens
+(Section 12.3) and executes the secure join operator ``⋈_sec``
+(Section 12.4): ``SecJoin`` over all cross pairs, ``SecFilter`` to drop
+non-joining tuples, and ``EncSort`` to rank the survivors.
+"""
+
+from repro.join.scheme import EncryptedJoinRelation, JoinToken, SecTopKJoin
+
+__all__ = ["SecTopKJoin", "JoinToken", "EncryptedJoinRelation"]

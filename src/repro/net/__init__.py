@@ -1,0 +1,19 @@
+"""Inter-cloud communication accounting.
+
+The two clouds S1 and S2 run in-process in this reproduction, but every
+value that crosses the S1/S2 boundary is routed through
+:class:`repro.net.channel.Channel`, which records
+
+* bytes transferred in each direction,
+* the number of communication rounds, and
+* a per-protocol breakdown,
+
+so the bandwidth/latency results of Table 3 and Figure 13 can be
+regenerated exactly, and a configurable :class:`repro.net.channel.LinkModel`
+turns byte counts into modeled latency (the paper assumes a 50 Mbps
+inter-cloud link).
+"""
+
+from repro.net.channel import Channel, ChannelStats, LinkModel, measure_size
+
+__all__ = ["Channel", "ChannelStats", "LinkModel", "measure_size"]

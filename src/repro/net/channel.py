@@ -1,0 +1,175 @@
+"""Byte- and round-accounting channel between the two clouds.
+
+Every sub-protocol sends its messages through a :class:`Channel`; the
+channel measures the serialized size of whatever crosses it and attributes
+the traffic to the protocol named in the current :meth:`Channel.round`
+context.  Nothing is actually copied — accounting is the only effect —
+which keeps the in-process simulation fast while making the Table 3 /
+Figure 13 numbers exact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+def measure_size(obj) -> int:
+    """Serialized byte size of a protocol message component.
+
+    Supports the types that ever cross the inter-cloud boundary:
+    ciphertexts (Paillier and Damgård–Jurik), EHL/EHL+ structures,
+    encrypted items, integers, bits/bools, bytes, and (possibly nested)
+    lists/tuples of those.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return max(1, (obj.bit_length() + 7) // 8)
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(measure_size(x) for x in obj)
+    if hasattr(obj, "serialized_size"):
+        return obj.serialized_size()
+    raise TypeError(f"cannot measure wire size of {type(obj).__name__}")
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative traffic statistics for one channel."""
+
+    bytes_s1_to_s2: int = 0
+    bytes_s2_to_s1: int = 0
+    rounds: int = 0
+    per_protocol_bytes: dict = field(default_factory=lambda: defaultdict(int))
+    per_protocol_rounds: dict = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_s1_to_s2 + self.bytes_s2_to_s1
+
+    def snapshot(self) -> "ChannelStats":
+        """A frozen copy (for before/after deltas)."""
+        copy = ChannelStats(
+            bytes_s1_to_s2=self.bytes_s1_to_s2,
+            bytes_s2_to_s1=self.bytes_s2_to_s1,
+            rounds=self.rounds,
+        )
+        copy.per_protocol_bytes = defaultdict(int, self.per_protocol_bytes)
+        copy.per_protocol_rounds = defaultdict(int, self.per_protocol_rounds)
+        return copy
+
+    def delta(self, earlier: "ChannelStats") -> "ChannelStats":
+        """Traffic since ``earlier`` (an earlier :meth:`snapshot`)."""
+        diff = ChannelStats(
+            bytes_s1_to_s2=self.bytes_s1_to_s2 - earlier.bytes_s1_to_s2,
+            bytes_s2_to_s1=self.bytes_s2_to_s1 - earlier.bytes_s2_to_s1,
+            rounds=self.rounds - earlier.rounds,
+        )
+        for key, value in self.per_protocol_bytes.items():
+            previous = earlier.per_protocol_bytes.get(key, 0)
+            if value != previous:
+                diff.per_protocol_bytes[key] = value - previous
+        for key, value in self.per_protocol_rounds.items():
+            previous = earlier.per_protocol_rounds.get(key, 0)
+            if value != previous:
+                diff.per_protocol_rounds[key] = value - previous
+        return diff
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A simple latency model for the inter-cloud link.
+
+    The paper assumes "a standard 50 Mbps LAN setting" between the two
+    clouds when converting bandwidth into latency (Table 3), and notes
+    that round-trip time is negligible next to computation; both knobs
+    are configurable here.
+    """
+
+    bandwidth_mbps: float = 50.0
+    rtt_ms: float = 0.0
+
+    def latency_seconds(self, stats: ChannelStats) -> float:
+        """Modeled wall-clock time the measured traffic would take."""
+        transfer = stats.total_bytes * 8 / (self.bandwidth_mbps * 1_000_000)
+        return transfer + stats.rounds * self.rtt_ms / 1000.0
+
+
+class Channel:
+    """The S1 <-> S2 message channel with automatic accounting.
+
+    Usage pattern inside a sub-protocol (S1-side code)::
+
+        with channel.round("SecWorst"):
+            channel.send(enc_b)                # S1 -> S2
+            reply = channel.receive(s2.test_zero(enc_b))   # S2 -> S1
+
+    The :meth:`round` context increments the round counter once and tags
+    all traffic inside it with the protocol name.
+    """
+
+    def __init__(self):
+        self.stats = ChannelStats()
+        self._current_protocol: list[str] = []
+
+    # -- round bookkeeping ---------------------------------------------
+
+    @contextlib.contextmanager
+    def round(self, protocol: str):
+        """One communication round attributed to ``protocol``."""
+        self._current_protocol.append(protocol)
+        self.stats.rounds += 1
+        self.stats.per_protocol_rounds[protocol] += 1
+        try:
+            yield self
+        finally:
+            self._current_protocol.pop()
+
+    @contextlib.contextmanager
+    def protocol(self, protocol: str):
+        """Attribute traffic to ``protocol`` without counting a round.
+
+        Used by composite protocols whose inner sub-protocols count their
+        own rounds.
+        """
+        self._current_protocol.append(protocol)
+        try:
+            yield self
+        finally:
+            self._current_protocol.pop()
+
+    def _attribute(self, nbytes: int) -> None:
+        label = self._current_protocol[-1] if self._current_protocol else "?"
+        self.stats.per_protocol_bytes[label] += nbytes
+
+    # -- transfers ------------------------------------------------------
+
+    def send(self, *objects):
+        """Record an S1 -> S2 transfer; returns the payload unchanged."""
+        nbytes = measure_size(list(objects))
+        self.stats.bytes_s1_to_s2 += nbytes
+        self._attribute(nbytes)
+        return objects[0] if len(objects) == 1 else objects
+
+    def receive(self, *objects):
+        """Record an S2 -> S1 transfer; returns the payload unchanged."""
+        nbytes = measure_size(list(objects))
+        self.stats.bytes_s2_to_s1 += nbytes
+        self._attribute(nbytes)
+        return objects[0] if len(objects) == 1 else objects
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> ChannelStats:
+        """Frozen copy of the running statistics."""
+        return self.stats.snapshot()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.stats = ChannelStats()

@@ -1,0 +1,76 @@
+"""Sorted-access data model for the NRA family of algorithms.
+
+A relation with ``M`` numeric attributes is viewed as ``M`` sorted lists
+(Section 3.4): list ``L_i`` ranks all ``n`` objects by their ``i``-th
+local score, best-first.  ``SortedLists`` materializes that view from a
+row-major relation and provides the depth-``d`` sorted access the
+algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One sorted-list entry ``I_i^d = (o_i^d, x_i^d)``."""
+
+    object_id: int
+    score: int
+
+
+class SortedLists:
+    """The sorted-lists view ``S = {L_1, ..., L_M}`` of a relation.
+
+    Parameters
+    ----------
+    rows:
+        ``rows[o]`` is the attribute vector of object ``o``; object ids
+        are the row indices.
+    attributes:
+        Which attribute indices to materialize (default: all).
+
+    Lists are sorted in *descending* score order (best-first sorted
+    access, as in Fagin et al. and the paper's worked example in Fig. 3).
+    """
+
+    def __init__(self, rows: list[list[int]], attributes: list[int] | None = None):
+        if not rows:
+            raise DataError("relation is empty")
+        width = len(rows[0])
+        if any(len(r) != width for r in rows):
+            raise DataError("ragged relation")
+        self.n_objects = len(rows)
+        self.attributes = list(range(width)) if attributes is None else list(attributes)
+        for a in self.attributes:
+            if not 0 <= a < width:
+                raise DataError(f"attribute {a} out of range")
+        self.lists: list[list[DataItem]] = []
+        for a in self.attributes:
+            ranked = sorted(
+                (DataItem(o, rows[o][a]) for o in range(self.n_objects)),
+                key=lambda item: (-item.score, item.object_id),
+            )
+            self.lists.append(ranked)
+
+    @property
+    def n_lists(self) -> int:
+        """Number of sorted lists ``m``."""
+        return len(self.lists)
+
+    def depth(self, d: int) -> list[DataItem]:
+        """The ``m`` items visible at depth ``d`` (0-based)."""
+        if not 0 <= d < self.n_objects:
+            raise DataError(f"depth {d} out of range")
+        return [lst[d] for lst in self.lists]
+
+    def bottoms(self, d: int) -> list[int]:
+        """The last-seen ("bottom") score of each list at depth ``d``."""
+        return [lst[d].score for lst in self.lists]
+
+    def prefix(self, list_index: int, d: int) -> list[DataItem]:
+        """Items of list ``list_index`` down to depth ``d`` inclusive."""
+        return self.lists[list_index][: d + 1]

@@ -1,0 +1,28 @@
+"""Full-scan top-k — the ground-truth oracle.
+
+Computes every object's exact aggregate score and returns the ``k``
+largest.  Used to validate both the plaintext NRA and the secure engine.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+
+
+def naive_topk(
+    rows: list[list[int]], attributes: list[int], k: int, weights: list[int] | None = None
+) -> list[tuple[int, int]]:
+    """Return ``k`` ``(object_id, score)`` pairs with the largest weighted
+    sums over ``attributes``, ties broken by object id."""
+    if k < 1:
+        raise QueryError("k must be >= 1")
+    if weights is None:
+        weights = [1] * len(attributes)
+    if len(weights) != len(attributes):
+        raise QueryError("weights/attributes length mismatch")
+    scored = [
+        (o, sum(w * row[a] for w, a in zip(weights, attributes)))
+        for o, row in enumerate(rows)
+    ]
+    scored.sort(key=lambda t: (-t[1], t[0]))
+    return scored[:k]

@@ -1,0 +1,36 @@
+"""The Threshold Algorithm (TA) of Fagin, Lotem and Naor.
+
+TA combines sorted access with *random* access: after each depth it looks
+up the full score of every newly seen object and halts when the ``k``-th
+best exact score reaches the threshold ``Σ bottoms``.  The paper's secure
+construction deliberately builds on NRA instead, because random accesses
+would leak which rows the query touches (Section 3.4: NRA "leaks minimal
+information").  TA is included here as a plaintext baseline so the
+halting-depth trade-off can be measured (ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.nra.items import SortedLists
+from repro.nra.nra import NraResult
+
+
+def ta_topk(lists: SortedLists, rows: list[list[int]], k: int) -> NraResult:
+    """Run TA; ``rows`` provides the random-access score lookups."""
+    if k < 1:
+        raise QueryError("k must be >= 1")
+    attributes = lists.attributes
+    n = lists.n_objects
+
+    exact: dict[int, int] = {}
+    for d in range(n):
+        for item in lists.depth(d):
+            if item.object_id not in exact:
+                exact[item.object_id] = sum(rows[item.object_id][a] for a in attributes)
+        threshold = sum(lists.bottoms(d))
+        ranked = sorted(exact.items(), key=lambda kv: (-kv[1], kv[0]))
+        if len(ranked) >= k and ranked[k - 1][1] >= threshold:
+            return NraResult(topk=ranked[:k], halting_depth=d + 1)
+    ranked = sorted(exact.items(), key=lambda kv: (-kv[1], kv[0]))
+    return NraResult(topk=ranked[:k], halting_depth=n)

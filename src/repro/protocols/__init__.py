@@ -1,0 +1,50 @@
+"""The two-cloud secure sub-protocols of Sections 8, 10 and 12.
+
+Every protocol is written from S1's point of view as a function taking an
+:class:`~repro.protocols.base.S1Context` (public key material, the
+communication channel, and a handle to the S2
+:class:`~repro.protocols.base.CryptoCloud`).  S2's side of each protocol is
+a method on :class:`CryptoCloud`; S2 only ever sees blinded or permuted
+data and records every bit it *does* learn in the leakage log, which the
+security tests audit.
+
+Protocol inventory
+------------------
+
+===============  =====================================================
+``recover_enc``  Algorithm 5 — strip one Damgård–Jurik layer
+``enc_compare``  EncCompare [11] — two constructions (blinded / DGK)
+``enc_sort``     EncSort [7] — two constructions (affine / network)
+``sec_worst``    Algorithm 4 — per-depth encrypted worst score
+``sec_best``     Algorithm 6 — encrypted best score
+``sec_dedup``    Algorithm 7 — duplicate burial (full privacy)
+``sec_dup_elim`` Section 10.1 — duplicate elimination (optimized)
+``sec_update``   Algorithm 9 — merge depth results into ``T``
+``sec_filter``   Algorithm 12 — drop non-joining tuples
+``sec_join``     Algorithm 11 — the secure top-k join core
+===============  =====================================================
+"""
+
+from repro.protocols.base import CryptoCloud, S1Context
+from repro.protocols.recover_enc import recover_enc, recover_enc_batch
+from repro.protocols.enc_compare import enc_compare
+from repro.protocols.enc_sort import enc_sort
+from repro.protocols.sec_worst import sec_worst
+from repro.protocols.sec_best import sec_best
+from repro.protocols.sec_dedup import sec_dedup
+from repro.protocols.sec_dup_elim import sec_dup_elim
+from repro.protocols.sec_update import sec_update
+
+__all__ = [
+    "CryptoCloud",
+    "S1Context",
+    "recover_enc",
+    "recover_enc_batch",
+    "enc_compare",
+    "enc_sort",
+    "sec_worst",
+    "sec_best",
+    "sec_dedup",
+    "sec_dup_elim",
+    "sec_update",
+]

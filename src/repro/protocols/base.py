@@ -1,0 +1,265 @@
+"""Party objects for the two-cloud architecture (Section 3.2).
+
+* :class:`CryptoCloud` is S2: it holds the Paillier secret key and exposes
+  exactly the operations the sub-protocols require.  Every piece of
+  information S2 legitimately learns during a protocol (equality bits,
+  duplicate-group structure, comparison signs of blinded values, ...) is
+  recorded in a :class:`LeakageLog`, which the security test-suite audits
+  against the declared leakage profiles ``L2_Query = {EP_d}`` etc.
+
+* :class:`S1Context` bundles what the S1-side protocol code needs: the
+  public keys, the Damgård–Jurik instance, the signed encoder, the
+  channel, a randomness source, and the :class:`CryptoCloud` handle.
+
+S1 never holds the secret key; tests enforce this by auditing that no
+``PaillierSecretKey`` is reachable from an :class:`S1Context`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.damgard_jurik import DamgardJurik, LayeredCiphertext
+from repro.crypto.encoding import SignedEncoder
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierKeypair,
+    PaillierPublicKey,
+)
+from repro.crypto.rng import SecureRandom
+from repro.net.channel import Channel
+from repro.exceptions import ProtocolError
+
+
+@dataclass
+class LeakageEvent:
+    """One observation made by a server during a protocol run."""
+
+    observer: str     # "S1" or "S2"
+    protocol: str     # which sub-protocol produced the observation
+    kind: str         # e.g. "eq_bit", "dedup_groups", "cmp_sign"
+    payload: object   # the observed value (a bit, a list of group sizes, ...)
+
+
+class LeakageLog:
+    """Chronological record of everything the servers learned.
+
+    The CQA security argument (Section 9) says the servers learn nothing
+    beyond the declared leakage functions.  This log is the mechanism that
+    lets tests *check* that claim empirically: after a query we assert the
+    event stream is a deterministic function of the declared profile.
+    """
+
+    def __init__(self):
+        self.events: list[LeakageEvent] = []
+
+    def record(self, observer: str, protocol: str, kind: str, payload) -> None:
+        """Append one observation."""
+        self.events.append(LeakageEvent(observer, protocol, kind, payload))
+
+    def by_kind(self, kind: str) -> list[LeakageEvent]:
+        """All events of one kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    def by_observer(self, observer: str) -> list[LeakageEvent]:
+        """All events one server made."""
+        return [e for e in self.events if e.observer == observer]
+
+    def clear(self) -> None:
+        """Forget everything (between queries)."""
+        self.events.clear()
+
+
+class CryptoCloud:
+    """S2 — the crypto cloud holding the secret key (Section 3.2).
+
+    The methods below are the *only* ways any S1-side code can touch
+    plaintexts.  Each method corresponds to S2's role in one of the
+    paper's sub-protocols and records its legitimate observations in the
+    leakage log.
+    """
+
+    def __init__(
+        self,
+        keypair: PaillierKeypair,
+        dj: DamgardJurik,
+        rng: SecureRandom | None = None,
+        leakage: LeakageLog | None = None,
+    ):
+        self._keypair = keypair
+        self.public_key = keypair.public_key
+        self.dj = dj
+        self.rng = rng or SecureRandom()
+        self.leakage = leakage or LeakageLog()
+
+    # ------------------------------------------------------------------
+    # Equality testing (S2's side of SecWorst / SecBest / SecUpdate).
+    # ------------------------------------------------------------------
+
+    def test_zero_batch(
+        self, cts: list[Ciphertext], protocol: str
+    ) -> list[LayeredCiphertext]:
+        """Decrypt each ``Enc(b)`` and return ``E2(t)`` with ``t=(b==0)``.
+
+        This is S2's loop in Algorithms 4/6/9: the incoming values are
+        outputs of the ``⊖`` operator on randomly permuted items, so each
+        decrypted value is either 0 (same object) or uniformly random.
+        S2 legitimately learns the multiset of equality bits — exactly the
+        equality-pattern leakage ``EP_d`` of Section 9 — and nothing else.
+        """
+        replies = []
+        bits = []
+        for ct in cts:
+            b = self._keypair.secret_key.decrypt(ct)
+            t = 1 if b == 0 else 0
+            bits.append(t)
+            replies.append(self.dj.encrypt(t, self.rng))
+        self.leakage.record("S2", protocol, "eq_bits", bits)
+        return replies
+
+    # ------------------------------------------------------------------
+    # RecoverEnc (Algorithm 5), S2's side.
+    # ------------------------------------------------------------------
+
+    def strip_layer_batch(
+        self, lcs: list[LayeredCiphertext], protocol: str
+    ) -> list[Ciphertext]:
+        """Decrypt the outer DJ layer of each ``E2(Enc(c + r))``.
+
+        The inner plaintexts are additively blinded by S1, so S2 observes
+        only uniformly random Paillier ciphertext *values* — no leakage
+        event is recorded beyond the batch size.
+        """
+        self.leakage.record("S2", protocol, "recover_batch", len(lcs))
+        return [self.dj.decrypt_inner(lc, self._keypair) for lc in lcs]
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (EncCompare constructions).
+    # ------------------------------------------------------------------
+
+    def blinded_sign(self, ct: Ciphertext, protocol: str) -> bool:
+        """Return whether the (blinded) signed plaintext is positive.
+
+        Used by the multiplicative-blind ``EncCompare``: the plaintext is
+        ``r * (2(b - a) + 1)`` for random ``r``, so the sign S2 learns is
+        the comparison of a coin-flipped pair — a uniform bit.  The
+        magnitude class is extra (documented) leakage of this fast
+        construction; the DGK construction avoids it.
+        """
+        value = self._keypair.secret_key.decrypt_signed(ct)
+        sign = value > 0
+        self.leakage.record("S2", protocol, "cmp_sign", sign)
+        return sign
+
+    def decrypt_masked_bit(self, ct: Ciphertext, protocol: str) -> int:
+        """Decrypt a ciphertext known to hold a coin-masked bit."""
+        bit = self._keypair.secret_key.decrypt(ct)
+        if bit not in (0, 1):
+            raise ProtocolError("masked-bit ciphertext held a non-bit value")
+        self.leakage.record("S2", protocol, "masked_bit", bit)
+        return bit
+
+    def dgk_decompose(
+        self, ct: Ciphertext, ell: int, protocol: str
+    ) -> tuple[list[Ciphertext], Ciphertext]:
+        """S2's first step of the DGK comparison.
+
+        Decrypts the additively-blinded value ``c = z + r`` (uniform given
+        the blinding), and returns encryptions of the low ``ell`` bits of
+        ``c`` plus an encryption of ``floor(c / 2**ell)``.
+        """
+        c = self._keypair.secret_key.decrypt(ct)
+        low = c % (1 << ell)
+        high = c >> ell
+        bit_cts = [
+            self.public_key.encrypt((low >> i) & 1, self.rng) for i in range(ell)
+        ]
+        self.leakage.record("S2", protocol, "dgk_blinded", None)
+        return bit_cts, self.public_key.encrypt(high, self.rng)
+
+    def dgk_any_zero(self, cts: list[Ciphertext], protocol: str) -> bool:
+        """Whether any of the (randomized, permuted) values decrypts to 0."""
+        found = any(self._keypair.secret_key.decrypt(ct) == 0 for ct in cts)
+        self.leakage.record("S2", protocol, "dgk_any_zero", found)
+        return found
+
+    # ------------------------------------------------------------------
+    # Sorting (EncSort), deduplication (SecDedup / SecDupElim) and
+    # filtering (SecFilter) are bulk operations: their S2 sides live in
+    # the respective protocol modules as functions taking the CryptoCloud,
+    # but the primitive they share is below.
+    # ------------------------------------------------------------------
+
+    def decrypt_for_protocol(self, ct: Ciphertext, protocol: str, kind: str) -> int:
+        """Decrypt one blinded value and log the observation kind.
+
+        Centralized so the leakage audit can enumerate every decryption
+        S2 ever performed and classify it.
+        """
+        value = self._keypair.secret_key.decrypt(ct)
+        self.leakage.record("S2", protocol, kind, None)
+        return value
+
+    def decrypt_signed_for_protocol(
+        self, ct: Ciphertext, protocol: str, kind: str
+    ) -> int:
+        """Signed variant of :meth:`decrypt_for_protocol`."""
+        value = self._keypair.secret_key.decrypt_signed(ct)
+        self.leakage.record("S2", protocol, kind, None)
+        return value
+
+    def fresh_encrypt(self, value: int) -> Ciphertext:
+        """A fresh Paillier encryption (S2 re-encrypting after a bulk op)."""
+        return self.public_key.encrypt(value, self.rng)
+
+
+@dataclass
+class S1Context:
+    """Everything the S1-side protocol code needs.
+
+    S1 holds only public key material; the :class:`CryptoCloud` handle
+    stands in for the network connection to S2 and every value passed to
+    it is accounted through :attr:`channel`.
+    """
+
+    public_key: PaillierPublicKey
+    dj: DamgardJurik
+    encoder: SignedEncoder
+    channel: Channel
+    s2: CryptoCloud
+    rng: SecureRandom = field(default_factory=SecureRandom)
+    leakage: LeakageLog = field(default_factory=LeakageLog)
+
+    def encrypt(self, value: int) -> Ciphertext:
+        """Encrypt a (signed) constant under the shared public key."""
+        return self.public_key.encrypt_signed(value, self.rng)
+
+    def zero(self) -> Ciphertext:
+        """A fresh ``Enc(0)``."""
+        return self.public_key.encrypt(0, self.rng)
+
+
+def make_parties(
+    keypair: PaillierKeypair,
+    encoder: SignedEncoder | None = None,
+    rng: SecureRandom | None = None,
+) -> S1Context:
+    """Wire up an S1 context talking to a fresh S2 over a fresh channel.
+
+    Convenience for tests and examples; the full scheme in
+    :mod:`repro.core` builds the parties itself.
+    """
+    rng = rng or SecureRandom()
+    dj = DamgardJurik(keypair.public_key, s=2)
+    encoder = encoder or SignedEncoder(keypair.public_key.n)
+    leakage = LeakageLog()
+    s2 = CryptoCloud(keypair, dj, rng.spawn("s2"), leakage)
+    return S1Context(
+        public_key=keypair.public_key,
+        dj=dj,
+        encoder=encoder,
+        channel=Channel(),
+        s2=s2,
+        rng=rng.spawn("s1"),
+        leakage=leakage,
+    )

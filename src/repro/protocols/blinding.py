@@ -1,0 +1,181 @@
+"""Item blinding shared by ``EncSort``, ``SecDedup`` and ``SecDupElim``.
+
+Algorithm 7 has S1 blind every component of an item with random values,
+encrypt those values under S1's *own* key ``pk'`` into a companion
+ciphertext ``H``, and let S2 add its own blinding on top (homomorphically
+extending ``H``); S1 finally decrypts ``H`` and removes the combined blind
+without ever learning which items S2 touched.
+
+Shipping one ``pk'`` ciphertext *per blinded component* would be wasteful,
+so we apply a standard optimization: each party draws one 128-bit seed per
+item, derives all component blinds from the seed with a PRF, and ships
+only ``Enc_pk'(seed)``.  The combined blind on a component is the sum of
+the per-party PRF outputs, which S1 reconstructs after decrypting both
+seeds.  (Uniformity of the blinds now rests on the PRF, which is the same
+assumption EHL already makes.)
+
+The blinder understands every field a :class:`ScoredItem` may carry:
+EHL cells, the worst/best Paillier ciphertexts, and the eager-mode
+per-list score ciphertexts and ``E2`` seen-bits (blinded modulo ``N^2``).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.damgard_jurik import DamgardJurik, LayeredCiphertext
+from repro.crypto.paillier import Ciphertext, PaillierKeypair, PaillierPublicKey
+from repro.crypto.prf import Prf
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import ProtocolError
+from repro.structures.ehl_plus import EhlPlus
+from repro.structures.items import ScoredItem
+
+# 96-bit seeds: comfortably inside every supported Paillier modulus (the
+# smallest test preset uses 128-bit moduli) while leaving blind-derivation
+# security far above the statistical parameters used elsewhere.
+SEED_BYTES = 12
+
+
+class ItemBlinder:
+    """Blind/unblind :class:`ScoredItem` objects with seed-derived masks."""
+
+    def __init__(self, public_key: PaillierPublicKey, dj: DamgardJurik):
+        self.public_key = public_key
+        self.dj = dj
+
+    # -- blind streams ---------------------------------------------------
+
+    def _stream(self, seed: bytes, index: int, modulus: int) -> int:
+        return Prf(seed).to_range(index.to_bytes(4, "big"), modulus)
+
+    def blind(self, item: ScoredItem, seed: bytes, rng: SecureRandom) -> ScoredItem:
+        """Additively blind every component; rerandomize so nothing links."""
+        return self._apply(item, seed, sign=+1, rng=rng)
+
+    def unblind(self, item: ScoredItem, seeds: list[bytes]) -> ScoredItem:
+        """Remove the blinds of all ``seeds`` (order-independent)."""
+        result = item
+        for seed in seeds:
+            result = self._apply(result, seed, sign=-1, rng=None)
+        return result
+
+    def _apply(
+        self, item: ScoredItem, seed: bytes, sign: int, rng: SecureRandom | None
+    ) -> ScoredItem:
+        n = self.public_key.n
+        n2 = self.dj.n_s
+        idx = 0
+
+        def mask_ct(ct: Ciphertext) -> Ciphertext:
+            nonlocal idx
+            blind = self._stream(seed, idx, n) * sign
+            idx += 1
+            out = ct + blind
+            return self.public_key.rerandomize(out, rng) if rng is not None else out
+
+        def mask_lc(lc: LayeredCiphertext) -> LayeredCiphertext:
+            nonlocal idx
+            blind = self._stream(seed, idx, n2) * sign
+            idx += 1
+            return lc + self.dj.encrypt(blind % n2, rng or SecureRandom())
+
+        cells = [mask_ct(c) for c in item.ehl.cells]
+        ehl = type(item.ehl)(cells)
+        worst = mask_ct(item.worst)
+        best = mask_ct(item.best)
+        list_scores = (
+            [mask_ct(c) for c in item.list_scores]
+            if item.list_scores is not None
+            else None
+        )
+        seen_bits = (
+            [mask_lc(c) for c in item.seen_bits]
+            if item.seen_bits is not None
+            else None
+        )
+        record = mask_ct(item.record) if item.record is not None else None
+        return ScoredItem(
+            ehl=ehl,
+            worst=worst,
+            best=best,
+            list_scores=list_scores,
+            seen_bits=seen_bits,
+            record=record,
+            uid=item.uid,
+        )
+
+    # -- seed transport under S1's own key pk' ---------------------------
+
+    @staticmethod
+    def seed_to_int(seed: bytes) -> int:
+        return int.from_bytes(seed, "big")
+
+    @staticmethod
+    def int_to_seed(value: int) -> bytes:
+        return value.to_bytes(SEED_BYTES, "big")
+
+    def encrypt_seed(
+        self, own_public: PaillierPublicKey, seed: bytes, rng: SecureRandom
+    ) -> Ciphertext:
+        """``Enc_pk'(seed)`` — the companion ``H`` ciphertext."""
+        return own_public.encrypt(self.seed_to_int(seed), rng)
+
+    def decrypt_seeds(
+        self, own_keypair: PaillierKeypair, h_list: list[Ciphertext]
+    ) -> list[bytes]:
+        """Recover the seed list from companion ciphertexts."""
+        seeds = []
+        for h in h_list:
+            value = own_keypair.secret_key.decrypt(h)
+            if value >= 1 << (8 * SEED_BYTES):
+                raise ProtocolError("companion ciphertext held a non-seed value")
+            seeds.append(self.int_to_seed(value))
+        return seeds
+
+    def fresh_seed(self, rng: SecureRandom) -> bytes:
+        """A fresh per-item blinding seed."""
+        return rng.randbytes(SEED_BYTES)
+
+
+def junk_item(
+    public_key: PaillierPublicKey,
+    dj: DamgardJurik,
+    template: ScoredItem,
+    sentinel: int,
+    rng: SecureRandom,
+) -> ScoredItem:
+    """A replacement item for a buried duplicate (Algorithm 7, lines 22-25).
+
+    Random object identity, worst/best pinned to the huge-negative
+    ``sentinel`` so it sorts after every legitimate candidate and never
+    blocks the halting check.  The eager-mode state is constructed so a
+    later worst/best *recomputation* also lands on the sentinel: every
+    list is marked seen (no bottom-score contribution to the upper bound)
+    and the first list slot carries the sentinel itself.
+    """
+    n = public_key.n
+    cells = [public_key.encrypt(rng.randint_below(n), rng) for _ in template.ehl.cells]
+    worst = public_key.encrypt_signed(sentinel, rng)
+    best = public_key.encrypt_signed(sentinel, rng)
+    list_scores = None
+    if template.list_scores is not None:
+        list_scores = [public_key.encrypt_signed(sentinel, rng)]
+        list_scores += [public_key.encrypt(0, rng) for _ in template.list_scores[1:]]
+    seen_bits = (
+        [dj.encrypt(1, rng) for _ in template.seen_bits]
+        if template.seen_bits is not None
+        else None
+    )
+    record = (
+        public_key.encrypt(rng.randint_below(n), rng)
+        if template.record is not None
+        else None
+    )
+    return ScoredItem(
+        ehl=type(template.ehl)(cells),
+        worst=worst,
+        best=best,
+        list_scores=list_scores,
+        seen_bits=seen_bits,
+        record=record,
+        uid=-1,
+    )

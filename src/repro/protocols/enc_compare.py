@@ -1,0 +1,192 @@
+"""``EncCompare`` — S1 learns ``f := (a <= b)`` from ``Enc(a), Enc(b)``.
+
+The paper imports this functionality from Bost et al. [11].  Two
+constructions are provided (see DESIGN.md, substitutions table):
+
+``method="blinded"`` (default for benchmarks)
+    One round.  S1 computes ``d = 2(b - a) + 1`` homomorphically (never
+    zero, sign encodes the answer), flips a private coin ``sigma`` to
+    randomize the sign, multiplies by a random positive scalar, and sends
+    the result; S2 returns the sign of the decrypted value.  S2 learns a
+    uniformly distributed sign bit plus the *magnitude* of the scaled
+    difference — documented extra leakage traded for speed.
+
+``method="dgk"`` (faithful to the cited construction)
+    The Veugen/DGK-style bitwise protocol: S1 additively blinds
+    ``z = 2^ell + b - a`` and the two parties privately compute the
+    borrow bit of ``(c mod 2^ell) - (r mod 2^ell)`` via the DGK trick
+    (randomized, permuted difference terms, one of which is zero iff the
+    comparison holds).  S2 sees only uniformly blinded values, a coin-
+    masked any-zero bit, and a coin-masked output bit.
+
+Both constructions accept *signed* inputs in
+``[-2**(ell-1), 2**(ell-1))`` — callers pass values offset-shifted into
+non-negative range internally, so the huge negative sentinel that
+``SecDedup`` assigns to buried duplicates compares correctly.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import S1Context
+from repro.exceptions import ProtocolError
+
+PROTOCOL = "EncCompare"
+
+
+def comparison_bits(ctx: S1Context) -> int:
+    """Bit-width ``ell`` used for comparisons.
+
+    Must cover legitimate aggregated scores *and* the duplicate-burial
+    sentinel ``±2**(score_bits + blind_bits)``.
+    """
+    return ctx.encoder.score_bits + ctx.encoder.blind_bits + 2
+
+
+def enc_compare(
+    ctx: S1Context,
+    enc_a: Ciphertext,
+    enc_b: Ciphertext,
+    method: str = "blinded",
+    protocol: str = PROTOCOL,
+) -> bool:
+    """Return ``a <= b`` to S1 without revealing ``a`` or ``b``."""
+    if method == "blinded":
+        return _compare_blinded(ctx, enc_a, enc_b, protocol)
+    if method == "dgk":
+        return _compare_dgk(ctx, enc_a, enc_b, protocol)
+    raise ProtocolError(f"unknown EncCompare method: {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Construction 1: multiplicative blinding (1 round).
+# ----------------------------------------------------------------------
+
+
+def _compare_blinded(
+    ctx: S1Context, enc_a: Ciphertext, enc_b: Ciphertext, protocol: str
+) -> bool:
+    ell = comparison_bits(ctx)
+    kappa = ctx.encoder.blind_bits
+    if ell + 1 + kappa + 2 >= ctx.public_key.n.bit_length():
+        raise ProtocolError("modulus too small for blinded comparison range")
+    # d = 2(b - a) + 1: strictly positive iff a <= b, never zero.
+    diff = (enc_b - enc_a) * 2 + 1
+    sigma = ctx.rng.randbits(1)
+    if sigma:
+        diff = -diff
+    scale = ctx.rng.randint(1, (1 << kappa) - 1)
+    masked = ctx.public_key.rerandomize(diff * scale, ctx.rng)
+    with ctx.channel.round(protocol):
+        ctx.channel.send(masked)
+        positive = ctx.channel.receive(ctx.s2.blinded_sign(masked, protocol))
+    # S2 reported sign of (-1)^sigma * scale * (2(b-a)+1).
+    return positive != bool(sigma)
+
+
+# ----------------------------------------------------------------------
+# Construction 2: DGK-style bitwise comparison (3 rounds).
+# ----------------------------------------------------------------------
+
+
+def _compare_dgk(
+    ctx: S1Context, enc_a: Ciphertext, enc_b: Ciphertext, protocol: str
+) -> bool:
+    ell = comparison_bits(ctx)
+    kappa = ctx.encoder.blind_bits
+    n_bits = ctx.public_key.n.bit_length()
+    if ell + kappa + 2 >= n_bits:
+        raise ProtocolError("modulus too small for DGK comparison range")
+    offset = 1 << (ell - 1)
+    # Shift both operands into [0, 2^ell); then z = 2^ell + b - a is in
+    # [1, 2^(ell+1)) and bit ell of z equals (a <= b).
+    # z = 2^ell + (b + offset) - (a + offset) = 2^ell + b - a.
+    enc_z = (enc_b - enc_a) + (1 << ell)
+    # Additively blind so S2's decryption is statistically uniform.
+    r = ctx.rng.randint_below(1 << (ell + kappa))
+    enc_c = ctx.public_key.rerandomize(enc_z + r, ctx.rng)
+
+    with ctx.channel.round(protocol):
+        ctx.channel.send(enc_c)
+        bit_cts, enc_high = ctx.channel.receive(
+            ctx.s2.dgk_decompose(enc_c, ell, protocol)
+        )
+
+    # DGK core: decide borrow = ((c mod 2^ell) < (r mod 2^ell)) where S1
+    # knows r-hat = r mod 2^ell and S2 supplied encrypted bits of
+    # c-hat = c mod 2^ell.
+    r_hat = r % (1 << ell)
+    delta = ctx.rng.randbits(1)
+    terms = _dgk_terms(ctx, bit_cts, r_hat, ell, delta)
+    ctx.rng.shuffle(terms)
+    with ctx.channel.round(protocol):
+        ctx.channel.send(terms)
+        any_zero = ctx.channel.receive(ctx.s2.dgk_any_zero(terms, protocol))
+    if delta == 0:
+        borrow = 1 if any_zero else 0          # any_zero <=> c-hat < r-hat
+    else:
+        borrow = 0 if any_zero else 1          # any_zero <=> r-hat <= c-hat
+
+    # Bit ell of z equals high(c) - high(r) - borrow, a value in {0, 1}.
+    r_high = r >> ell
+    enc_f = enc_high - r_high - borrow
+    # Reveal f to S1 via a coin-masked decryption by S2.
+    gamma = ctx.rng.randbits(1)
+    if gamma:
+        enc_f = ctx.encrypt(1) - enc_f
+    enc_f = ctx.public_key.rerandomize(enc_f, ctx.rng)
+    with ctx.channel.round(protocol):
+        ctx.channel.send(enc_f)
+        masked_bit = ctx.channel.receive(ctx.s2.decrypt_masked_bit(enc_f, protocol))
+    return bool(masked_bit ^ gamma)
+
+
+def _dgk_terms(
+    ctx: S1Context,
+    bit_cts: list[Ciphertext],
+    r_hat: int,
+    ell: int,
+    delta: int,
+) -> list[Ciphertext]:
+    """Build the randomized DGK difference terms.
+
+    With ``delta = 0`` some term is zero iff ``c_hat < r_hat``;
+    with ``delta = 1`` some term is zero iff ``r_hat <= c_hat`` (the extra
+    all-bits-equal term covers equality).
+    """
+    n = ctx.public_key.n
+    terms: list[Ciphertext] = []
+    # xor_i = c_i XOR r_i, homomorphically: c_i + r_i - 2 r_i c_i.
+    xors: list[Ciphertext] = []
+    for i in range(ell):
+        r_i = (r_hat >> i) & 1
+        if r_i == 0:
+            xors.append(bit_cts[i])
+        else:
+            xors.append(ctx.encrypt(1) - bit_cts[i])
+
+    # suffix_sum[i] = sum_{j > i} xor_j
+    suffix = ctx.zero()
+    suffix_sums: list[Ciphertext] = [None] * ell
+    for i in range(ell - 1, -1, -1):
+        suffix_sums[i] = suffix
+        suffix = suffix + xors[i]
+    total_xor = suffix  # sum over all bit positions
+
+    for i in range(ell):
+        r_i = (r_hat >> i) & 1
+        if delta == 0:
+            # zero iff c_i = 0, r_i = 1 and all higher bits equal.
+            core = bit_cts[i] - r_i + 1
+        else:
+            # zero iff r_i = 0, c_i = 1 and all higher bits equal.
+            core = (-bit_cts[i]) + r_i + 1
+        term = core + suffix_sums[i] * 3
+        scale = ctx.rng.rand_nonzero(n)
+        terms.append(ctx.public_key.rerandomize(term * scale, ctx.rng))
+
+    if delta == 1:
+        # Equality term: zero iff all bits equal (c_hat == r_hat).
+        scale = ctx.rng.rand_nonzero(n)
+        terms.append(ctx.public_key.rerandomize(total_xor * scale, ctx.rng))
+    return terms

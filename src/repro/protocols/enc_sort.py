@@ -1,0 +1,328 @@
+"""``EncSort`` — sort encrypted items by an encrypted key with S2's help.
+
+The paper imports this building block from Baldimtsi–Ohrimenko (FC 2014):
+S1 holds encrypted key/value pairs, S2 holds the secret key, and S1 ends
+up with a *freshly encrypted* list sorted by key, learning nothing about
+the order of the original items.  Two constructions are provided (see
+DESIGN.md, substitutions table):
+
+``method="affine"`` (default)
+    One round, O(n) communication.  S1 order-preservingly blinds every
+    sort key with a shared secret affine map ``k -> r*k + s`` (``r > 0``),
+    blinds all other components with per-item seeds, randomly permutes the
+    list, and ships it.  S2 decrypts the blinded keys, sorts, re-encrypts
+    the keys freshly, adds its own seed-blinding to the payloads (so S1
+    cannot link output positions back to inputs), and returns the sorted
+    list.  S2's leakage: the multiset of affinely-scaled key values of a
+    randomly permuted list.
+
+``method="network"``
+    A Batcher odd-even merge sorting network; each compare-exchange gate
+    sends a coin-pre-swapped, per-gate affine-blinded pair to S2, which
+    returns the pair ordered and re-blinded.  Gates in the same network
+    layer share a communication round.  S2's per-gate leakage is a single
+    uniformly-distributed order bit.
+
+Both return fresh, unlinkable encryptions, which is the only property
+``SecQuery`` relies on (Section 8.1).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.exceptions import ProtocolError
+from repro.protocols.base import CryptoCloud, S1Context
+from repro.protocols.blinding import ItemBlinder
+from repro.structures.items import ScoredItem
+
+PROTOCOL = "EncSort"
+
+
+def enc_sort(
+    ctx: S1Context,
+    items: list[ScoredItem],
+    own_keypair: PaillierKeypair,
+    descending: bool = True,
+    method: str = "affine",
+    key: str = "worst",
+    protocol: str = PROTOCOL,
+) -> list[ScoredItem]:
+    """Sort ``items`` by the encrypted ``key`` attribute.
+
+    ``own_keypair`` is S1's private key pair ``(pk', sk')`` used only to
+    transport blinding seeds (Algorithm 7 uses the same device).
+    """
+    if key not in ("worst", "best"):
+        raise ProtocolError(f"unsupported sort key: {key!r}")
+    if len(items) <= 1:
+        return list(items)
+    if method == "affine":
+        return _sort_affine(ctx, items, own_keypair, descending, key, protocol)
+    if method == "network":
+        return _sort_network(ctx, items, own_keypair, descending, key, protocol)
+    raise ProtocolError(f"unknown EncSort method: {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by both constructions.
+# ----------------------------------------------------------------------
+
+
+def _affine_params(ctx: S1Context) -> tuple[int, int]:
+    """An order-preserving blinding map ``k -> r*k + s`` that cannot wrap.
+
+    Keys are signed values bounded by the sentinel magnitude
+    ``2**(score_bits + blind_bits)``; with ``r`` of ``blind_bits`` bits and
+    ``s`` of similar size the image stays well inside ``(-N/2, N/2)``.
+    """
+    kappa = ctx.encoder.blind_bits
+    r = ctx.rng.randint(1 << (kappa - 1), (1 << kappa) - 1)
+    s = ctx.rng.randint_below(1 << kappa)
+    magnitude_bits = ctx.encoder.score_bits + ctx.encoder.blind_bits + 1 + kappa + 2
+    if magnitude_bits >= ctx.public_key.n.bit_length():
+        raise ProtocolError("modulus too small for affine key blinding")
+    return r, s
+
+
+def _get_key(item: ScoredItem, key: str) -> Ciphertext:
+    return item.worst if key == "worst" else item.best
+
+
+# ----------------------------------------------------------------------
+# Construction 1: affine blind-and-permute (1 round).
+# ----------------------------------------------------------------------
+
+
+def _sort_affine(
+    ctx: S1Context,
+    items: list[ScoredItem],
+    own_keypair: PaillierKeypair,
+    descending: bool,
+    key: str,
+    protocol: str,
+) -> list[ScoredItem]:
+    blinder = ItemBlinder(ctx.public_key, ctx.dj)
+    r, s = _affine_params(ctx)
+
+    blinded_keys: list[Ciphertext] = []
+    blinded_items: list[ScoredItem] = []
+    companions: list[Ciphertext] = []
+    for item in items:
+        blinded_keys.append(
+            ctx.public_key.rerandomize(_get_key(item, key) * r + s, ctx.rng)
+        )
+        seed = blinder.fresh_seed(ctx.rng)
+        blinded_items.append(blinder.blind(item, seed, ctx.rng))
+        companions.append(blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng))
+
+    order = ctx.rng.permutation(len(items))
+    blinded_keys = [blinded_keys[i] for i in order]
+    blinded_items = [blinded_items[i] for i in order]
+    companions = [companions[i] for i in order]
+
+    with ctx.channel.round(protocol):
+        ctx.channel.send(blinded_keys, blinded_items, companions)
+        keys_out, items_out, comps_out = ctx.channel.receive(
+            *_s2_sort_affine(
+                ctx.s2,
+                own_keypair.public_key,
+                blinded_keys,
+                blinded_items,
+                companions,
+                descending,
+                protocol,
+            )
+        )
+
+    result: list[ScoredItem] = []
+    for key_ct, item, comp_pair in zip(keys_out, items_out, comps_out):
+        seeds = blinder.decrypt_seeds(own_keypair, list(comp_pair))
+        clean = blinder.unblind(item, seeds)
+        # Recover the sort key from the affine transport: (k' - s) / r.
+        r_inv = pow(r, -1, ctx.public_key.n)
+        recovered = (key_ct - s) * r_inv
+        if key == "worst":
+            clean.worst = recovered
+        else:
+            clean.best = recovered
+        result.append(clean)
+    return result
+
+
+def _s2_sort_affine(
+    s2: CryptoCloud,
+    own_public,
+    blinded_keys: list[Ciphertext],
+    blinded_items: list[ScoredItem],
+    companions: list[Ciphertext],
+    descending: bool,
+    protocol: str,
+):
+    """S2's side of the affine construction."""
+    blinder = ItemBlinder(s2.public_key, s2.dj)
+    decorated = []
+    for key_ct, item, comp in zip(blinded_keys, blinded_items, companions):
+        value = s2.decrypt_signed_for_protocol(key_ct, protocol, "sort_key_blinded")
+        decorated.append((value, item, comp))
+    decorated.sort(key=lambda t: t[0], reverse=descending)
+    s2.leakage.record("S2", protocol, "sort_size", len(decorated))
+
+    keys_out: list[Ciphertext] = []
+    items_out: list[ScoredItem] = []
+    comps_out: list[tuple[Ciphertext, Ciphertext]] = []
+    for value, item, comp in decorated:
+        keys_out.append(s2.fresh_encrypt(value % s2.public_key.n))
+        seed2 = blinder.fresh_seed(s2.rng)
+        items_out.append(blinder.blind(item, seed2, s2.rng))
+        comps_out.append((comp, blinder.encrypt_seed(own_public, seed2, s2.rng)))
+    return keys_out, items_out, comps_out
+
+
+# ----------------------------------------------------------------------
+# Construction 2: Batcher odd-even merge network.
+# ----------------------------------------------------------------------
+
+
+def batcher_network(n: int) -> list[list[tuple[int, int]]]:
+    """Comparator layers of a Batcher odd-even merge sort for ``n`` inputs.
+
+    Returns a list of layers; each layer is a list of ``(i, j)`` index
+    pairs with ``i < j`` that can be compared in parallel (one
+    communication round per layer).
+    """
+    gates: list[tuple[int, int]] = []
+
+    def oddeven_merge(lo: int, m: int, step: int) -> None:
+        double = step * 2
+        if double < m:
+            oddeven_merge(lo, m, double)
+            oddeven_merge(lo + step, m, double)
+            for i in range(lo + step, lo + m - step, double):
+                gates.append((i, i + step))
+        else:
+            gates.append((lo, lo + step))
+
+    def oddeven_sort(lo: int, m: int) -> None:
+        if m > 1:
+            half = m // 2
+            oddeven_sort(lo, half)
+            oddeven_sort(lo + half, half)
+            oddeven_merge(lo, m, 1)
+
+    padded = 1
+    while padded < n:
+        padded *= 2
+    oddeven_sort(0, padded)
+
+    # Drop gates touching padding slots, then greedily pack into layers of
+    # disjoint indices (preserving gate order dependencies).
+    layers: list[list[tuple[int, int]]] = []
+    busy: list[set[int]] = []
+    for (i, j) in gates:
+        if j >= n:
+            continue
+        placed = False
+        for depth in range(len(layers) - 1, -1, -1):
+            if i in busy[depth] or j in busy[depth]:
+                target = depth + 1
+                if target == len(layers):
+                    layers.append([])
+                    busy.append(set())
+                layers[target].append((i, j))
+                busy[target].update((i, j))
+                placed = True
+                break
+        if not placed:
+            if not layers:
+                layers.append([])
+                busy.append(set())
+            layers[0].append((i, j))
+            busy[0].update((i, j))
+    return layers
+
+
+def _sort_network(
+    ctx: S1Context,
+    items: list[ScoredItem],
+    own_keypair: PaillierKeypair,
+    descending: bool,
+    key: str,
+    protocol: str,
+) -> list[ScoredItem]:
+    working = [item.clone_shallow() for item in items]
+    blinder = ItemBlinder(ctx.public_key, ctx.dj)
+
+    for layer in batcher_network(len(working)):
+        with ctx.channel.round(protocol):
+            plan = []
+            payload = []
+            for (i, j) in layer:
+                r, s = _affine_params(ctx)
+                swap = bool(ctx.rng.randbits(1))
+                a, b = (j, i) if swap else (i, j)
+                pair_keys = []
+                pair_items = []
+                pair_comps = []
+                for idx in (a, b):
+                    pair_keys.append(
+                        ctx.public_key.rerandomize(
+                            _get_key(working[idx], key) * r + s, ctx.rng
+                        )
+                    )
+                    seed = blinder.fresh_seed(ctx.rng)
+                    pair_items.append(blinder.blind(working[idx], seed, ctx.rng))
+                    pair_comps.append(
+                        blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng)
+                    )
+                plan.append((i, j, r, s, swap))
+                payload.append((pair_keys, pair_items, pair_comps))
+            ctx.channel.send([p[0] + p[1] + p[2] for p in payload])
+            replies = ctx.channel.receive(
+                [
+                    _s2_gate(ctx.s2, own_keypair.public_key, *entry, descending, protocol)
+                    for entry in payload
+                ]
+            )
+        for (i, j, r, s, swap), reply in zip(plan, replies):
+            keys_out, items_out, comps_out = reply
+            r_inv = pow(r, -1, ctx.public_key.n)
+            cleaned = []
+            for key_ct, item, comp_pair in zip(keys_out, items_out, comps_out):
+                clean = blinder.unblind(item, blinder.decrypt_seeds(own_keypair, list(comp_pair)))
+                recovered = (key_ct - s) * r_inv
+                if key == "worst":
+                    clean.worst = recovered
+                else:
+                    clean.best = recovered
+                cleaned.append(clean)
+            working[i], working[j] = cleaned[0], cleaned[1]
+    return working
+
+
+def _s2_gate(
+    s2: CryptoCloud,
+    own_public,
+    pair_keys,
+    pair_items,
+    pair_comps,
+    descending: bool,
+    protocol: str,
+):
+    """S2's side of one compare-exchange gate."""
+    blinder = ItemBlinder(s2.public_key, s2.dj)
+    values = [
+        s2.decrypt_signed_for_protocol(k, protocol, "gate_key_blinded")
+        for k in pair_keys
+    ]
+    order = [0, 1]
+    if (values[0] < values[1]) == descending:
+        order = [1, 0]
+    s2.leakage.record("S2", protocol, "gate_bit", order[0])
+
+    keys_out, items_out, comps_out = [], [], []
+    for idx in order:
+        keys_out.append(s2.fresh_encrypt(values[idx] % s2.public_key.n))
+        seed2 = blinder.fresh_seed(s2.rng)
+        items_out.append(blinder.blind(pair_items[idx], seed2, s2.rng))
+        comps_out.append((pair_comps[idx], blinder.encrypt_seed(own_public, seed2, s2.rng)))
+    return keys_out, items_out, comps_out

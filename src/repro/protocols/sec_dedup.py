@@ -1,0 +1,194 @@
+"""``SecDedup`` — oblivious duplicate burial (Algorithm 7 + ``Rand``).
+
+The same object can surface in several sorted lists at the same depth; S1
+cannot detect this because everything is probabilistically encrypted.
+``SecDedup`` lets S2 find the duplicate groups from a *permuted* pairwise
+equality matrix and neutralize all but one member of each group, without
+S1 learning which items were touched:
+
+1. S1 fills the upper triangle of the symmetric matrix
+   ``B_{ij} = EHL(o_i) ⊖ EHL(o_j)``, blinds every item component with a
+   per-item seed, encrypts the seed under S1's own key ``pk'`` into the
+   companion ciphertext ``H_i``, applies a random permutation ``π`` to
+   matrix, items and companions, and ships everything.
+2. S2 decrypts the matrix entries (learning the equality pattern ``EP_d``
+   of a permuted list — the declared ``L2`` leakage), groups duplicates by
+   union-find, keeps the lowest-``rank`` member of each group and replaces
+   the rest with *junk*: fresh random identity, worst/best pinned to the
+   huge-negative sentinel so they sort last and never block halting.
+   Every outgoing item (kept or junk) is re-blinded with a fresh seed and
+   its companion extended to the uniform shape ``(H_a, H_b)``, so S1
+   cannot distinguish replaced items.  S2 permutes with its own ``π'`` and
+   returns.
+3. S1 decrypts both companion seeds per item and unblinds.
+
+``ranks`` bias which group member survives; ``SecUpdate`` uses them to
+make sure the accumulated candidate (not the freshly appended duplicate)
+is the copy that is kept.  The ranks are sent in the clear, which reveals
+to S2 how duplicate groups split between old and new items — leakage of
+the same granularity as ``EP_d`` (recorded in the leakage log and
+documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.exceptions import ProtocolError
+from repro.protocols.base import CryptoCloud, S1Context
+from repro.protocols.blinding import ItemBlinder, junk_item
+from repro.structures.items import ScoredItem
+
+PROTOCOL = "SecDedup"
+
+
+class _UnionFind:
+    """Union-find over ``range(n)`` for duplicate grouping."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def groups(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {}
+        for i in range(len(self.parent)):
+            out.setdefault(self.find(i), []).append(i)
+        return out
+
+
+def _prepare(
+    ctx: S1Context,
+    items: list[ScoredItem],
+    ranks: list[int],
+    own_keypair: PaillierKeypair,
+):
+    """S1's blinding + permutation stage shared with ``SecDupElim``."""
+    blinder = ItemBlinder(ctx.public_key, ctx.dj)
+    l = len(items)
+    order = ctx.rng.permutation(l)
+    permuted = [items[i] for i in order]
+    permuted_ranks = [ranks[i] for i in order]
+
+    matrix: list[Ciphertext] = []
+    for i in range(l):
+        for j in range(i + 1, l):
+            matrix.append(permuted[i].ehl.minus(permuted[j].ehl, ctx.rng))
+
+    blinded: list[ScoredItem] = []
+    companions: list[Ciphertext] = []
+    for item in permuted:
+        seed = blinder.fresh_seed(ctx.rng)
+        blinded.append(blinder.blind(item, seed, ctx.rng))
+        companions.append(blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng))
+    return blinder, matrix, blinded, companions, permuted_ranks
+
+
+def sec_dedup(
+    ctx: S1Context,
+    items: list[ScoredItem],
+    own_keypair: PaillierKeypair,
+    ranks: list[int] | None = None,
+    protocol: str = PROTOCOL,
+) -> list[ScoredItem]:
+    """Return a same-length list with duplicate objects buried as junk."""
+    if len(items) <= 1:
+        return list(items)
+    ranks = ranks if ranks is not None else [0] * len(items)
+    if len(ranks) != len(items):
+        raise ProtocolError("ranks/items length mismatch")
+
+    blinder, matrix, blinded, companions, permuted_ranks = _prepare(
+        ctx, items, ranks, own_keypair
+    )
+    with ctx.channel.round(protocol):
+        ctx.channel.send(matrix, blinded, companions, permuted_ranks)
+        items_out, comps_out = ctx.channel.receive(
+            *_s2_dedup(
+                ctx.s2,
+                own_keypair.public_key,
+                matrix,
+                blinded,
+                companions,
+                permuted_ranks,
+                sentinel=-ctx.encoder.sentinel,
+                eliminate=False,
+                protocol=protocol,
+            )
+        )
+    return [
+        blinder.unblind(item, blinder.decrypt_seeds(own_keypair, list(comp)))
+        for item, comp in zip(items_out, comps_out)
+    ]
+
+
+def _s2_dedup(
+    s2: CryptoCloud,
+    own_public,
+    matrix: list[Ciphertext],
+    blinded: list[ScoredItem],
+    companions: list[Ciphertext],
+    ranks: list[int],
+    sentinel: int,
+    eliminate: bool,
+    protocol: str,
+):
+    """S2's side, shared by ``SecDedup`` (bury) and ``SecDupElim`` (drop)."""
+    blinder = ItemBlinder(s2.public_key, s2.dj)
+    l = len(blinded)
+    uf = _UnionFind(l)
+    idx = 0
+    for i in range(l):
+        for j in range(i + 1, l):
+            b = s2.decrypt_for_protocol(matrix[idx], protocol, "dedup_matrix")
+            if b == 0:
+                uf.union(i, j)
+            idx += 1
+
+    groups = uf.groups()
+    s2.leakage.record(
+        "S2", protocol, "dedup_groups", sorted(len(g) for g in groups.values())
+    )
+
+    survivors: set[int] = set()
+    for members in groups.values():
+        keeper = min(members, key=lambda i: (ranks[i], i))
+        survivors.add(keeper)
+
+    items_out: list[ScoredItem] = []
+    comps_out: list[tuple[Ciphertext, Ciphertext]] = []
+    for i in range(l):
+        if i in survivors:
+            seed2 = blinder.fresh_seed(s2.rng)
+            items_out.append(blinder.blind(blinded[i], seed2, s2.rng))
+            comps_out.append(
+                (companions[i], blinder.encrypt_seed(own_public, seed2, s2.rng))
+            )
+        elif not eliminate:
+            junk = junk_item(s2.public_key, s2.dj, blinded[i], sentinel, s2.rng)
+            seed_a = blinder.fresh_seed(s2.rng)
+            seed_b = blinder.fresh_seed(s2.rng)
+            junk = blinder.blind(junk, seed_a, s2.rng)
+            junk = blinder.blind(junk, seed_b, s2.rng)
+            items_out.append(junk)
+            comps_out.append(
+                (
+                    blinder.encrypt_seed(own_public, seed_a, s2.rng),
+                    blinder.encrypt_seed(own_public, seed_b, s2.rng),
+                )
+            )
+        # eliminate=True simply drops the duplicate.
+
+    if eliminate:
+        s2.leakage.record("S2", protocol, "unique_count", len(items_out))
+
+    order = s2.rng.permutation(len(items_out))
+    return [items_out[i] for i in order], [comps_out[i] for i in order]

@@ -1,0 +1,140 @@
+"""``SecUpdate`` — merge a depth's results into the candidate list
+(Algorithm 9).
+
+``T`` is the running encrypted candidate list with global worst/best
+scores; ``Γ^d`` holds the current depth's items with their *per-depth*
+worst scores (from ``SecWorst``) and fresh best scores (from ``SecBest``).
+For every pair ``(Γ_i, T_j)`` the clouds run the equality test; with the
+resulting ``E2(t_ij)`` S1 updates homomorphically:
+
+* ``W_j += Σ_i t_ij · W_i``   — accumulate the matched depth contribution;
+* ``B_j  = Σ_i t_ij · B_i + (1 − Σ_i t_ij) · B_j``  — refresh the upper
+  bound when the object resurfaced (line 8);
+* ``W'_i = (1 − Σ_j t_ij) · W_i`` and the same for ``B'_i`` — neutralize
+  the Γ copy that was merged into an existing candidate (our reading of
+  the line-10 typo; DESIGN.md discusses the deviation).
+
+All neutralized Γ items are appended anyway (S1 cannot branch on the
+encrypted match bit) and the trailing ``SecDedup``/``SecDupElim`` pass
+buries or removes them, with ranks biased so the accumulated ``T`` copy
+survives (Algorithm 9, line 13).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.damgard_jurik import (
+    LayeredCiphertext,
+    layered_one_hot_select,
+)
+from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.protocols.base import S1Context
+from repro.protocols.recover_enc import recover_enc_batch
+from repro.protocols.sec_dedup import sec_dedup
+from repro.protocols.sec_dup_elim import sec_dup_elim
+from repro.structures.items import ScoredItem
+
+PROTOCOL = "SecUpdate"
+
+
+def sec_update(
+    ctx: S1Context,
+    t_list: list[ScoredItem],
+    gamma: list[ScoredItem],
+    own_keypair: PaillierKeypair,
+    eliminate: bool = False,
+    protocol: str = PROTOCOL,
+) -> list[ScoredItem]:
+    """Merge ``gamma`` into ``t_list`` and return the new candidate list."""
+    if not t_list:
+        merged = [g.clone_shallow() for g in gamma]
+        return _final_dedup(ctx, merged, [1] * len(merged), own_keypair, eliminate, protocol)
+    if not gamma:
+        return list(t_list)
+
+    order = ctx.rng.permutation(len(gamma))
+    permuted_gamma = [gamma[i] for i in order]
+
+    # One equality round for the full |Γ| x |T| grid.
+    with ctx.channel.round(protocol):
+        flat: list[Ciphertext] = []
+        for g_item in permuted_gamma:
+            for t_item in t_list:
+                flat.append(g_item.ehl.minus(t_item.ehl, ctx.rng))
+        ctx.channel.send(flat)
+        bits_flat = ctx.channel.receive(ctx.s2.test_zero_batch(flat, protocol))
+
+    n_t = len(t_list)
+    bits: list[list[LayeredCiphertext]] = [
+        bits_flat[i * n_t : (i + 1) * n_t] for i in range(len(permuted_gamma))
+    ]
+
+    dj = ctx.dj
+    zero_ct = ctx.zero()
+
+    # --- update T entries -------------------------------------------------
+    layered_batch: list = []
+    plans: list[tuple[str, int]] = []
+    for j, t_item in enumerate(t_list):
+        column = [bits[i][j] for i in range(len(permuted_gamma))]
+        # Worst increment: the matched Γ item's depth-worst, else 0.
+        layered_batch.append(
+            layered_one_hot_select(
+                dj, column, [g.worst for g in permuted_gamma], zero_ct
+            )
+        )
+        plans.append(("w_inc", j))
+        # Best refresh: matched -> Γ's best, else keep the old best.
+        layered_batch.append(
+            layered_one_hot_select(
+                dj, column, [g.best for g in permuted_gamma], t_item.best
+            )
+        )
+        plans.append(("b_new", j))
+
+    # --- neutralize merged Γ copies ---------------------------------------
+    for i, g_item in enumerate(permuted_gamma):
+        matched = None
+        for j in range(n_t):
+            bit = bits[i][j]
+            matched = bit if matched is None else matched + bit
+        # matched -> Enc(0), unmatched -> keep own worst/best.
+        layered_batch.append(
+            layered_one_hot_select(dj, [matched], [zero_ct], g_item.worst)
+        )
+        plans.append(("g_w", i))
+        layered_batch.append(
+            layered_one_hot_select(dj, [matched], [zero_ct], g_item.best)
+        )
+        plans.append(("g_b", i))
+
+    recovered = recover_enc_batch(ctx, layered_batch, protocol)
+
+    new_t: list[ScoredItem] = [t.clone_shallow() for t in t_list]
+    new_gamma: list[ScoredItem] = [g.clone_shallow() for g in permuted_gamma]
+    for (kind, idx), ct in zip(plans, recovered):
+        if kind == "w_inc":
+            new_t[idx].worst = new_t[idx].worst + ct
+        elif kind == "b_new":
+            new_t[idx].best = ct
+        elif kind == "g_w":
+            new_gamma[idx].worst = ct
+        else:
+            new_gamma[idx].best = ct
+
+    merged = new_t + new_gamma
+    ranks = [0] * len(new_t) + [1] * len(new_gamma)
+    return _final_dedup(ctx, merged, ranks, own_keypair, eliminate, protocol)
+
+
+def _final_dedup(
+    ctx: S1Context,
+    merged: list[ScoredItem],
+    ranks: list[int],
+    own_keypair: PaillierKeypair,
+    eliminate: bool,
+    protocol: str,
+) -> list[ScoredItem]:
+    with ctx.channel.protocol(protocol):
+        if eliminate:
+            return sec_dup_elim(ctx, merged, own_keypair, ranks)
+        return sec_dedup(ctx, merged, own_keypair, ranks)

@@ -1,0 +1,65 @@
+"""``SecWorst`` — encrypted per-depth worst score (Algorithm 4).
+
+S1 holds one encrypted item ``E(I) = ⟨EHL(o), Enc(x)⟩`` and the set ``H``
+of the other lists' items at the *current depth*.  The protocol gives S1
+``Enc(W)`` where ``W = x + Σ { x_j : o_j = o }`` — the sum of this
+object's scores over every list where it appears at this depth.
+
+Accumulated over depths by ``SecUpdate``, these per-depth partial sums
+reproduce the NRA lower bound ``W^d(o)`` (the sum of all *seen* scores),
+because each object occurs exactly once per sorted list.
+
+Flow (one equality round + one ``RecoverEnc`` round, batched):
+
+1. S1 permutes ``H``, computes ``Enc(b_j) = EHL(o) ⊖ EHL(o_j)`` and sends
+   the batch to S2.
+2. S2 decrypts each ``b_j`` and returns ``E2(t_j)`` with
+   ``t_j = (b_j == 0)`` — the equality-pattern leakage ``EP_d``.
+3. S1 selects scores homomorphically,
+   ``E2(Enc(x'_j)) = E2(t_j)^{Enc(x_j)} · (E2(1) E2(t_j)^{-1})^{Enc(0)}``,
+   strips the layer with ``RecoverEnc`` and sums:
+   ``Enc(W) = Enc(x) · Π_j Enc(x'_j)``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.damgard_jurik import layered_select
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import S1Context
+from repro.protocols.recover_enc import recover_enc_batch
+from repro.structures.items import EncryptedItem
+
+PROTOCOL = "SecWorst"
+
+
+def sec_worst(
+    ctx: S1Context,
+    item: EncryptedItem,
+    others: list[EncryptedItem],
+    protocol: str = PROTOCOL,
+) -> Ciphertext:
+    """Return ``Enc(W)`` for ``item`` given the depth's other items."""
+    if not others:
+        return ctx.public_key.rerandomize(item.score, ctx.rng)
+
+    order = ctx.rng.permutation(len(others))
+    permuted = [others[i] for i in order]
+
+    with ctx.channel.round(protocol):
+        equality_cts = [
+            item.ehl.minus(other.ehl, ctx.rng) for other in permuted
+        ]
+        ctx.channel.send(equality_cts)
+        bits = ctx.channel.receive(ctx.s2.test_zero_batch(equality_cts, protocol))
+
+    zero = ctx.zero()
+    selected = [
+        layered_select(ctx.dj, bit, other.score, zero)
+        for bit, other in zip(bits, permuted)
+    ]
+    scores = recover_enc_batch(ctx, selected, protocol)
+
+    worst = item.score
+    for score in scores:
+        worst = worst + score
+    return ctx.public_key.rerandomize(worst, ctx.rng)

@@ -1,0 +1,29 @@
+"""Encrypted data structures: Bloom filters, EHL and EHL+ (Section 5).
+
+* :mod:`repro.structures.bloom` — the plaintext Bloom filter that is the
+  combinatorial core of EHL, plus the false-positive-rate analysis of
+  Section 5.
+* :mod:`repro.structures.ehl` — the bit-list Encrypted Hash List.
+* :mod:`repro.structures.ehl_plus` — the compact EHL+ variant hashing into
+  ``Z_N``.
+* :mod:`repro.structures.items` — the encrypted item containers
+  ``E(I) = ⟨EHL(o), Enc(x)⟩`` and ``(EHL(o), Enc(W), Enc(B))`` that the
+  sorted lists and the candidate list ``T`` are made of.
+"""
+
+from repro.structures.bloom import BloomFilter, bloom_false_positive_rate, optimal_hash_count
+from repro.structures.ehl import Ehl, EhlFactory
+from repro.structures.ehl_plus import EhlPlus, EhlPlusFactory
+from repro.structures.items import EncryptedItem, ScoredItem
+
+__all__ = [
+    "BloomFilter",
+    "bloom_false_positive_rate",
+    "optimal_hash_count",
+    "Ehl",
+    "EhlFactory",
+    "EhlPlus",
+    "EhlPlusFactory",
+    "EncryptedItem",
+    "ScoredItem",
+]

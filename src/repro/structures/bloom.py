@@ -1,0 +1,82 @@
+"""Plaintext Bloom filter and the EHL false-positive analysis of Section 5.
+
+The EHL construction "is indeed a probabilistically encrypted Bloom filter
+except that we use one list for each object and encrypt each bit in the
+list".  This module provides the plaintext combinatorial object so that
+
+* the encrypted structure can delegate its hashing logic here, and
+* the false-positive-rate formulas of Section 5 can be property-tested
+  against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.prf import Prf, encode_object_id
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter keyed by a family of PRFs.
+
+    Unlike a classic Bloom filter that accumulates many elements, the EHL
+    usage pattern inserts a *single* object per filter and compares filters
+    for equality; :meth:`positions` exposes the hashed index set that the
+    encrypted structure encrypts bit-by-bit.
+    """
+
+    def __init__(self, size: int, prfs: list[Prf]):
+        if size < 1:
+            raise ValueError("Bloom filter size must be positive")
+        if not prfs:
+            raise ValueError("at least one PRF is required")
+        self.size = size
+        self.prfs = prfs
+        self.bits = [0] * size
+
+    def positions(self, item) -> list[int]:
+        """The (possibly colliding) hash positions of ``item``."""
+        message = encode_object_id(item)
+        return [prf.to_bit_position(message, self.size) for prf in self.prfs]
+
+    def add(self, item) -> None:
+        """Insert ``item``."""
+        for pos in self.positions(item):
+            self.bits[pos] = 1
+
+    def __contains__(self, item) -> bool:
+        return all(self.bits[pos] for pos in self.positions(item))
+
+    def bit_vector(self, item) -> list[int]:
+        """The length-``size`` 0/1 vector for a single item (EHL layout)."""
+        vector = [0] * self.size
+        for pos in self.positions(item):
+            vector[pos] = 1
+        return vector
+
+
+def optimal_hash_count(size: int, n_items: int) -> int:
+    """The FPR-minimizing number of hash functions ``s = (H/n) ln 2``.
+
+    Section 5: "we can choose the number of hash functions HMAC s to be
+    (H/n) ln 2 to minimize the false positive rate".
+    """
+    if size < 1 or n_items < 1:
+        raise ValueError("size and n_items must be positive")
+    return max(1, round(size / n_items * math.log(2)))
+
+
+def bloom_false_positive_rate(size: int, n_hashes: int, n_items: int) -> float:
+    """Classic Bloom FPR ``(1 - e^{-s*n/H})^s`` (Section 5)."""
+    return (1.0 - math.exp(-n_hashes * n_items / size)) ** n_hashes
+
+
+def ehl_plus_false_positive_bound(modulus: int, n_hashes: int, n_items: int) -> float:
+    """EHL+ union-bound FPR ``n^2 / N^s`` (Section 5).
+
+    Two distinct objects collide only if all ``s`` HMAC values agree mod
+    ``N``; the union bound over all pairs gives ``C(n,2)/N^s <= n^2/N^s``.
+    """
+    log_bound = 2 * math.log(max(n_items, 1)) - n_hashes * math.log(modulus)
+    # Guard against underflow: anything below e^-700 is effectively zero.
+    return math.exp(log_bound) if log_bound > -700 else 0.0

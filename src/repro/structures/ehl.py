@@ -1,0 +1,128 @@
+"""The Encrypted Hash List (EHL) of Section 5.
+
+To encode an object ``o``:
+
+1. hash ``o`` with ``s`` keyed PRFs into a length-``H`` bit list
+   (a single-object Bloom filter), and
+2. encrypt every bit with Paillier.
+
+Two EHLs support the randomized homomorphic equality operator
+
+.. math::
+
+   EHL(x) \\ominus EHL(y) \\;=\\; \\prod_{i=0}^{H-1}
+       \\bigl(EHL(x)[i] \\cdot EHL(y)[i]^{-1}\\bigr)^{r_i}
+
+which encrypts ``0`` iff the two bit lists agree (Lemma 5.2) and a value
+statistically close to uniform in ``Z_N`` otherwise.  A false ``Enc(0)``
+occurs only when two distinct objects hash to the identical position set —
+the Bloom-filter false-positive event analysed in
+:mod:`repro.structures.bloom`.
+
+The compact variant EHL+ lives in :mod:`repro.structures.ehl_plus`; both
+expose the same ``minus`` interface so the protocols are agnostic to which
+one the database was encrypted with.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.crypto.prf import Prf, derive_keys, encode_object_id
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import KeyMismatchError
+from repro.structures.bloom import BloomFilter
+
+
+class Ehl:
+    """An encrypted hash list: ``H`` Paillier-encrypted bits."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, cells: list[Ciphertext]):
+        if not cells:
+            raise ValueError("EHL must have at least one cell")
+        self.cells = cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        return self.cells[0].public_key
+
+    def minus(self, other: "Ehl", rng: SecureRandom) -> Ciphertext:
+        """The randomized equality operator ``self ⊖ other``.
+
+        Returns ``Enc(Σ r_i (x_i − y_i))`` — an encryption of ``0`` iff
+        the underlying bit lists are identical, otherwise of a value
+        uniform in ``Z_N`` with overwhelming probability.
+        """
+        if len(other) != len(self):
+            raise KeyMismatchError("EHL length mismatch")
+        pk = self.public_key
+        acc = pk.encrypt(0, rng)
+        n = pk.n
+        for mine, theirs in zip(self.cells, other.cells):
+            r = rng.rand_nonzero(n)
+            acc = acc + (mine - theirs) * r
+        return acc
+
+    def serialized_size(self) -> int:
+        """Byte size on the wire (all ``H`` ciphertexts)."""
+        return sum(cell.serialized_size() for cell in self.cells)
+
+    def rerandomized(self, rng: SecureRandom) -> "Ehl":
+        """A fresh-looking EHL encrypting the same bit list."""
+        pk = self.public_key
+        return Ehl([pk.rerandomize(cell, rng) for cell in self.cells])
+
+
+class EhlFactory:
+    """Builds :class:`Ehl` structures for objects under a fixed key set.
+
+    Parameters mirror Section 5: ``table_size`` is ``H`` and ``n_hashes``
+    is ``s``.  The factory owns the PRF keys (derived from ``master_key``)
+    and the Paillier public key; it is held by the data owner during
+    ``Enc`` and by nobody afterwards.
+    """
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        master_key: bytes,
+        table_size: int = 23,
+        n_hashes: int = 5,
+        rng: SecureRandom | None = None,
+    ):
+        if n_hashes > table_size:
+            raise ValueError("more hash functions than table cells")
+        self.public_key = public_key
+        self.table_size = table_size
+        self.n_hashes = n_hashes
+        self.prfs: list[Prf] = derive_keys(master_key, n_hashes, label="ehl")
+        self._bloom = BloomFilter(table_size, self.prfs)
+        self.rng = rng or SecureRandom()
+
+    def encode(self, object_id) -> Ehl:
+        """Return ``EHL(o)`` for the given object identifier."""
+        bits = self._bloom.bit_vector(object_id)
+        return Ehl([self.public_key.encrypt(b, self.rng) for b in bits])
+
+    def positions(self, object_id) -> list[int]:
+        """The plaintext hash positions (exposed for tests/analysis only)."""
+        return self._bloom.positions(object_id)
+
+    def structure_bytes(self) -> int:
+        """Size of one EHL in bytes (for the Fig. 7/8 size series)."""
+        return self.table_size * self.public_key.ciphertext_bytes
+
+
+def ehl_equal_plain(factory: EhlFactory, x, y) -> bool:
+    """Plaintext oracle for whether ``⊖`` would report equality.
+
+    Used by tests to distinguish genuine matches from Bloom false
+    positives.
+    """
+    return factory.positions(x) == factory.positions(y) and set(
+        factory.positions(x)
+    ) == set(factory.positions(y))

@@ -1,0 +1,102 @@
+"""Encrypted item containers used by the sorted lists and candidate list.
+
+* :class:`EncryptedItem` — ``E(I) = ⟨EHL(o), Enc(x)⟩``: one entry of an
+  encrypted sorted list (Section 6).
+* :class:`ScoredItem` — ``E(I) = (EHL(o), Enc(W), Enc(B))``: a candidate
+  carried in the list ``T`` during query processing with its encrypted
+  worst and best scores (Section 8.1).
+
+``ScoredItem`` optionally carries the per-list encrypted state
+(accumulated per-list score and encrypted seen-indicator) that the
+``eager`` best-refresh mode maintains; the paper-literal mode ignores
+those fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.damgard_jurik import LayeredCiphertext
+from repro.crypto.paillier import Ciphertext
+
+
+@dataclass
+class EncryptedItem:
+    """One encrypted sorted-list entry ``⟨EHL(o), Enc(x)⟩``.
+
+    ``ehl`` is an :class:`~repro.structures.ehl.Ehl` or
+    :class:`~repro.structures.ehl_plus.EhlPlus`; the protocols only use the
+    shared ``minus`` interface.
+    """
+
+    ehl: object
+    score: Ciphertext
+    record: Ciphertext | None = None
+    """Optional ``Enc(object_id)`` rider so the client can decrypt the
+    winners; travels blinded through every protocol like the scores do."""
+
+    def serialized_size(self) -> int:
+        """Byte size on the wire."""
+        size = self.ehl.serialized_size() + self.score.serialized_size()
+        if self.record is not None:
+            size += self.record.serialized_size()
+        return size
+
+
+@dataclass
+class ScoredItem:
+    """A top-k candidate with encrypted worst/best scores.
+
+    Attributes
+    ----------
+    ehl:
+        Encrypted hash list of the object id.
+    worst:
+        ``Enc(W)`` — encrypted lower bound of the aggregate score.
+    best:
+        ``Enc(B)`` — encrypted upper bound of the aggregate score.
+    list_scores:
+        Eager mode only: per-query-list accumulated encrypted score
+        (``Enc(0)`` until the object is seen in that list).
+    seen_bits:
+        Eager mode only: per-query-list layered encryption ``E2(seen_j)``
+        of whether the object has been seen in list ``j`` yet.
+    uid:
+        An S1-local handle for bookkeeping.  Carries no information about
+        the object (S1 assigns it sequentially), so it is not leakage.
+    """
+
+    ehl: object
+    worst: Ciphertext
+    best: Ciphertext
+    list_scores: list[Ciphertext] | None = None
+    seen_bits: list[LayeredCiphertext] | None = None
+    record: Ciphertext | None = None
+    uid: int = -1
+
+    def serialized_size(self) -> int:
+        """Byte size on the wire (EHL + the two score ciphertexts)."""
+        size = (
+            self.ehl.serialized_size()
+            + self.worst.serialized_size()
+            + self.best.serialized_size()
+        )
+        if self.list_scores is not None:
+            size += sum(c.serialized_size() for c in self.list_scores)
+        if self.seen_bits is not None:
+            size += sum(c.serialized_size() for c in self.seen_bits)
+        if self.record is not None:
+            size += self.record.serialized_size()
+        return size
+
+    def clone_shallow(self) -> "ScoredItem":
+        """A copy sharing the (immutable) ciphertext objects."""
+        return ScoredItem(
+            ehl=self.ehl,
+            worst=self.worst,
+            best=self.best,
+            list_scores=list(self.list_scores) if self.list_scores is not None else None,
+            seen_bits=list(self.seen_bits) if self.seen_bits is not None else None,
+            record=self.record,
+            uid=self.uid,
+        )

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Key generation is the slowest fixture, so key pairs are session-scoped;
+every test that needs fresh randomness derives its own deterministic
+stream so the suite is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.paillier import PaillierKeypair
+from repro.crypto.rng import SecureRandom
+from repro.protocols.base import S1Context, make_parties
+
+
+@pytest.fixture(scope="session")
+def keypair() -> PaillierKeypair:
+    """A 128-bit-modulus Paillier key pair (test-sized, not secure)."""
+    return PaillierKeypair.generate(128, SecureRandom(0xC0FFEE))
+
+
+@pytest.fixture(scope="session")
+def own_keypair() -> PaillierKeypair:
+    """S1's own key pair (oversized for SecFilter's combined blinds)."""
+    return PaillierKeypair.generate(272, SecureRandom(0xBEEF))
+
+
+@pytest.fixture()
+def ctx(keypair) -> S1Context:
+    """A fresh S1 context + S2 crypto cloud + accounting channel."""
+    return make_parties(keypair, rng=SecureRandom(42))
+
+
+@pytest.fixture()
+def rng() -> SecureRandom:
+    return SecureRandom(7)

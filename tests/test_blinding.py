@@ -1,0 +1,112 @@
+"""Tests for the item blinding shared by EncSort/SecDedup/SecDupElim."""
+
+import pytest
+
+from repro.protocols.blinding import SEED_BYTES, ItemBlinder, junk_item
+from repro.exceptions import ProtocolError
+from repro.structures.ehl_plus import EhlPlusFactory
+from repro.structures.items import ScoredItem
+
+
+@pytest.fixture()
+def blinder(ctx):
+    return ItemBlinder(ctx.public_key, ctx.dj)
+
+
+@pytest.fixture()
+def item(ctx):
+    factory = EhlPlusFactory(ctx.public_key, b"b" * 32, n_hashes=3, rng=ctx.rng)
+    return ScoredItem(
+        ehl=factory.encode("obj"),
+        worst=ctx.encrypt(10),
+        best=ctx.encrypt(20),
+        list_scores=[ctx.encrypt(3), ctx.encrypt(7)],
+        seen_bits=[ctx.dj.encrypt(1, ctx.rng), ctx.dj.encrypt(0, ctx.rng)],
+        record=ctx.encrypt(5),
+    )
+
+
+def _decrypt_item(item, ctx, keypair):
+    sk = keypair.secret_key
+    return {
+        "worst": sk.decrypt_signed(item.worst),
+        "best": sk.decrypt_signed(item.best),
+        "scores": [sk.decrypt_signed(c) for c in item.list_scores],
+        "seen": [ctx.dj.decrypt(b, keypair) for b in item.seen_bits],
+        "record": sk.decrypt(item.record),
+    }
+
+
+class TestBlindUnblind:
+    def test_roundtrip_single_seed(self, blinder, item, ctx, keypair):
+        seed = blinder.fresh_seed(ctx.rng)
+        blinded = blinder.blind(item, seed, ctx.rng)
+        restored = blinder.unblind(blinded, [seed])
+        assert _decrypt_item(restored, ctx, keypair) == _decrypt_item(item, ctx, keypair)
+
+    def test_roundtrip_double_seed(self, blinder, item, ctx, keypair):
+        s1, s2 = blinder.fresh_seed(ctx.rng), blinder.fresh_seed(ctx.rng)
+        blinded = blinder.blind(blinder.blind(item, s1, ctx.rng), s2, ctx.rng)
+        restored = blinder.unblind(blinded, [s2, s1])  # order-independent
+        assert _decrypt_item(restored, ctx, keypair) == _decrypt_item(item, ctx, keypair)
+
+    def test_blinding_changes_plaintexts(self, blinder, item, ctx, keypair):
+        seed = blinder.fresh_seed(ctx.rng)
+        blinded = blinder.blind(item, seed, ctx.rng)
+        assert keypair.secret_key.decrypt(blinded.worst) != 10
+
+    def test_blinding_breaks_equality(self, blinder, item, ctx, keypair):
+        seed = blinder.fresh_seed(ctx.rng)
+        blinded = blinder.blind(item, seed, ctx.rng)
+        assert keypair.secret_key.decrypt(item.ehl.minus(blinded.ehl, ctx.rng)) != 0
+
+    def test_plain_item_without_state(self, blinder, ctx, keypair):
+        factory = EhlPlusFactory(ctx.public_key, b"b" * 32, n_hashes=2, rng=ctx.rng)
+        item = ScoredItem(ehl=factory.encode(1), worst=ctx.encrypt(1), best=ctx.encrypt(2))
+        seed = blinder.fresh_seed(ctx.rng)
+        restored = blinder.unblind(blinder.blind(item, seed, ctx.rng), [seed])
+        assert keypair.secret_key.decrypt(restored.worst) == 1
+        assert restored.list_scores is None
+
+
+class TestSeedTransport:
+    def test_encrypt_decrypt_seed(self, blinder, ctx, own_keypair):
+        seed = blinder.fresh_seed(ctx.rng)
+        companion = blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng)
+        assert blinder.decrypt_seeds(own_keypair, [companion]) == [seed]
+
+    def test_seed_size(self, blinder, ctx):
+        assert len(blinder.fresh_seed(ctx.rng)) == SEED_BYTES
+
+    def test_non_seed_value_rejected(self, blinder, ctx, own_keypair):
+        bogus = own_keypair.public_key.encrypt(1 << (8 * SEED_BYTES), ctx.rng)
+        with pytest.raises(ProtocolError):
+            blinder.decrypt_seeds(own_keypair, [bogus])
+
+
+class TestJunkItem:
+    def test_sentinel_scores(self, ctx, item, keypair):
+        junk = junk_item(ctx.public_key, ctx.dj, item, -ctx.encoder.sentinel, ctx.rng)
+        sk = keypair.secret_key
+        assert sk.decrypt_signed(junk.worst) == -ctx.encoder.sentinel
+        assert sk.decrypt_signed(junk.best) == -ctx.encoder.sentinel
+
+    def test_eager_state_recomputes_to_sentinel(self, ctx, item, keypair):
+        """worst = sum(list_scores) and best = worst + unseen bottoms must
+        both land on the sentinel after an eager-engine refresh."""
+        junk = junk_item(ctx.public_key, ctx.dj, item, -ctx.encoder.sentinel, ctx.rng)
+        sk = keypair.secret_key
+        total = sum(sk.decrypt_signed(c) for c in junk.list_scores)
+        assert total == -ctx.encoder.sentinel
+        assert all(ctx.dj.decrypt(b, keypair) == 1 for b in junk.seen_bits)
+
+    def test_random_identity(self, ctx, item, keypair):
+        junk = junk_item(ctx.public_key, ctx.dj, item, -1, ctx.rng)
+        assert keypair.secret_key.decrypt(item.ehl.minus(junk.ehl, ctx.rng)) != 0
+
+    def test_shape_matches_template(self, ctx, item):
+        junk = junk_item(ctx.public_key, ctx.dj, item, -1, ctx.rng)
+        assert len(junk.ehl.cells) == len(item.ehl.cells)
+        assert len(junk.list_scores) == len(item.list_scores)
+        assert len(junk.seen_bits) == len(item.seen_bits)
+        assert junk.record is not None

@@ -1,0 +1,88 @@
+"""Tests for the Bloom filter and the Section 5 FPR analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prf import derive_keys
+from repro.structures.bloom import (
+    BloomFilter,
+    bloom_false_positive_rate,
+    ehl_plus_false_positive_bound,
+    optimal_hash_count,
+)
+
+
+@pytest.fixture(scope="module")
+def prfs():
+    return derive_keys(b"bloom-master", 5)
+
+
+class TestBloomFilter:
+    def test_membership(self, prfs):
+        bf = BloomFilter(64, prfs)
+        for item in range(10):
+            bf.add(item)
+        assert all(item in bf for item in range(10))
+
+    def test_deterministic_positions(self, prfs):
+        bf = BloomFilter(64, prfs)
+        assert bf.positions(42) == bf.positions(42)
+
+    def test_bit_vector_matches_positions(self, prfs):
+        bf = BloomFilter(32, prfs)
+        vector = bf.bit_vector("obj")
+        positions = set(bf.positions("obj"))
+        assert all((vector[i] == 1) == (i in positions) for i in range(32))
+
+    def test_validation(self, prfs):
+        with pytest.raises(ValueError):
+            BloomFilter(0, prfs)
+        with pytest.raises(ValueError):
+            BloomFilter(10, [])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25)
+    def test_no_false_negatives(self, prfs, item):
+        bf = BloomFilter(128, prfs)
+        bf.add(item)
+        assert item in bf
+
+
+class TestAnalysis:
+    def test_optimal_hash_count(self):
+        # Section 5: s = (H/n) ln 2.
+        assert optimal_hash_count(23, 2) == 8
+        assert optimal_hash_count(10, 100) == 1
+
+    def test_optimal_hash_validation(self):
+        with pytest.raises(ValueError):
+            optimal_hash_count(0, 5)
+
+    def test_fpr_monotone_in_items(self):
+        rates = [bloom_false_positive_rate(64, 4, n) for n in (1, 4, 16, 64)]
+        assert rates == sorted(rates)
+        assert all(0 <= r <= 1 for r in rates)
+
+    def test_ehl_plus_bound_negligible(self):
+        """Section 5: with 256-bit N and s=4, FPR negligible for millions."""
+        bound = ehl_plus_false_positive_bound(1 << 256, 4, 10**6)
+        assert bound < 2**-900
+
+    def test_ehl_plus_bound_union(self):
+        # n^2 / N^s exactly (up to float error).
+        bound = ehl_plus_false_positive_bound(2**20, 1, 2**5)
+        assert bound == pytest.approx((2**5) ** 2 / 2**20)
+
+    def test_fpr_empirical_sanity(self, prfs):
+        """Measured single-pair collision rate stays near the analytic rate."""
+        size, n_hashes = 16, 2
+        bf = BloomFilter(size, prfs[:n_hashes])
+        collisions = 0
+        trials = 400
+        for i in range(trials):
+            a = bf.positions(("a", i).__repr__())
+            b = bf.positions(("b", i).__repr__())
+            if sorted(set(a)) == sorted(set(b)):
+                collisions += 1
+        analytic = bloom_false_positive_rate(size, n_hashes, 1)
+        assert collisions / trials < max(5 * analytic, 0.1)

@@ -1,0 +1,153 @@
+"""Tests for SecTopK's Enc (Algorithm 2) and Token (Section 7)."""
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.scheme import SecTopK
+from repro.core.token import Token
+from repro.exceptions import DataError, QueryError
+
+ROWS = [
+    [10, 3, 2],
+    [8, 8, 0],
+    [5, 7, 6],
+    [3, 2, 8],
+]
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return SecTopK(SystemParams.tiny(), seed=11)
+
+
+@pytest.fixture(scope="module")
+def encrypted(scheme):
+    return scheme.encrypt(ROWS)
+
+
+class TestEnc:
+    def test_shape(self, encrypted):
+        assert encrypted.n_objects == 4
+        assert encrypted.n_attributes == 3
+        assert len(encrypted.lists) == 3
+        assert set(encrypted.lists) == {0, 1, 2}
+
+    def test_lists_sorted_descending(self, scheme, encrypted):
+        sk = scheme.keypair.secret_key
+        for entries in encrypted.lists.values():
+            scores = [sk.decrypt(e.score) for e in entries]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_lists_are_permuted_attributes(self, scheme, encrypted):
+        """Each permuted list holds exactly one attribute's multiset."""
+        sk = scheme.keypair.secret_key
+        found = set()
+        columns = [
+            tuple(sorted(row[a] for row in ROWS)) for a in range(3)
+        ]
+        for entries in encrypted.lists.values():
+            scores = tuple(sorted(sk.decrypt(e.score) for e in entries))
+            assert scores in columns
+            found.add(scores)
+        assert len(found) == 3
+
+    def test_records_decrypt_to_row_ids(self, scheme, encrypted):
+        sk = scheme.keypair.secret_key
+        for entries in encrypted.lists.values():
+            ids = sorted(sk.decrypt(e.record) for e in entries)
+            assert ids == [0, 1, 2, 3]
+
+    def test_validation(self, scheme):
+        with pytest.raises(DataError):
+            scheme.encrypt([])
+        with pytest.raises(DataError):
+            scheme.encrypt([[1], [1, 2]])
+
+    def test_score_range_enforced(self):
+        small = SecTopK(SystemParams.tiny(), seed=1)
+        from repro.exceptions import EncodingRangeError
+
+        with pytest.raises(EncodingRangeError):
+            small.encrypt([[1 << 40]])
+
+    def test_size_accounting(self, encrypted):
+        assert encrypted.serialized_size() > 0
+        assert encrypted.size_mb() == encrypted.serialized_size() / 1e6
+
+    def test_same_shape_same_size(self):
+        """Theorem 6.1's observable: equal-shape relations produce
+        equal-size encryptions (nothing else is revealed by ER)."""
+        a = SecTopK(SystemParams.tiny(), seed=1).encrypt([[1, 2], [3, 4]])
+        b = SecTopK(SystemParams.tiny(), seed=2).encrypt([[9, 9], [0, 1]])
+        assert a.serialized_size() == b.serialized_size()
+
+
+class TestToken:
+    def test_permuted_names_exist(self, scheme, encrypted):
+        token = scheme.token([0, 2], k=2)
+        assert set(token.permuted_lists) <= set(encrypted.lists)
+        assert token.m == 2
+
+    def test_deterministic(self, scheme):
+        assert scheme.token([0, 1], 2) == scheme.token([0, 1], 2)
+
+    def test_fingerprint_pattern(self, scheme):
+        t1 = scheme.token([0, 1], 2)
+        t2 = scheme.token([0, 1], 2)
+        t3 = scheme.token([0, 1], 3)
+        assert t1.fingerprint() == t2.fingerprint()
+        assert t1.fingerprint() != t3.fingerprint()
+
+    def test_validation(self, scheme):
+        with pytest.raises(QueryError):
+            scheme.token([], 1)
+        with pytest.raises(QueryError):
+            scheme.token([0], 0)
+        with pytest.raises(QueryError):
+            scheme.token([99], 1)
+        with pytest.raises(QueryError):
+            Token(permuted_lists=(0, 0), k=1)
+        with pytest.raises(QueryError):
+            Token(permuted_lists=(0, 1), k=1, weights=(1,))
+        with pytest.raises(QueryError):
+            Token(permuted_lists=(0,), k=1, weights=(-1,))
+
+    def test_requires_prior_encrypt(self):
+        fresh = SecTopK(SystemParams.tiny(), seed=99)
+        with pytest.raises(QueryError):
+            fresh.token([0], 1)
+
+    def test_effective_weights_default(self, scheme):
+        assert scheme.token([0, 1], 2).effective_weights() == (1, 1)
+        assert scheme.token([0, 1], 2, weights=[2, 3]).effective_weights() == (2, 3)
+
+
+class TestParams:
+    def test_presets_valid(self):
+        SystemParams.paper()
+        SystemParams.tiny()
+        SystemParams.insecure_demo()
+        SystemParams.secure()
+
+    def test_invalid_combinations(self):
+        with pytest.raises(QueryError):
+            SystemParams(key_bits=64, score_bits=32, blind_bits=40)
+        with pytest.raises(QueryError):
+            SystemParams(ehl_variant="magic")
+        with pytest.raises(QueryError):
+            SystemParams(compare_method="magic")
+        with pytest.raises(QueryError):
+            SystemParams(sort_method="magic")
+
+    def test_bits_variant_encrypts(self):
+        params = SystemParams(
+            key_bits=128,
+            score_bits=16,
+            blind_bits=24,
+            ehl_variant="bits",
+            ehl_hashes=2,
+            ehl_table_size=8,
+        )
+        scheme = SecTopK(params, seed=3)
+        encrypted = scheme.encrypt([[1, 2], [3, 4]])
+        assert encrypted.ehl_variant == "bits"

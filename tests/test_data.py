@@ -1,0 +1,117 @@
+"""Tests for the dataset generators and query workloads."""
+
+import pytest
+
+from repro.data import (
+    anticorrelated_relation,
+    correlated_relation,
+    diabetes,
+    gaussian_relation,
+    insurance,
+    pamap,
+    paper_datasets,
+    random_queries,
+    synthetic_1m,
+    uniform_relation,
+)
+from repro.data.uci import PAPER_SIZES
+from repro.exceptions import DataError, QueryError
+from repro.nra import SortedLists, nra_topk
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "gen", [gaussian_relation, uniform_relation, correlated_relation, anticorrelated_relation]
+    )
+    def test_shape_and_range(self, gen):
+        relation = gen(50, 4, seed=1)
+        assert relation.n_objects == 50
+        assert relation.n_attributes == 4
+        assert all(0 <= v <= 1000 for row in relation.rows for v in row)
+
+    @pytest.mark.parametrize(
+        "gen", [gaussian_relation, uniform_relation, correlated_relation, anticorrelated_relation]
+    )
+    def test_deterministic(self, gen):
+        assert gen(20, 3, seed=9).rows == gen(20, 3, seed=9).rows
+        assert gen(20, 3, seed=9).rows != gen(20, 3, seed=10).rows
+
+    def test_correlation_affects_halting_depth(self):
+        """The NRA-facing property the generators exist for: correlated
+        data halts shallower than anti-correlated data."""
+        corr = correlated_relation(60, 3, seed=4, correlation=0.95)
+        anti = anticorrelated_relation(60, 3, seed=4)
+        d_corr = nra_topk(SortedLists(corr.rows), 3).halting_depth
+        d_anti = nra_topk(SortedLists(anti.rows), 3).halting_depth
+        assert d_corr < d_anti
+
+    def test_correlation_validation(self):
+        with pytest.raises(DataError):
+            correlated_relation(10, 2, correlation=1.5)
+
+    def test_relation_validation(self):
+        from repro.data.synthetic import Relation
+
+        with pytest.raises(DataError):
+            Relation(name="x", rows=[])
+        with pytest.raises(DataError):
+            Relation(name="x", rows=[[1], [1, 2]])
+
+    def test_attribute_names_default(self):
+        relation = gaussian_relation(5, 3, seed=0)
+        assert relation.attribute_names == ["a0", "a1", "a2"]
+
+
+class TestUciStandins:
+    @pytest.mark.parametrize(
+        "loader,name",
+        [(insurance, "insurance"), (diabetes, "diabetes"), (pamap, "PAMAP"), (synthetic_1m, "synthetic")],
+    )
+    def test_schema_shapes(self, loader, name):
+        relation = loader(scale=0.002)
+        paper_n, paper_m = PAPER_SIZES[name]
+        assert relation.name == name
+        assert relation.n_attributes == paper_m
+        assert relation.n_objects == max(8, round(paper_n * 0.002))
+
+    def test_scale_validation(self):
+        with pytest.raises(DataError):
+            insurance(scale=0)
+        with pytest.raises(DataError):
+            insurance(scale=1.5)
+
+    def test_insurance_is_duplicate_heavy(self):
+        relation = insurance(scale=0.02)
+        first_column = [row[0] for row in relation.rows]
+        assert len(set(first_column)) < len(first_column) / 2
+
+    def test_paper_datasets_helper(self):
+        ds = paper_datasets(scale=0.001)
+        assert [d.name for d in ds] == ["insurance", "diabetes", "PAMAP", "synthetic"]
+
+    def test_values_nonnegative(self):
+        for relation in paper_datasets(scale=0.001):
+            assert all(v >= 0 for row in relation.rows for v in row)
+
+
+class TestWorkloads:
+    def test_spec_shapes(self):
+        queries = random_queries(20, n_attributes=10, seed=3)
+        assert len(queries) == 20
+        for q in queries:
+            assert 2 <= len(q.attributes) <= 8
+            assert 2 <= q.k <= 20
+            assert all(0 <= a < 10 for a in q.attributes)
+
+    def test_deterministic(self):
+        assert random_queries(5, 10, seed=1) == random_queries(5, 10, seed=1)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            random_queries(1, 4, m_range=(2, 8))
+        from repro.data.workloads import QuerySpec
+
+        with pytest.raises(QueryError):
+            QuerySpec(attributes=(1, 1), k=2)
+        with pytest.raises(QueryError):
+            QuerySpec(attributes=(1,), k=0)

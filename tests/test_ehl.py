@@ -1,0 +1,126 @@
+"""Tests for EHL and EHL+ (Section 5): the ⊖ equality operator,
+blinding, rerandomization and size accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import KeyMismatchError
+from repro.structures.ehl import EhlFactory
+from repro.structures.ehl_plus import EhlPlusFactory
+
+
+@pytest.fixture()
+def factory(keypair, rng):
+    return EhlFactory(keypair.public_key, b"m" * 32, table_size=16, n_hashes=3, rng=rng)
+
+
+@pytest.fixture()
+def factory_plus(keypair, rng):
+    return EhlPlusFactory(keypair.public_key, b"m" * 32, n_hashes=3, rng=rng)
+
+
+class TestEhlEquality:
+    """Lemma 5.2 for the bit-list EHL."""
+
+    def test_same_object_yields_zero(self, factory, keypair, rng):
+        a, b = factory.encode(42), factory.encode(42)
+        assert keypair.secret_key.decrypt(a.minus(b, rng)) == 0
+
+    def test_distinct_objects_yield_nonzero(self, factory, keypair, rng):
+        hits = 0
+        for i in range(20):
+            a = factory.encode(("x", i).__repr__())
+            b = factory.encode(("y", i).__repr__())
+            if factory.positions(("x", i).__repr__()) == factory.positions(
+                ("y", i).__repr__()
+            ):
+                continue  # genuine Bloom collision: ⊖ must report equal
+            if keypair.secret_key.decrypt(a.minus(b, rng)) != 0:
+                hits += 1
+        assert hits >= 15  # overwhelming majority must separate
+
+    def test_result_randomized(self, factory, keypair, rng):
+        a, b = factory.encode(1), factory.encode(2)
+        r1 = keypair.secret_key.decrypt(a.minus(b, rng))
+        r2 = keypair.secret_key.decrypt(a.minus(b, rng))
+        assert r1 != r2  # fresh random masks per invocation
+
+    def test_length_mismatch(self, keypair, rng):
+        f1 = EhlFactory(keypair.public_key, b"m" * 32, table_size=8, n_hashes=2, rng=rng)
+        f2 = EhlFactory(keypair.public_key, b"m" * 32, table_size=16, n_hashes=2, rng=rng)
+        with pytest.raises(KeyMismatchError):
+            f1.encode(1).minus(f2.encode(1), rng)
+
+    def test_rerandomize(self, factory, keypair, rng):
+        a = factory.encode(5)
+        b = a.rerandomized(rng)
+        assert all(x.value != y.value for x, y in zip(a.cells, b.cells))
+        assert keypair.secret_key.decrypt(a.minus(b, rng)) == 0
+
+
+class TestEhlPlusEquality:
+    """Section 5's EHL+ has the same ⊖ semantics at O(s) cost."""
+
+    def test_same_object_yields_zero(self, factory_plus, keypair, rng):
+        a, b = factory_plus.encode("alice"), factory_plus.encode("alice")
+        assert keypair.secret_key.decrypt(a.minus(b, rng)) == 0
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    @settings(max_examples=20)
+    def test_equality_semantics(self, keypair, x, y):
+        rng = SecureRandom(x ^ y)
+        factory = EhlPlusFactory(keypair.public_key, b"m" * 32, n_hashes=3, rng=rng)
+        result = keypair.secret_key.decrypt(
+            factory.encode(x).minus(factory.encode(y), rng)
+        )
+        assert (result == 0) == (x == y)
+
+    def test_blind_add_roundtrip(self, factory_plus, keypair, rng):
+        n = keypair.public_key.n
+        a = factory_plus.encode(9)
+        alphas = [rng.randint_below(n) for _ in range(len(a))]
+        blinded = a.blind_add(alphas)
+        # Blinded structure no longer matches the original...
+        assert keypair.secret_key.decrypt(a.minus(blinded, rng)) != 0
+        # ...until the blind is removed.
+        restored = blinded.blind_add([n - x for x in alphas])
+        assert keypair.secret_key.decrypt(a.minus(restored, rng)) == 0
+
+    def test_blind_arity_checked(self, factory_plus):
+        with pytest.raises(KeyMismatchError):
+            factory_plus.encode(1).blind_add([1, 2])
+
+    def test_random_encode_distinct(self, factory_plus, keypair, rng):
+        a = factory_plus.encode_random(rng)
+        b = factory_plus.encode(1)
+        assert keypair.secret_key.decrypt(a.minus(b, rng)) != 0
+
+
+class TestIndistinguishabilityShape:
+    """Lemma 5.1 sanity: encodings are probabilistic ciphertext lists."""
+
+    def test_same_object_fresh_ciphertexts(self, factory_plus):
+        a, b = factory_plus.encode(7), factory_plus.encode(7)
+        assert all(x.value != y.value for x, y in zip(a.cells, b.cells))
+
+    def test_hash_vector_deterministic(self, factory_plus):
+        assert factory_plus.hash_vector(7) == factory_plus.hash_vector(7)
+
+
+class TestSizes:
+    def test_plus_smaller_than_bits(self, factory, factory_plus):
+        # The headline claim behind Figure 7.
+        assert factory_plus.structure_bytes() < factory.structure_bytes()
+
+    def test_structure_bytes_matches_encoding(self, factory_plus):
+        a = factory_plus.encode(3)
+        assert a.serialized_size() == factory_plus.structure_bytes()
+
+    def test_validation(self, keypair, rng):
+        with pytest.raises(ValueError):
+            EhlPlusFactory(keypair.public_key, b"m" * 32, n_hashes=0, rng=rng)
+        with pytest.raises(ValueError):
+            EhlFactory(
+                keypair.public_key, b"m" * 32, table_size=2, n_hashes=5, rng=rng
+            )

@@ -1,0 +1,98 @@
+"""Tests for both EncCompare constructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import ProtocolError
+from repro.protocols.base import make_parties
+from repro.protocols.enc_compare import comparison_bits, enc_compare
+
+CASES = [
+    (0, 0),
+    (0, 1),
+    (1, 0),
+    (5, 5),
+    (2, 100),
+    (100, 2),
+    (-3, 4),
+    (4, -3),
+    (-9, -9),
+    (-10, -2),
+    (-2, -10),
+]
+
+
+class TestBlinded:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_exhaustive_cases(self, ctx, a, b):
+        assert enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "blinded") == (a <= b)
+
+    def test_sentinel_ordering(self, ctx):
+        sentinel = -ctx.encoder.sentinel
+        assert enc_compare(ctx, ctx.encrypt(sentinel), ctx.encrypt(0), "blinded")
+        assert not enc_compare(ctx, ctx.encrypt(0), ctx.encrypt(sentinel), "blinded")
+
+    def test_one_round(self, ctx):
+        before = ctx.channel.stats.rounds
+        enc_compare(ctx, ctx.encrypt(1), ctx.encrypt(2), "blinded")
+        assert ctx.channel.stats.rounds == before + 1
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=30)
+    def test_property(self, keypair, a, b):
+        ctx = make_parties(keypair, rng=SecureRandom(a * 7919 + b))
+        assert enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "blinded") == (a <= b)
+
+
+class TestDgk:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_exhaustive_cases(self, ctx, a, b):
+        assert enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "dgk") == (a <= b)
+
+    def test_sentinel_ordering(self, ctx):
+        sentinel = -ctx.encoder.sentinel
+        assert enc_compare(ctx, ctx.encrypt(sentinel), ctx.encrypt(7), "dgk")
+        assert not enc_compare(ctx, ctx.encrypt(7), ctx.encrypt(sentinel), "dgk")
+
+    @given(st.integers(-500, 500), st.integers(-500, 500))
+    @settings(max_examples=15)
+    def test_property(self, keypair, a, b):
+        ctx = make_parties(keypair, rng=SecureRandom(a * 31 + b))
+        assert enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "dgk") == (a <= b)
+
+    def test_boundary_powers_of_two(self, ctx):
+        for shift in (1, 4, 10):
+            v = 1 << shift
+            assert enc_compare(ctx, ctx.encrypt(v - 1), ctx.encrypt(v), "dgk")
+            assert not enc_compare(ctx, ctx.encrypt(v), ctx.encrypt(v - 1), "dgk")
+
+    def test_three_rounds(self, ctx):
+        before = ctx.channel.stats.rounds
+        enc_compare(ctx, ctx.encrypt(1), ctx.encrypt(2), "dgk")
+        assert ctx.channel.stats.rounds == before + 3
+
+
+class TestInterface:
+    def test_unknown_method(self, ctx):
+        with pytest.raises(ProtocolError):
+            enc_compare(ctx, ctx.encrypt(1), ctx.encrypt(2), method="magic")
+
+    def test_comparison_bits_covers_sentinel(self, ctx):
+        assert (1 << (comparison_bits(ctx) - 1)) > ctx.encoder.sentinel
+
+    def test_methods_agree(self, ctx):
+        for a, b in CASES:
+            blinded = enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "blinded")
+            dgk = enc_compare(ctx, ctx.encrypt(a), ctx.encrypt(b), "dgk")
+            assert blinded == dgk == (a <= b)
+
+    def test_s2_observations_are_coin_like(self, ctx):
+        """Over many random comparisons, the sign bits S2 sees under the
+        blinded construction should be roughly balanced (they are masked
+        by S1's coin)."""
+        signs = []
+        for i in range(60):
+            enc_compare(ctx, ctx.encrypt(3), ctx.encrypt(9), "blinded")
+        signs = [e.payload for e in ctx.leakage.by_kind("cmp_sign")]
+        assert 10 < sum(signs) < 50

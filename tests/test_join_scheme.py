@@ -1,0 +1,93 @@
+"""End-to-end tests for the secure top-k join (Section 12)."""
+
+import pytest
+
+from repro.baselines.plaintext import plaintext_topk_join
+from repro.core.params import SystemParams
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import DataError, QueryError
+from repro.join import SecTopKJoin
+
+
+@pytest.fixture(scope="module")
+def join_scheme():
+    return SecTopKJoin(SystemParams.tiny(), seed=71)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    rng = SecureRandom(72)
+    left = [[rng.randint_below(4), rng.randint_below(60)] for _ in range(7)]
+    right = [[rng.randint_below(4), rng.randint_below(60)] for _ in range(9)]
+    return left, right
+
+
+class TestJoinEncryption:
+    def test_shape(self, join_scheme, tables):
+        left, _ = tables
+        encrypted = join_scheme.encrypt("L", left)
+        assert encrypted.n_tuples == len(left)
+        assert encrypted.n_attributes == 2
+        assert encrypted.serialized_size() > 0
+
+    def test_validation(self, join_scheme):
+        with pytest.raises(DataError):
+            join_scheme.encrypt("X", [])
+        with pytest.raises(DataError):
+            join_scheme.encrypt("X", [[1], [1, 2]])
+
+    def test_token_validation(self):
+        from repro.join.scheme import JoinToken
+
+        with pytest.raises(QueryError):
+            JoinToken(t1=0, t2=0, t3=1, t4=1, k=0)
+
+
+class TestJoinQuery:
+    def test_matches_plaintext_oracle(self, join_scheme, tables):
+        left, right = tables
+        er1 = join_scheme.encrypt("L", left)
+        er2 = join_scheme.encrypt("R", right)
+        token = join_scheme.token("L", "R", join_on=(0, 0), order_by=(1, 1), k=4)
+        result = join_scheme.join_query(er1, er2, token)
+        got = join_scheme.reveal(result)
+        oracle = plaintext_topk_join(left, right, (0, 0), (1, 1), 4)
+        assert [g[0] for g in got] == [o[0] for o in oracle]
+
+    def test_join_cardinality(self, join_scheme, tables):
+        left, right = tables
+        er1 = join_scheme.encrypt("L2", left)
+        er2 = join_scheme.encrypt("R2", right)
+        token = join_scheme.token("L2", "R2", join_on=(0, 0), order_by=(1, 1), k=3)
+        result = join_scheme.join_query(er1, er2, token)
+        expected = sum(1 for l in left for r in right if l[0] == r[0])
+        assert result.join_cardinality == expected
+
+    def test_no_matches(self, join_scheme):
+        left = [[1, 10]]
+        right = [[2, 20]]
+        er1 = join_scheme.encrypt("L3", left)
+        er2 = join_scheme.encrypt("R3", right)
+        token = join_scheme.token("L3", "R3", join_on=(0, 0), order_by=(1, 1), k=2)
+        result = join_scheme.join_query(er1, er2, token)
+        assert result.join_cardinality == 0
+        assert result.tuples == []
+
+    def test_k_larger_than_matches(self, join_scheme):
+        left = [[1, 10], [1, 20]]
+        right = [[1, 5]]
+        er1 = join_scheme.encrypt("L4", left)
+        er2 = join_scheme.encrypt("R4", right)
+        token = join_scheme.token("L4", "R4", join_on=(0, 0), order_by=(1, 1), k=10)
+        result = join_scheme.join_query(er1, er2, token)
+        got = join_scheme.reveal(result)
+        assert [g[0] for g in got] == [25, 15]
+
+    def test_channel_accounting(self, join_scheme):
+        left = [[1, 10]]
+        right = [[1, 5]]
+        er1 = join_scheme.encrypt("L5", left)
+        er2 = join_scheme.encrypt("R5", right)
+        token = join_scheme.token("L5", "R5", join_on=(0, 0), order_by=(1, 1), k=1)
+        result = join_scheme.join_query(er1, er2, token)
+        assert result.channel_stats.total_bytes > 0

@@ -1,0 +1,135 @@
+"""Security-oriented tests: the leakage audit of Section 9.
+
+CQA security says the servers learn nothing beyond the declared leakage
+functions.  We check that empirically: after full protocol runs, every
+observation either server recorded must be classified by the declared
+profile, S1 must never hold key material, and the equality patterns S2
+sees must match the (permuted) ground truth — no more, no less.
+"""
+
+import pytest
+
+from repro.core.leakage import ALLOWED_KINDS, audit, equality_pattern_matrices
+from repro.core.params import SystemParams
+from repro.core.results import QueryConfig
+from repro.core.scheme import SecTopK
+from repro.crypto.paillier import PaillierSecretKey
+from repro.crypto.rng import SecureRandom
+
+
+@pytest.fixture(scope="module")
+def query_run():
+    """One full secure query, returning (scheme, ctx-leakage, result)."""
+    rng = SecureRandom(77)
+    rows = [[rng.randint_below(30) for _ in range(3)] for _ in range(10)]
+    scheme = SecTopK(SystemParams.tiny(), seed=31)
+    encrypted = scheme.encrypt(rows)
+    token = scheme.token([0, 1, 2], k=2)
+    ctx = scheme.make_clouds()
+    result = scheme.query(
+        encrypted, token, QueryConfig(variant="elim", engine="eager"), ctx=ctx
+    )
+    return scheme, ctx, result, rows
+
+
+class TestLeakageAudit:
+    def test_full_query_is_clean(self, query_run):
+        _, ctx, _, _ = query_run
+        report = audit(ctx.leakage)
+        assert report.clean, report.unclassified
+
+    def test_only_declared_kinds(self, query_run):
+        _, ctx, _, _ = query_run
+        kinds = {e.kind for e in ctx.leakage.events}
+        assert kinds <= set(ALLOWED_KINDS)
+
+    def test_query_pattern_and_depth_recorded(self, query_run):
+        _, ctx, result, _ = query_run
+        s1_kinds = {e.kind for e in ctx.leakage.by_observer("S1")}
+        assert "query_pattern" in s1_kinds
+        assert "halting_depth" in s1_kinds
+        depth_events = [
+            e for e in ctx.leakage.by_observer("S1") if e.kind == "halting_depth"
+        ]
+        assert depth_events[-1].payload == result.halting_depth
+
+    def test_dgk_and_network_paths_also_clean(self):
+        rng = SecureRandom(11)
+        rows = [[rng.randint_below(30) for _ in range(2)] for _ in range(8)]
+        scheme = SecTopK(SystemParams.tiny(), seed=41)
+        encrypted = scheme.encrypt(rows)
+        token = scheme.token([0, 1], k=2)
+        ctx = scheme.make_clouds()
+        scheme.query(
+            encrypted,
+            token,
+            QueryConfig(
+                variant="elim",
+                engine="eager",
+                compare_method="dgk",
+                sort_method="network",
+            ),
+            ctx=ctx,
+        )
+        report = audit(ctx.leakage)
+        assert report.clean, report.unclassified
+
+    def test_join_run_is_clean(self, own_keypair):
+        from repro.join import SecTopKJoin
+
+        scheme = SecTopKJoin(SystemParams.tiny(), seed=13)
+        er1 = scheme.encrypt("A", [[1, 5], [2, 6]])
+        er2 = scheme.encrypt("B", [[1, 7], [3, 8]])
+        ctx = scheme.make_clouds()
+        scheme.join_query(er1, er2, scheme.token("A", "B", (0, 0), (1, 1), 1), ctx=ctx)
+        report = audit(ctx.leakage)
+        assert report.clean, report.unclassified
+
+
+class TestS1HoldsNoSecrets:
+    def test_context_has_no_secret_key(self, query_run):
+        """No PaillierSecretKey is reachable from the S1 context except
+        through the CryptoCloud boundary object (which stands in for the
+        remote S2)."""
+        _, ctx, _, _ = query_run
+        assert not isinstance(getattr(ctx, "secret_key", None), PaillierSecretKey)
+        for attr in ("public_key", "dj", "encoder", "channel", "rng"):
+            value = getattr(ctx, attr)
+            assert not isinstance(value, PaillierSecretKey)
+            assert not any(
+                isinstance(v, PaillierSecretKey) for v in vars(value).values()
+            ) if hasattr(value, "__dict__") else True
+
+    def test_s2_private_key_is_name_mangled_away(self, query_run):
+        _, ctx, _, _ = query_run
+        assert not hasattr(ctx.s2, "secret_key")
+
+
+class TestEqualityPatternSemantics:
+    def test_eq_bits_count_matches_truth(self, keypair, own_keypair):
+        """S2's per-batch equality bits have the ground-truth multiset
+        (the permutation hides positions, not the count)."""
+        from repro.protocols.base import make_parties
+        from repro.protocols.sec_worst import sec_worst
+        from repro.structures.ehl_plus import EhlPlusFactory
+        from repro.structures.items import EncryptedItem
+
+        ctx = make_parties(keypair, rng=SecureRandom(3))
+        factory = EhlPlusFactory(ctx.public_key, b"q" * 32, n_hashes=3, rng=ctx.rng)
+        item = EncryptedItem(ehl=factory.encode("x"), score=ctx.encrypt(1))
+        others = [
+            EncryptedItem(ehl=factory.encode(o), score=ctx.encrypt(1))
+            for o in ("x", "y", "x", "z")
+        ]
+        sec_worst(ctx, item, others)
+        matrices = equality_pattern_matrices(ctx.leakage)
+        assert len(matrices) == 1
+        assert sorted(matrices[0]) == [0, 0, 1, 1]
+
+    def test_no_plaintext_scores_in_log(self, query_run):
+        """Blinded-value observations must not carry payloads."""
+        _, ctx, _, rows = query_run
+        blinded_kinds = {"sort_key_blinded", "dedup_matrix", "dgk_blinded"}
+        for event in ctx.leakage.events:
+            if event.kind in blinded_kinds:
+                assert event.payload is None

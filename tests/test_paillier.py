@@ -1,0 +1,155 @@
+"""Unit and property tests for the Paillier cryptosystem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierKeypair,
+    decrypt_vector,
+    encrypt_vector,
+)
+from repro.crypto.rng import SecureRandom
+from repro.exceptions import DecryptionError, KeyMismatchError
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return PaillierKeypair.generate(128, SecureRandom(55))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("m", [0, 1, 2, 255, 10**9])
+    def test_encrypt_decrypt(self, keypair, m, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        assert sk.decrypt(pk.encrypt(m, rng)) == m
+
+    def test_modulus_edge(self, keypair, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        assert sk.decrypt(pk.encrypt(pk.n - 1, rng)) == pk.n - 1
+        assert sk.decrypt(pk.encrypt(pk.n, rng)) == 0
+
+    def test_probabilistic(self, keypair, rng):
+        pk = keypair.public_key
+        assert pk.encrypt(5, rng).value != pk.encrypt(5, rng).value
+
+    def test_signed_roundtrip(self, keypair, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        for m in (-1, -12345, 12345, 0):
+            assert sk.decrypt_signed(pk.encrypt_signed(m, rng)) == m
+
+    def test_rerandomize_preserves_plaintext(self, keypair, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        c = pk.encrypt(77, rng)
+        c2 = pk.rerandomize(c, rng)
+        assert c2.value != c.value
+        assert sk.decrypt(c2) == 77
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, keypair, m):
+        rng = SecureRandom(m)
+        assert keypair.secret_key.decrypt(keypair.public_key.encrypt(m, rng)) == m
+
+
+class TestHomomorphisms:
+    @given(st.integers(0, 2**40), st.integers(0, 2**40))
+    @settings(max_examples=25)
+    def test_addition(self, keypair, x, y):
+        rng = SecureRandom(x * 31 + y)
+        pk, sk = keypair.public_key, keypair.secret_key
+        assert sk.decrypt(pk.encrypt(x, rng) + pk.encrypt(y, rng)) == x + y
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**20))
+    @settings(max_examples=25)
+    def test_scalar_multiplication(self, keypair, x, a):
+        rng = SecureRandom(x + a)
+        pk, sk = keypair.public_key, keypair.secret_key
+        assert sk.decrypt(pk.encrypt(x, rng) * a) == x * a % pk.n
+
+    def test_plaintext_addition(self, keypair, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        assert sk.decrypt(pk.encrypt(10, rng) + 32) == 42
+        assert sk.decrypt(32 + pk.encrypt(10, rng)) == 42
+
+    def test_negation_and_subtraction(self, keypair, rng):
+        pk, sk = keypair.public_key, keypair.secret_key
+        a, b = pk.encrypt(50, rng), pk.encrypt(8, rng)
+        assert sk.decrypt(a - b) == 42
+        assert sk.decrypt_signed(b - a) == -42
+        assert sk.decrypt(-(-a)) == 50
+        assert sk.decrypt(a - 8) == 42
+
+    def test_operator_type_errors(self, keypair, rng):
+        c = keypair.public_key.encrypt(1, rng)
+        with pytest.raises(TypeError):
+            c + 1.5
+        with pytest.raises(TypeError):
+            c * 2.5
+
+
+class TestKeySeparation:
+    def test_cross_key_add_rejected(self, keypair, other_keypair, rng):
+        a = keypair.public_key.encrypt(1, rng)
+        b = other_keypair.public_key.encrypt(1, rng)
+        with pytest.raises(KeyMismatchError):
+            a + b
+
+    def test_cross_key_decrypt_rejected(self, keypair, other_keypair, rng):
+        c = other_keypair.public_key.encrypt(1, rng)
+        with pytest.raises(KeyMismatchError):
+            keypair.secret_key.decrypt(c)
+
+    def test_secret_key_requires_matching_primes(self, keypair, other_keypair):
+        from repro.crypto.paillier import PaillierSecretKey
+
+        with pytest.raises(KeyMismatchError):
+            PaillierSecretKey(
+                other_keypair.secret_key.p,
+                other_keypair.secret_key.q,
+                keypair.public_key,
+            )
+
+
+class TestValidation:
+    def test_decrypt_out_of_range(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.secret_key.raw_decrypt(0)
+        with pytest.raises(DecryptionError):
+            keypair.secret_key.raw_decrypt(keypair.public_key.n_squared + 1)
+
+    def test_decrypt_non_unit(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.secret_key.raw_decrypt(keypair.secret_key.p)
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self, keypair, rng):
+        pk = keypair.public_key
+        c = pk.encrypt(12345, rng)
+        restored = Ciphertext.from_bytes(c.to_bytes(), pk)
+        assert restored.value == c.value
+        assert len(c.to_bytes()) == pk.ciphertext_bytes
+
+    def test_vector_helpers(self, keypair, rng):
+        values = [1, 2, 3, 999]
+        cts = encrypt_vector(keypair.public_key, values, rng)
+        assert decrypt_vector(keypair.secret_key, cts) == values
+
+    def test_serialized_size_constant(self, keypair, rng):
+        pk = keypair.public_key
+        assert (
+            pk.encrypt(0, rng).serialized_size()
+            == pk.encrypt(pk.n - 1, rng).serialized_size()
+        )
+
+
+class TestKeypairGeneration:
+    def test_modulus_size(self):
+        kp = PaillierKeypair.generate(96, SecureRandom(2))
+        assert kp.public_key.n.bit_length() == 96
+
+    def test_deterministic_generation(self):
+        a = PaillierKeypair.generate(96, SecureRandom(3))
+        b = PaillierKeypair.generate(96, SecureRandom(3))
+        assert a.public_key.n == b.public_key.n

@@ -1,0 +1,120 @@
+"""Unit and property tests for the PRF / PRP constructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prf import Prf, derive_keys, encode_object_id, random_key
+from repro.crypto.prp import FeistelPrp, Prp
+from repro.crypto.rng import SecureRandom
+
+
+class TestPrf:
+    def test_deterministic(self):
+        prf = Prf(b"k" * 32)
+        assert prf.digest(b"msg") == prf.digest(b"msg")
+
+    def test_key_dependence(self):
+        assert Prf(b"a" * 32).digest(b"m") != Prf(b"b" * 32).digest(b"m")
+
+    def test_message_dependence(self):
+        prf = Prf(b"k" * 32)
+        assert prf.digest(b"m1") != prf.digest(b"m2")
+
+    def test_long_output(self):
+        prf = Prf(b"k" * 32)
+        out = prf.digest(b"m", out_bytes=100)
+        assert len(out) == 100
+        assert out[:32] == prf.digest(b"m", out_bytes=32)
+
+    def test_to_int_range(self):
+        prf = Prf(b"k" * 32)
+        for bits in (1, 8, 100, 300):
+            assert 0 <= prf.to_int(b"m", bits) < (1 << bits)
+
+    def test_to_range(self):
+        prf = Prf(b"k" * 32)
+        for modulus in (2, 97, 1 << 128):
+            assert 0 <= prf.to_range(b"m", modulus) < modulus
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Prf(b"")
+
+    def test_derive_keys_distinct(self):
+        prfs = derive_keys(b"master", 5)
+        outputs = {p.digest(b"x") for p in prfs}
+        assert len(outputs) == 5
+
+    def test_derive_keys_label_separation(self):
+        a = derive_keys(b"master", 1, label="x")[0]
+        b = derive_keys(b"master", 1, label="y")[0]
+        assert a.digest(b"m") != b.digest(b"m")
+
+    def test_random_key_length(self):
+        assert len(random_key(SecureRandom(1))) == 32
+
+
+class TestEncodeObjectId:
+    def test_types_supported(self):
+        for value in (0, -5, 123456789, "alice", b"\x00\x01"):
+            assert isinstance(encode_object_id(value), bytes)
+
+    def test_injective_across_types(self):
+        values = [1, -1, "1", b"1", "a", b"a", 0, ""]
+        encodings = [encode_object_id(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_object_id(1.5)
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=40)
+    def test_injective_ints(self, a, b):
+        if a != b:
+            assert encode_object_id(a) != encode_object_id(b)
+
+
+class TestPrp:
+    @pytest.mark.parametrize("size", [1, 2, 5, 16, 100])
+    def test_bijection(self, size):
+        prp = Prp(b"k" * 32, size)
+        assert sorted(prp.forward(i) for i in range(size)) == list(range(size))
+
+    @pytest.mark.parametrize("size", [1, 7, 64])
+    def test_inverse(self, size):
+        prp = Prp(b"k" * 32, size)
+        assert all(prp.inverse(prp.forward(i)) == i for i in range(size))
+
+    def test_key_dependence(self):
+        a = Prp(b"a" * 32, 50).as_list()
+        b = Prp(b"b" * 32, 50).as_list()
+        assert a != b
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Prp(b"k" * 32, 0)
+
+
+class TestFeistelPrp:
+    @pytest.mark.parametrize("size", [2, 10, 100, 1000])
+    def test_bijection(self, size):
+        prp = FeistelPrp(b"k" * 32, size)
+        values = [prp.forward(i) for i in range(size)]
+        assert sorted(values) == list(range(size))
+
+    @pytest.mark.parametrize("size", [2, 37, 256])
+    def test_inverse(self, size):
+        prp = FeistelPrp(b"k" * 32, size)
+        assert all(prp.inverse(prp.forward(i)) == i for i in range(size))
+
+    def test_domain_bounds(self):
+        prp = FeistelPrp(b"k" * 32, 10)
+        with pytest.raises(ValueError):
+            prp.forward(10)
+        with pytest.raises(ValueError):
+            prp.inverse(-1)
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ValueError):
+            FeistelPrp(b"k" * 32, 1)

@@ -1,0 +1,91 @@
+"""Unit and property tests for primality testing and prime generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import (
+    is_probable_prime,
+    lcm,
+    random_prime,
+    random_prime_pair,
+)
+from repro.crypto.rng import SecureRandom
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 101, 997, 7919]
+SMALL_COMPOSITES = [1, 4, 6, 9, 15, 21, 100, 561, 1105, 999, 7917]
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", SMALL_COMPOSITES)
+    def test_composites_rejected(self, c):
+        assert not is_probable_prime(c)
+
+    @pytest.mark.parametrize("c", CARMICHAEL)
+    def test_carmichael_rejected(self, c):
+        """Carmichael numbers fool Fermat but not Miller–Rabin."""
+        assert not is_probable_prime(c)
+
+    def test_negative_and_small(self):
+        assert not is_probable_prime(-7)
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime((1 << 127) - 1)
+
+    def test_large_known_composite(self):
+        # 2^128 + 1 is composite (it has factor 59649589127497217).
+        assert not is_probable_prime((1 << 128) + 1)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=60)
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_probable_prime(n) == trial
+
+
+class TestRandomPrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64])
+    def test_exact_bit_length(self, bits):
+        rng = SecureRandom(1)
+        for _ in range(5):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_forced(self):
+        p = random_prime(32, SecureRandom(2))
+        assert p >> 30 == 0b11
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_prime(3)
+
+    def test_pair_distinct_and_sized(self):
+        rng = SecureRandom(3)
+        p, q = random_prime_pair(40, rng)
+        assert p != q
+        assert (p * q).bit_length() == 80
+
+    def test_deterministic_given_seed(self):
+        assert random_prime(32, SecureRandom(9)) == random_prime(32, SecureRandom(9))
+
+
+class TestLcm:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(4, 6, 12), (3, 5, 15), (10, 10, 10), (1, 7, 7)]
+    )
+    def test_values(self, a, b, expected):
+        assert lcm(a, b) == expected
+
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    @settings(max_examples=30)
+    def test_divisibility(self, a, b):
+        m = lcm(a, b)
+        assert m % a == 0 and m % b == 0

@@ -1,0 +1,58 @@
+"""Tests for RecoverEnc (Algorithm 5)."""
+
+import pytest
+
+from repro.protocols.recover_enc import recover_enc, recover_enc_batch
+
+
+class TestRecoverEnc:
+    def test_single_roundtrip(self, ctx, keypair):
+        inner = ctx.public_key.encrypt(123, ctx.rng)
+        layered = ctx.dj.encrypt_ciphertext(inner, ctx.rng)
+        recovered = recover_enc(ctx, layered)
+        assert keypair.secret_key.decrypt(recovered) == 123
+
+    def test_batch_roundtrip(self, ctx, keypair):
+        values = [0, 1, 7, 10**6, ctx.public_key.n - 1]
+        layered = [
+            ctx.dj.encrypt_ciphertext(ctx.public_key.encrypt(v, ctx.rng), ctx.rng)
+            for v in values
+        ]
+        recovered = recover_enc_batch(ctx, layered)
+        assert [keypair.secret_key.decrypt(c) for c in recovered] == values
+
+    def test_empty_batch(self, ctx):
+        assert recover_enc_batch(ctx, []) == []
+
+    def test_one_round_per_batch(self, ctx):
+        layered = [
+            ctx.dj.encrypt_ciphertext(ctx.public_key.encrypt(v, ctx.rng), ctx.rng)
+            for v in range(5)
+        ]
+        before = ctx.channel.stats.rounds
+        recover_enc_batch(ctx, layered)
+        assert ctx.channel.stats.rounds == before + 1
+
+    def test_output_differs_from_input(self, ctx, keypair):
+        """The recovered ciphertext is a fresh-looking encryption."""
+        inner = ctx.public_key.encrypt(5, ctx.rng)
+        layered = ctx.dj.encrypt_ciphertext(inner, ctx.rng)
+        recovered = recover_enc(ctx, layered)
+        assert recovered.value != inner.value
+        assert keypair.secret_key.decrypt(recovered) == 5
+
+    def test_s2_sees_only_blinded(self, ctx, keypair):
+        """S2's view during RecoverEnc must be the blinded inner value,
+        never the true plaintext (checked via the leakage log kinds)."""
+        inner = ctx.public_key.encrypt(99, ctx.rng)
+        recover_enc(ctx, ctx.dj.encrypt_ciphertext(inner, ctx.rng))
+        kinds = {e.kind for e in ctx.leakage.events}
+        assert kinds == {"recover_batch"}
+
+    def test_works_after_layered_arithmetic(self, ctx, keypair):
+        """RecoverEnc composes with the layered homomorphism."""
+        a = ctx.public_key.encrypt(10, ctx.rng)
+        b = ctx.public_key.encrypt(32, ctx.rng)
+        layered = ctx.dj.encrypt_ciphertext(a, ctx.rng).scalar_ct(b)
+        recovered = recover_enc(ctx, layered)
+        assert keypair.secret_key.decrypt(recovered) == 42

@@ -1,0 +1,101 @@
+"""Unit tests for the deterministic/OS-backed randomness plumbing."""
+
+import pytest
+
+from repro.crypto.rng import SecureRandom, system_random
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = SecureRandom(123), SecureRandom(123)
+        assert [a.randbits(64) for _ in range(10)] == [
+            b.randbits(64) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = SecureRandom(1), SecureRandom(2)
+        assert [a.randbits(64) for _ in range(4)] != [b.randbits(64) for _ in range(4)]
+
+    def test_bytes_seed(self):
+        a, b = SecureRandom(b"seed"), SecureRandom(b"seed")
+        assert a.randbytes(33) == b.randbytes(33)
+
+    def test_spawn_independent_and_deterministic(self):
+        parent = SecureRandom(9)
+        child_a = SecureRandom(9).spawn("x")
+        child_b = SecureRandom(9).spawn("x")
+        child_c = SecureRandom(9).spawn("y")
+        sa = [child_a.randbits(32) for _ in range(5)]
+        assert sa == [child_b.randbits(32) for _ in range(5)]
+        assert sa != [child_c.randbits(32) for _ in range(5)]
+        assert parent.deterministic
+
+    def test_os_backed_mode(self):
+        r = system_random()
+        assert not r.deterministic
+        assert len(r.randbytes(16)) == 16
+
+
+class TestRanges:
+    def test_randbits_range(self):
+        r = SecureRandom(1)
+        for k in (1, 7, 63, 200):
+            for _ in range(50):
+                assert 0 <= r.randbits(k) < (1 << k)
+
+    def test_randbits_zero(self):
+        assert SecureRandom(1).randbits(0) == 0
+
+    def test_randint_below(self):
+        r = SecureRandom(2)
+        values = {r.randint_below(5) for _ in range(200)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_randint_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SecureRandom(1).randint_below(0)
+
+    def test_randint_inclusive(self):
+        r = SecureRandom(3)
+        values = {r.randint(3, 5) for _ in range(100)}
+        assert values == {3, 4, 5}
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            SecureRandom(1).randint(5, 4)
+
+    def test_rand_unit_is_unit(self):
+        import math
+
+        r = SecureRandom(4)
+        for modulus in (15, 35, 77):
+            for _ in range(20):
+                u = r.rand_unit(modulus)
+                assert math.gcd(u, modulus) == 1
+
+    def test_rand_nonzero(self):
+        r = SecureRandom(5)
+        assert all(1 <= r.rand_nonzero(7) <= 6 for _ in range(50))
+
+
+class TestPermutations:
+    def test_shuffle_is_permutation(self):
+        r = SecureRandom(6)
+        items = list(range(20))
+        shuffled = list(items)
+        r.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_permutation(self):
+        r = SecureRandom(7)
+        perm = r.permutation(10)
+        assert sorted(perm) == list(range(10))
+
+    def test_choice(self):
+        r = SecureRandom(8)
+        assert r.choice([42]) == 42
+        assert all(r.choice(["a", "b"]) in ("a", "b") for _ in range(10))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            SecureRandom(1).choice([])

@@ -1,0 +1,134 @@
+"""Tests for SecDedup (Algorithm 7) and SecDupElim (Section 10.1)."""
+
+import pytest
+
+from repro.protocols.sec_dedup import sec_dedup
+from repro.protocols.sec_dup_elim import sec_dup_elim
+from repro.exceptions import ProtocolError
+from repro.structures.ehl_plus import EhlPlusFactory
+from repro.structures.items import ScoredItem
+
+
+@pytest.fixture()
+def factory(ctx):
+    return EhlPlusFactory(ctx.public_key, b"d" * 32, n_hashes=3, rng=ctx.rng)
+
+
+def _scored(ctx, factory, object_id, worst, best):
+    return ScoredItem(
+        ehl=factory.encode(object_id),
+        worst=ctx.encrypt(worst),
+        best=ctx.encrypt(best),
+        record=ctx.encrypt(hash(object_id) % 1000),
+    )
+
+
+def _decrypt_pairs(items, keypair):
+    sk = keypair.secret_key
+    return sorted((sk.decrypt_signed(i.worst), sk.decrypt_signed(i.best)) for i in items)
+
+
+class TestSecDedup:
+    def test_no_duplicates_preserved(self, ctx, factory, keypair, own_keypair):
+        items = [_scored(ctx, factory, f"o{i}", i * 10, i * 10 + 1) for i in range(4)]
+        result = sec_dedup(ctx, items, own_keypair)
+        assert len(result) == 4
+        assert _decrypt_pairs(result, keypair) == _decrypt_pairs(items, keypair)
+
+    def test_duplicates_buried(self, ctx, factory, keypair, own_keypair):
+        items = [
+            _scored(ctx, factory, "dup", 10, 20),
+            _scored(ctx, factory, "dup", 10, 20),
+            _scored(ctx, factory, "solo", 5, 6),
+        ]
+        result = sec_dedup(ctx, items, own_keypair)
+        assert len(result) == 3
+        scores = _decrypt_pairs(result, keypair)
+        sentinel = -ctx.encoder.sentinel
+        assert (sentinel, sentinel) in scores
+        assert (10, 20) in scores
+        assert (5, 6) in scores
+
+    def test_buried_identity_randomized(self, ctx, factory, keypair, own_keypair):
+        items = [_scored(ctx, factory, "dup", 1, 1) for _ in range(2)]
+        result = sec_dedup(ctx, items, own_keypair)
+        # After burial the two items must no longer test equal.
+        eq = result[0].ehl.minus(result[1].ehl, ctx.rng)
+        assert keypair.secret_key.decrypt(eq) != 0
+
+    def test_rank_preference(self, ctx, factory, keypair, own_keypair):
+        """The lowest-rank copy survives with its scores intact."""
+        items = [
+            _scored(ctx, factory, "dup", 111, 222),   # rank 1
+            _scored(ctx, factory, "dup", 333, 444),   # rank 0  <- keeper
+        ]
+        result = sec_dedup(ctx, items, own_keypair, ranks=[1, 0])
+        scores = _decrypt_pairs(result, keypair)
+        assert (333, 444) in scores
+        assert (111, 222) not in scores
+
+    def test_fresh_encryptions(self, ctx, factory, own_keypair):
+        items = [_scored(ctx, factory, "a", 1, 2), _scored(ctx, factory, "b", 3, 4)]
+        originals = {i.worst.value for i in items}
+        result = sec_dedup(ctx, items, own_keypair)
+        assert all(i.worst.value not in originals for i in result)
+
+    def test_trivial_inputs(self, ctx, factory, own_keypair):
+        assert sec_dedup(ctx, [], own_keypair) == []
+        single = [_scored(ctx, factory, "x", 1, 2)]
+        assert sec_dedup(ctx, single, own_keypair) == single
+
+    def test_rank_length_validated(self, ctx, factory, own_keypair):
+        items = [_scored(ctx, factory, "a", 1, 2), _scored(ctx, factory, "b", 3, 4)]
+        with pytest.raises(ProtocolError):
+            sec_dedup(ctx, items, own_keypair, ranks=[0])
+
+    def test_group_size_leakage_recorded(self, ctx, factory, own_keypair):
+        items = [
+            _scored(ctx, factory, "dup", 1, 2),
+            _scored(ctx, factory, "dup", 1, 2),
+            _scored(ctx, factory, "x", 3, 4),
+        ]
+        sec_dedup(ctx, items, own_keypair)
+        groups = ctx.leakage.by_kind("dedup_groups")[-1].payload
+        assert groups == [1, 2]
+
+
+class TestSecDupElim:
+    def test_duplicates_dropped(self, ctx, factory, keypair, own_keypair):
+        items = [
+            _scored(ctx, factory, "dup", 10, 20),
+            _scored(ctx, factory, "dup", 10, 20),
+            _scored(ctx, factory, "solo", 5, 6),
+        ]
+        result = sec_dup_elim(ctx, items, own_keypair)
+        assert len(result) == 2
+        assert _decrypt_pairs(result, keypair) == [(5, 6), (10, 20)]
+
+    def test_three_way_group(self, ctx, factory, keypair, own_keypair):
+        items = [_scored(ctx, factory, "t", 7, 8) for _ in range(3)]
+        items.append(_scored(ctx, factory, "u", 1, 2))
+        result = sec_dup_elim(ctx, items, own_keypair)
+        assert len(result) == 2
+
+    def test_rank_preference(self, ctx, factory, keypair, own_keypair):
+        items = [
+            _scored(ctx, factory, "dup", 111, 222),
+            _scored(ctx, factory, "dup", 333, 444),
+        ]
+        result = sec_dup_elim(ctx, items, own_keypair, ranks=[5, 2])
+        assert _decrypt_pairs(result, keypair) == [(333, 444)]
+
+    def test_uniqueness_leakage_recorded(self, ctx, factory, own_keypair):
+        items = [
+            _scored(ctx, factory, "dup", 1, 1),
+            _scored(ctx, factory, "dup", 1, 1),
+        ]
+        sec_dup_elim(ctx, items, own_keypair)
+        uniques = [e for e in ctx.leakage.by_kind("unique_count")]
+        assert any(e.payload == 1 for e in uniques)
+
+    def test_no_duplicates_noop(self, ctx, factory, keypair, own_keypair):
+        items = [_scored(ctx, factory, f"o{i}", i, i) for i in range(3)]
+        result = sec_dup_elim(ctx, items, own_keypair)
+        assert len(result) == 3

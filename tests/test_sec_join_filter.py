@@ -1,0 +1,106 @@
+"""Tests for SecJoin (Algorithm 11) and SecFilter (Algorithm 12)."""
+
+import pytest
+
+from repro.protocols.sec_filter import JoinedTuple, sec_filter
+from repro.protocols.sec_join import SCORE_OFFSET, sec_join
+from repro.structures.ehl_plus import EhlPlusFactory
+
+
+@pytest.fixture()
+def factory(ctx):
+    return EhlPlusFactory(ctx.public_key, b"j" * 32, n_hashes=3, rng=ctx.rng)
+
+
+def _tuple(ctx, factory, values, record=0):
+    return {
+        "ehl": [factory.encode(v) for v in values],
+        "scores": [ctx.encrypt(v) for v in values],
+        "record": ctx.encrypt(record),
+    }
+
+
+class TestSecFilter:
+    def test_drops_zero_scores(self, ctx, keypair, own_keypair):
+        tuples = [
+            JoinedTuple(score=ctx.encrypt(5), attributes=[ctx.encrypt(50)]),
+            JoinedTuple(score=ctx.encrypt(0), attributes=[ctx.encrypt(60)]),
+            JoinedTuple(score=ctx.encrypt(9), attributes=[ctx.encrypt(70)]),
+        ]
+        result = sec_filter(ctx, tuples, own_keypair)
+        sk = keypair.secret_key
+        got = sorted((sk.decrypt(t.score), sk.decrypt(t.attributes[0])) for t in result)
+        assert got == [(5, 50), (9, 70)]
+
+    def test_all_dropped(self, ctx, own_keypair):
+        tuples = [JoinedTuple(score=ctx.encrypt(0), attributes=[]) for _ in range(3)]
+        assert sec_filter(ctx, tuples, own_keypair) == []
+
+    def test_empty_input(self, ctx, own_keypair):
+        assert sec_filter(ctx, [], own_keypair) == []
+
+    def test_fresh_encryptions(self, ctx, own_keypair):
+        t = JoinedTuple(score=ctx.encrypt(5), attributes=[ctx.encrypt(1)])
+        result = sec_filter(ctx, [t], own_keypair)
+        assert result[0].score.value != t.score.value
+        assert result[0].attributes[0].value != t.attributes[0].value
+
+    def test_cardinality_leakage_recorded(self, ctx, own_keypair):
+        tuples = [
+            JoinedTuple(score=ctx.encrypt(5), attributes=[]),
+            JoinedTuple(score=ctx.encrypt(0), attributes=[]),
+        ]
+        sec_filter(ctx, tuples, own_keypair)
+        flags = ctx.leakage.by_kind("filter_flag")
+        assert flags[-1].payload == 1  # one survivor
+
+
+class TestSecJoin:
+    def test_cross_product_size(self, ctx, factory):
+        left = [_tuple(ctx, factory, [1, 10], r) for r in range(2)]
+        right = [_tuple(ctx, factory, [1, 20], r) for r in range(3)]
+        combined = sec_join(ctx, left, right, (0, 0), (1, 1))
+        assert len(combined) == 6
+
+    def test_matching_pair_scored(self, ctx, factory, keypair):
+        left = [_tuple(ctx, factory, [7, 10])]
+        right = [_tuple(ctx, factory, [7, 32])]
+        combined = sec_join(ctx, left, right, (0, 0), (1, 1))
+        score = keypair.secret_key.decrypt(combined[0].score)
+        assert score == 10 + 32 + SCORE_OFFSET
+
+    def test_non_matching_pair_zeroed(self, ctx, factory, keypair):
+        left = [_tuple(ctx, factory, [7, 10])]
+        right = [_tuple(ctx, factory, [8, 32])]
+        combined = sec_join(ctx, left, right, (0, 0), (1, 1))
+        assert keypair.secret_key.decrypt(combined[0].score) == 0
+
+    def test_carried_attributes(self, ctx, factory, keypair):
+        left = [_tuple(ctx, factory, [7, 10, 3], record=11)]
+        right = [_tuple(ctx, factory, [7, 32, 4], record=22)]
+        combined = sec_join(
+            ctx, left, right, (0, 0), (1, 1), carry_attrs=([1, 2], [1, 2])
+        )
+        sk = keypair.secret_key
+        values = [sk.decrypt(a) for a in combined[0].attributes]
+        # carried: left attrs 1,2 then right attrs 1,2 then both records.
+        assert values == [10, 3, 32, 4, 11, 22]
+
+    def test_join_then_filter(self, ctx, factory, keypair, own_keypair):
+        left = [_tuple(ctx, factory, [1, 10]), _tuple(ctx, factory, [2, 20])]
+        right = [_tuple(ctx, factory, [1, 5]), _tuple(ctx, factory, [3, 9])]
+        combined = sec_join(ctx, left, right, (0, 0), (1, 1))
+        survivors = sec_filter(ctx, combined, own_keypair)
+        assert len(survivors) == 1
+        score = keypair.secret_key.decrypt(survivors[0].score) - SCORE_OFFSET
+        assert score == 15
+
+    def test_zero_scores_still_join(self, ctx, factory, keypair, own_keypair):
+        """A legitimate pair whose combined score is 0 must survive the
+        filter thanks to SCORE_OFFSET."""
+        left = [_tuple(ctx, factory, [4, 0])]
+        right = [_tuple(ctx, factory, [4, 0])]
+        combined = sec_join(ctx, left, right, (0, 0), (1, 1))
+        survivors = sec_filter(ctx, combined, own_keypair)
+        assert len(survivors) == 1
+        assert keypair.secret_key.decrypt(survivors[0].score) == SCORE_OFFSET

@@ -1,0 +1,94 @@
+"""Tests for SecUpdate (Algorithm 9): merging a depth batch into T."""
+
+import pytest
+
+from repro.protocols.sec_update import sec_update
+from repro.structures.ehl_plus import EhlPlusFactory
+from repro.structures.items import ScoredItem
+
+
+@pytest.fixture()
+def factory(ctx):
+    return EhlPlusFactory(ctx.public_key, b"u" * 32, n_hashes=3, rng=ctx.rng)
+
+
+def _scored(ctx, factory, object_id, worst, best):
+    return ScoredItem(
+        ehl=factory.encode(object_id),
+        worst=ctx.encrypt(worst),
+        best=ctx.encrypt(best),
+        record=ctx.encrypt(0),
+    )
+
+
+def _pairs(items, keypair):
+    sk = keypair.secret_key
+    return sorted((sk.decrypt_signed(i.worst), sk.decrypt_signed(i.best)) for i in items)
+
+
+class TestSecUpdate:
+    def test_empty_t_appends_all(self, ctx, factory, keypair, own_keypair):
+        gamma = [_scored(ctx, factory, "a", 1, 10), _scored(ctx, factory, "b", 2, 20)]
+        result = sec_update(ctx, [], gamma, own_keypair, eliminate=True)
+        assert _pairs(result, keypair) == [(1, 10), (2, 20)]
+
+    def test_empty_gamma_keeps_t(self, ctx, factory, keypair, own_keypair):
+        t = [_scored(ctx, factory, "a", 5, 9)]
+        result = sec_update(ctx, t, [], own_keypair, eliminate=True)
+        assert _pairs(result, keypair) == [(5, 9)]
+
+    def test_matched_accumulates_worst_refreshes_best(
+        self, ctx, factory, keypair, own_keypair
+    ):
+        """A matched candidate's worst grows by the depth contribution and
+        its best is replaced by the freshly computed bound."""
+        t = [_scored(ctx, factory, "a", 10, 100)]
+        gamma = [_scored(ctx, factory, "a", 7, 80)]
+        result = sec_update(ctx, t, gamma, own_keypair, eliminate=True)
+        assert _pairs(result, keypair) == [(17, 80)]
+
+    def test_unmatched_appended(self, ctx, factory, keypair, own_keypair):
+        t = [_scored(ctx, factory, "a", 10, 100)]
+        gamma = [_scored(ctx, factory, "b", 7, 80)]
+        result = sec_update(ctx, t, gamma, own_keypair, eliminate=True)
+        assert _pairs(result, keypair) == [(7, 80), (10, 100)]
+
+    def test_mixed_batch(self, ctx, factory, keypair, own_keypair):
+        t = [
+            _scored(ctx, factory, "a", 10, 100),
+            _scored(ctx, factory, "b", 20, 200),
+        ]
+        gamma = [
+            _scored(ctx, factory, "b", 5, 150),   # matches b
+            _scored(ctx, factory, "c", 1, 50),    # new
+        ]
+        result = sec_update(ctx, t, gamma, own_keypair, eliminate=True)
+        assert _pairs(result, keypair) == [(1, 50), (10, 100), (25, 150)]
+
+    def test_bury_mode_keeps_length(self, ctx, factory, keypair, own_keypair):
+        t = [_scored(ctx, factory, "a", 10, 100)]
+        gamma = [_scored(ctx, factory, "a", 7, 80)]
+        result = sec_update(ctx, t, gamma, own_keypair, eliminate=False)
+        assert len(result) == 2  # merged entry + buried husk
+        sentinel = -ctx.encoder.sentinel
+        assert (17, 80) in _pairs(result, keypair)
+        assert (sentinel, sentinel) in _pairs(result, keypair)
+
+    def test_accumulation_over_multiple_updates(
+        self, ctx, factory, keypair, own_keypair
+    ):
+        """Simulates three depths of one object being seen repeatedly."""
+        t = []
+        for depth, (w, b) in enumerate([(4, 40), (3, 30), (2, 20)]):
+            gamma = [_scored(ctx, factory, "obj", w, b)]
+            t = sec_update(ctx, t, gamma, own_keypair, eliminate=True)
+        assert _pairs(t, keypair) == [(9, 20)]
+
+    def test_junk_in_t_never_matches(self, ctx, factory, keypair, own_keypair):
+        """Buried husks in T must not absorb new items' scores."""
+        t = [_scored(ctx, factory, "a", 1, 2), _scored(ctx, factory, "a", 1, 2)]
+        t = sec_update(ctx, [], t, own_keypair, eliminate=False)  # bury one
+        gamma = [_scored(ctx, factory, "a", 10, 20)]
+        result = sec_update(ctx, t, gamma, own_keypair, eliminate=False)
+        pairs = _pairs(result, keypair)
+        assert (11, 20) in pairs  # the live entry absorbed the new score
