@@ -1,0 +1,140 @@
+"""Server throughput and round-coalescing evidence.
+
+Two series, emitted to ``benchmarks/results/throughput.txt``:
+
+* **Throughput** — queries/sec through the :class:`~repro.server.TopKServer`
+  front-end for both transport backends and several concurrency levels.
+  Pure-Python big-int crypto holds the GIL, so thread concurrency mostly
+  overlaps link latency rather than CPU; the point of the series is that
+  the session machinery adds negligible overhead and scales without
+  cross-session interference.
+
+* **Round coalescing** — measured ``ChannelStats.rounds`` per scanned
+  depth as the number of query lists ``m`` grows.  The uncoalesced
+  formulation pays O(m) round-trips per depth (eager: ``2m`` absorption
+  rounds; literal: ``4m`` SecWorst/SecBest rounds); the coalescing layer
+  collapses each depth stage into one round-trip, so measured
+  rounds/depth stays flat in ``m`` — the per-depth round complexity of
+  the paper's Table 3.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import SeriesReport
+from repro.core.params import SystemParams
+from repro.core.results import QueryConfig
+from repro.core.scheme import SecTopK
+from repro.crypto.rng import SecureRandom
+from repro.server import TopKServer
+
+N_ROWS = 16
+N_ATTRS = 4
+N_QUERIES = 6
+SEED = 2024
+
+
+def _deployment(m: int = N_ATTRS) -> tuple[SecTopK, object, list[list[int]]]:
+    rng = SecureRandom(SEED)
+    rows = [[rng.randint_below(50) for _ in range(m)] for _ in range(N_ROWS)]
+    scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+    return scheme, scheme.encrypt(rows), rows
+
+
+def _workload(scheme: SecTopK, count: int):
+    """A mix of distinct small queries (different attribute subsets)."""
+    subsets = [[0, 1], [1, 2], [0, 2], [0, 1, 2], [2, 3], [1, 3]]
+    config = QueryConfig(variant="elim", engine="eager", halting="paper")
+    return [
+        (scheme.token(subsets[i % len(subsets)], k=2), config)
+        for i in range(count)
+    ]
+
+
+def run_throughput() -> SeriesReport:
+    report = SeriesReport(
+        title="Server throughput: TopKServer queries/sec "
+        f"(n={N_ROWS}, m={N_ATTRS}, k=2, {N_QUERIES} queries, tiny params)",
+        header=["transport", "concurrency", "queries", "seconds", "qps"],
+    )
+    for transport in ("inprocess", "threaded"):
+        for concurrency in (1, 2, 4):
+            scheme, relation, _ = _deployment()
+            requests = _workload(scheme, N_QUERIES)
+            with TopKServer(scheme, relation, transport=transport) as server:
+                started = time.perf_counter()
+                results = server.execute_many(requests, concurrency=concurrency)
+                elapsed = time.perf_counter() - started
+            assert all(len(r.items) == 2 for r in results)
+            report.add(
+                [
+                    transport,
+                    concurrency,
+                    N_QUERIES,
+                    f"{elapsed:.2f}",
+                    f"{N_QUERIES / elapsed:.2f}",
+                ]
+            )
+    report.note(
+        "GIL-bound big-int crypto: threads overlap link latency, not CPU; "
+        "session isolation is the scaling primitive a multi-process "
+        "deployment reuses."
+    )
+    return report
+
+
+def run_coalescing() -> SeriesReport:
+    report = SeriesReport(
+        title="Round coalescing: measured rounds/depth vs query width m "
+        "(uncoalesced pays O(m) rounds/depth)",
+        header=[
+            "engine",
+            "m",
+            "depth",
+            "rounds",
+            "rounds/depth",
+            "uncoalesced est.",
+        ],
+    )
+    for engine in ("eager", "literal"):
+        for m in (2, 3, 4):
+            scheme, relation, _ = _deployment()
+            token = scheme.token(list(range(m)), k=2)
+            config = QueryConfig(variant="elim", engine=engine, halting="paper")
+            result = scheme.query(relation, token, config)
+            depth = result.halting_depth
+            rounds = result.channel_stats.rounds
+            # Per-depth rounds before coalescing: eager paid 2m absorption
+            # rounds (+~4 check-point rounds), literal 4m SecWorst/SecBest
+            # rounds (+~6 update/check rounds).
+            estimate = (2 * m + 4) if engine == "eager" else (4 * m + 6)
+            report.add(
+                [
+                    engine,
+                    m,
+                    depth,
+                    rounds,
+                    f"{rounds / depth:.1f}",
+                    f"~{estimate}/depth",
+                ]
+            )
+    report.note(
+        "rounds/depth stays flat as m grows: each depth's equality stage "
+        "and RecoverEnc stage cross the link as one coalesced round-trip."
+    )
+    return report
+
+
+def test_throughput_series():
+    """Pytest entry point: emit both series."""
+    run_throughput().emit("throughput.txt")
+    run_coalescing().emit("throughput.txt")
+
+
+if __name__ == "__main__":
+    run_throughput().emit("throughput.txt")
+    run_coalescing().emit("throughput.txt")

@@ -29,6 +29,8 @@ reported in Section 11.3.
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass
 
 from repro.crypto.damgard_jurik import DamgardJurik
@@ -36,8 +38,8 @@ from repro.crypto.encoding import SignedEncoder
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError
-from repro.net.channel import Channel
-from repro.protocols.base import CryptoCloud, LeakageLog, S1Context
+from repro.net.messages import RecordShipment, SquareBlinded
+from repro.protocols.base import S1Context, wire_clouds
 from repro.protocols.enc_compare import enc_compare
 from repro.core.params import SystemParams
 
@@ -86,6 +88,8 @@ class SknnScheme:
             score_bits=self.params.score_bits,
             blind_bits=self.params.blind_bits,
         )
+        # Monotonic salt so every context draws independent randomness.
+        self._ctx_counter = itertools.count()
 
     def encrypt(self, rows: list[list[int]]) -> SknnEncryptedRelation:
         """Encrypt the attribute values (the [21] storage format)."""
@@ -107,18 +111,16 @@ class SknnScheme:
             records=records, n_objects=len(rows), n_attributes=len(rows[0])
         )
 
-    def make_clouds(self) -> S1Context:
+    def make_clouds(self, transport: str = "inprocess") -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud."""
-        leakage = LeakageLog()
-        s2 = CryptoCloud(self.keypair, self.dj, self._rng.spawn("s2"), leakage)
-        return S1Context(
-            public_key=self.public_key,
-            dj=self.dj,
-            encoder=self.encoder,
-            channel=Channel(),
-            s2=s2,
-            rng=self._rng.spawn("s1"),
-            leakage=leakage,
+        salt = f"#{next(self._ctx_counter)}"
+        return wire_clouds(
+            self.keypair,
+            self.dj,
+            self.encoder,
+            transport,
+            self._rng.spawn("s1" + salt),
+            self._rng.spawn("s2" + salt),
         )
 
     # ------------------------------------------------------------------
@@ -132,18 +134,24 @@ class SknnScheme:
         """
         r = ctx.rng.randint_below(1 << (self.encoder.score_bits // 2 + self.encoder.blind_bits))
         blinded = ctx.public_key.rerandomize(ct + r, ctx.rng)
-        with ctx.channel.round(PROTOCOL):
-            ctx.channel.send(blinded)
-            value = ctx.s2.decrypt_for_protocol(blinded, PROTOCOL, "dgk_blinded")
-            squared = ctx.channel.receive(ctx.s2.fresh_encrypt(value * value % ctx.public_key.n))
+        squared = ctx.call(SquareBlinded(protocol=PROTOCOL, ct=blinded))
         return squared - ct * (2 * r) - r * r
 
     def query(
         self, relation: SknnEncryptedRelation, k: int, ctx: S1Context | None = None
     ) -> SknnResult:
         """Retrieve the top-k by ``Σ x_i^2`` the SkNN way (full scan)."""
+        owns_ctx = ctx is None
         ctx = ctx or self.make_clouds()
+        try:
+            return self._query(relation, k, ctx)
+        finally:
+            if owns_ctx:
+                ctx.close()
 
+    def _query(
+        self, relation: SknnEncryptedRelation, k: int, ctx: S1Context
+    ) -> SknnResult:
         with ctx.channel.protocol(PROTOCOL):
             # Phase 1 — O(n·m) interactive secure multiplications.
             distances: list[Ciphertext] = []
@@ -161,13 +169,15 @@ class SknnScheme:
             excluded: set[int] = set()
             for _ in range(k):
                 candidates = [i for i in range(len(distances)) if i not in excluded]
-                with ctx.channel.round(PROTOCOL):
-                    ctx.channel.send(
-                        [
+                ctx.call(
+                    RecordShipment(
+                        protocol=PROTOCOL,
+                        objects=[
                             [ctx.public_key.rerandomize(v, ctx.rng) for v in relation.records[i]["values"]]
                             for i in candidates
-                        ]
+                        ],
                     )
+                )
                 best = candidates[0]
                 for idx in candidates[1:]:
                     if enc_compare(

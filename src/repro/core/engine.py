@@ -21,6 +21,15 @@ Two engines implement the same functionality:
   so halting can come later than plaintext NRA — but the reported top-k
   set is still correct (DESIGN.md §3).
 
+Round coalescing: every independent S2 interaction of one depth is a
+*flow* (see :mod:`repro.net.batching`), and the engines run a depth's
+flows lock-step so each stage crosses the link as ONE round-trip.  A
+depth therefore costs O(1) rounds regardless of the number of query
+lists ``m`` or the candidate-list size — the per-depth round complexity
+the paper's Table 3 assumes — where the uncoalesced formulation paid
+O(m) (eager absorption, literal SecWorst/SecBest) or O(|T|) (strict
+halting) rounds.
+
 Neither engine ever sees a plaintext: every decision flows through the
 sub-protocols, and S1's only observations are the declared ``L1`` leakage
 (query pattern, halting depth, and — in the elim variants — the
@@ -32,23 +41,23 @@ from __future__ import annotations
 import time
 
 from repro.crypto.damgard_jurik import (
-    LayeredCiphertext,
     layered_one_hot_select,
     layered_select,
 )
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
 from repro.exceptions import QueryError
 from repro.protocols.base import S1Context
-from repro.protocols.enc_compare import enc_compare
+from repro.net.messages import ZeroTestBatch
+from repro.protocols.enc_compare import enc_compare, enc_compare_flow
 from repro.protocols.enc_sort import enc_sort
-from repro.protocols.recover_enc import recover_enc_batch
-from repro.protocols.sec_best import sec_best
+from repro.protocols.recover_enc import recover_enc_flow
+from repro.protocols.sec_best import sec_best_flow
 from repro.protocols.sec_dedup import sec_dedup
 from repro.protocols.sec_dup_elim import sec_dup_elim
 from repro.protocols.sec_update import sec_update
-from repro.protocols.sec_worst import sec_worst
+from repro.protocols.sec_worst import sec_worst_flow
 from repro.core.results import QueryConfig
-from repro.structures.items import EncryptedItem, ScoredItem
+from repro.structures.items import EncryptedItem, ListPrefix, ScoredItem
 
 PROTOCOL = "SecQuery"
 
@@ -84,42 +93,67 @@ class _EngineBase:
         self.sort_method = sort_method
         self.depth_seconds: list[float] = []
 
+    # -- unseen-object bound ---------------------------------------------
+
+    def _unseen_bound(self, depth: int) -> Ciphertext:
+        """``Enc(Σ_j bottom_j)`` at ``depth`` — the NRA unseen-object bound.
+
+        Computed on demand, once per check depth (the halting rule is its
+        only consumer); hoisted into a helper so a future shard fan-in
+        can share it.
+        """
+        total = self.lists[0][depth].score
+        for j in range(1, self.m):
+            total = total + self.lists[j][depth].score
+        return total
+
     # -- halting ---------------------------------------------------------
 
     def _halting_check(
         self, t_sorted: list[ScoredItem], depth: int
     ) -> bool:
-        """Evaluate the halting rule on the sorted candidate list."""
+        """Evaluate the halting rule on the sorted candidate list.
+
+        Two stages, each one coalesced round for the blinded construction
+        (three for DGK): the unseen-object bound first — preserving the
+        cheap early-out on the common non-halting path — then all
+        remaining per-candidate comparisons together, regardless of the
+        candidate-list size (the uncoalesced strict rule paid one round
+        per candidate).
+        """
         if len(t_sorted) < self.k:
             return False
         last_depth = depth == self.n - 1
         if last_depth:
             return True
         w_k = t_sorted[self.k - 1].worst
+        ctx = self.ctx
 
-        # Unseen-object bound: B(unseen) = sum of current bottom scores.
-        bottom_sum = self.lists[0][depth].score
-        for j in range(1, self.m):
-            bottom_sum = bottom_sum + self.lists[j][depth].score
+        # Stage 1 — unseen-object bound: B(unseen) = sum of bottom scores.
         if not enc_compare(
-            self.ctx, bottom_sum, w_k, method=self.compare_method, protocol=PROTOCOL
+            ctx,
+            self._unseen_bound(depth),
+            w_k,
+            method=self.compare_method,
+            protocol=PROTOCOL,
         ):
             return False
 
+        # Stage 2 — candidate bounds, coalesced into one round.
         if self.config.halting == "paper":
             if len(t_sorted) == self.k:
                 return True
-            nxt = t_sorted[self.k]
-            return enc_compare(
-                self.ctx, nxt.best, w_k, method=self.compare_method, protocol=PROTOCOL
+            candidates = [t_sorted[self.k]]
+        else:
+            # strict: every candidate outside the top-k must be dominated.
+            candidates = t_sorted[self.k :]
+        flows = [
+            enc_compare_flow(
+                ctx, item.best, w_k, method=self.compare_method, protocol=PROTOCOL
             )
-        # strict: every candidate outside the top-k must be dominated.
-        for item in t_sorted[self.k :]:
-            if not enc_compare(
-                self.ctx, item.best, w_k, method=self.compare_method, protocol=PROTOCOL
-            ):
-                return False
-        return True
+            for item in candidates
+        ]
+        return all(ctx.run_flows(flows))
 
     def _sort(self, items: list[ScoredItem]) -> list[ScoredItem]:
         with self.ctx.channel.protocol(PROTOCOL):
@@ -154,11 +188,9 @@ class EagerEngine(_EngineBase):
     def run(self) -> tuple[list[ScoredItem], int]:
         """Execute the query; returns (top-k items, 1-based halting depth)."""
         t_list: list[ScoredItem] = []
-        dj = self.ctx.dj
         for depth in range(self._max_depth()):
             started = time.perf_counter()
-            for j in range(self.m):
-                t_list = self._absorb(t_list, j, self.lists[j][depth])
+            t_list = self._absorb_depth(t_list, depth)
             if self._is_check_depth(depth):
                 self._refresh_bounds(t_list, depth)
                 t_list = self._dedup(t_list, list(range(len(t_list))))
@@ -174,36 +206,64 @@ class EagerEngine(_EngineBase):
         t_list = self._sort(t_list)
         return t_list[: self.k], self._max_depth()
 
-    # -- per-item absorption ---------------------------------------------
+    # -- coalesced per-depth absorption ----------------------------------
 
-    def _absorb(
-        self, t_list: list[ScoredItem], list_slot: int, item: EncryptedItem
+    def _absorb_depth(
+        self, t_list: list[ScoredItem], depth: int
     ) -> list[ScoredItem]:
-        """Fold one sorted-access item into the candidate state.
+        """Fold all ``m`` sorted-access items of one depth into the state.
 
-        Runs the equality test against every current candidate, credits
-        the matched candidate's ``list_slot`` score/seen state, and
-        appends a new candidate entry that is homomorphically neutralized
-        when the object was already known (S1 cannot branch on the
-        encrypted match bit); check-point deduplication clears the
-        neutralized husks.
+        The per-list absorptions are independent up to candidate-identity
+        bookkeeping (an item only needs the *identities* — EHLs — of the
+        candidates before it, which are known at depth start), so their
+        equality tests ship in one round and their ``RecoverEnc`` batches
+        in a second — two round-trips per depth instead of ``2m``.
+        """
+        items = [self.lists[j][depth] for j in range(self.m)]
+        shared = list(t_list)
+        base = len(shared)
+        flows = [
+            self._absorb_flow(shared, base, j, items) for j in range(self.m)
+        ]
+        self.ctx.run_flows(flows)
+        return shared
+
+    def _absorb_flow(
+        self,
+        shared: list[ScoredItem],
+        base: int,
+        list_slot: int,
+        items: list[EncryptedItem],
+    ):
+        """One list's absorption at the current depth (flow form).
+
+        Runs the equality test against every candidate known before this
+        item (earlier depths' candidates plus this depth's earlier list
+        items), credits the matched candidate's ``list_slot`` score/seen
+        state, and appends a new candidate entry that is homomorphically
+        neutralized when the object was already known (S1 cannot branch
+        on the encrypted match bit); check-point deduplication clears the
+        neutralized husks.  Flows are advanced in list order, so by the
+        time this flow mutates candidate state, every earlier list's
+        entry for this depth exists in ``shared``.
         """
         ctx = self.ctx
         dj = ctx.dj
+        item = items[list_slot]
         zero = ctx.zero()
+        n_candidates = base + list_slot
+        ehls = [shared[i].ehl for i in range(base)] + [
+            items[i].ehl for i in range(list_slot)
+        ]
 
-        bits: list[LayeredCiphertext] = []
-        if t_list:
+        bits = []
+        if n_candidates:
             # Permute before shipping so S2's equality-pattern view is the
             # declared EP_d leakage (pattern up to a random permutation).
-            order = ctx.rng.permutation(len(t_list))
-            with ctx.channel.round(PROTOCOL):
-                eq_cts = [item.ehl.minus(t_list[i].ehl, ctx.rng) for i in order]
-                ctx.channel.send(eq_cts)
-                permuted_bits = ctx.channel.receive(
-                    ctx.s2.test_zero_batch(eq_cts, PROTOCOL)
-                )
-            bits = [None] * len(t_list)
+            order = ctx.rng.permutation(n_candidates)
+            eq_cts = [item.ehl.minus(ehls[i], ctx.rng) for i in order]
+            permuted_bits = yield ZeroTestBatch(protocol=PROTOCOL, cts=eq_cts)
+            bits = [None] * n_candidates
             for slot, i in enumerate(order):
                 bits[i] = permuted_bits[slot]
 
@@ -221,12 +281,14 @@ class EagerEngine(_EngineBase):
             own_layered = layered_one_hot_select(dj, [matched], [zero], item.score)
             layered.append(own_layered)
 
-        with ctx.channel.protocol(PROTOCOL):
-            recovered = recover_enc_batch(ctx, layered, PROTOCOL)
+        recovered = yield from recover_enc_flow(ctx, layered, PROTOCOL)
 
-        for t_item, bit, credit in zip(t_list, bits, recovered):
-            t_item.list_scores[list_slot] = t_item.list_scores[list_slot] + credit
-            t_item.seen_bits[list_slot] = t_item.seen_bits[list_slot] + bit
+        for i, (bit, credit) in enumerate(zip(bits, recovered)):
+            candidate = shared[i]
+            candidate.list_scores[list_slot] = (
+                candidate.list_scores[list_slot] + credit
+            )
+            candidate.seen_bits[list_slot] = candidate.seen_bits[list_slot] + bit
 
         own_score = recovered[-1] if own_layered is not None else item.score
         entry = ScoredItem(
@@ -243,7 +305,12 @@ class EagerEngine(_EngineBase):
             ],
             record=item.record,
         )
-        return t_list + [entry]
+        if len(shared) != base + list_slot:
+            raise QueryError(
+                "absorption order violated: earlier lists' entries must be "
+                "appended before this flow resumes"
+            )
+        shared.append(entry)
 
     # -- bound recomputation ----------------------------------------------
 
@@ -265,8 +332,7 @@ class EagerEngine(_EngineBase):
                         dj, [t_item.seen_bits[j]], [zero], bottoms[j]
                     )
                 )
-        with ctx.channel.protocol(PROTOCOL):
-            recovered = recover_enc_batch(ctx, layered, PROTOCOL)
+        recovered = ctx.run_flows([recover_enc_flow(ctx, layered, PROTOCOL)])[0]
 
         idx = 0
         for t_item in t_list:
@@ -291,23 +357,33 @@ class LiteralEngine(_EngineBase):
         for depth in range(self._max_depth()):
             started = time.perf_counter()
             depth_items = [self.lists[j][depth] for j in range(self.m)]
+            # Zero-copy prefix views (the bottom item is prefix[-1]).
+            prefixes = [ListPrefix(self.lists[j], depth + 1) for j in range(self.m)]
+
+            # All SecWorst/SecBest runs of a depth are independent:
+            # coalesce their equality stage and their recover stage into
+            # one round-trip each.
+            flows = []
+            for idx, item in enumerate(depth_items):
+                others = depth_items[:idx] + depth_items[idx + 1 :]
+                flows.append(sec_worst_flow(ctx, item, others))
+                flows.append(
+                    sec_best_flow(
+                        ctx,
+                        item,
+                        [prefixes[j] for j in range(self.m) if j != idx],
+                    )
+                )
+            bounds = ctx.run_flows(flows)
 
             gammas: list[ScoredItem] = []
             with ctx.channel.protocol(PROTOCOL):
                 for idx, item in enumerate(depth_items):
-                    others = depth_items[:idx] + depth_items[idx + 1 :]
-                    worst = sec_worst(ctx, item, others)
-                    prefixes = [
-                        self.lists[j][: depth + 1]
-                        for j in range(self.m)
-                        if j != idx
-                    ]
-                    best = sec_best(ctx, item, prefixes)
                     gammas.append(
                         ScoredItem(
                             ehl=item.ehl,
-                            worst=worst,
-                            best=best,
+                            worst=bounds[2 * idx],
+                            best=bounds[2 * idx + 1],
                             record=item.record,
                         )
                     )

@@ -8,7 +8,7 @@ for unit tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import QueryError
 

@@ -10,7 +10,7 @@ only the relation size and attribute count (Theorem 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import QueryError
 from repro.structures.items import EncryptedItem

@@ -20,6 +20,9 @@ all keys) and mints the artifacts for the other parties:
 
 from __future__ import annotations
 
+import itertools
+import threading
+
 from repro.crypto.damgard_jurik import DamgardJurik
 from repro.crypto.encoding import SignedEncoder
 from repro.crypto.paillier import PaillierKeypair
@@ -27,8 +30,7 @@ from repro.crypto.prf import random_key
 from repro.crypto.prp import Prp
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError, QueryError
-from repro.net.channel import Channel
-from repro.protocols.base import CryptoCloud, LeakageLog, S1Context
+from repro.protocols.base import S1Context, wire_clouds
 from repro.core.engine import build_engine
 from repro.core.params import SystemParams
 from repro.core.relation import EncryptedRelation
@@ -63,6 +65,13 @@ class SecTopK:
             2 * self.params.key_bits + 16, self._rng.spawn("s1-own")
         )
         self._query_history: set[str] = set()
+        # Query-pattern state is deliberately cross-query (it IS the L1
+        # leakage), but concurrent server sessions must update it safely.
+        self._history_lock = threading.Lock()
+        # Monotonic salt for context randomness streams: every context
+        # this scheme wires up draws independent randomness, no matter
+        # how many servers/sessions share the scheme.
+        self._ctx_counter = itertools.count()
 
     # ------------------------------------------------------------------
     # Enc (Algorithm 2)
@@ -154,20 +163,28 @@ class SecTopK:
     # SecQuery (Algorithm 3)
     # ------------------------------------------------------------------
 
-    def make_clouds(self) -> S1Context:
-        """Wire up a fresh S1 context and S2 crypto cloud."""
-        leakage = LeakageLog()
-        s2 = CryptoCloud(
-            self.keypair, self.dj, self._rng.spawn("s2"), leakage
-        )
-        return S1Context(
-            public_key=self.public_key,
-            dj=self.dj,
-            encoder=self.encoder,
-            channel=Channel(),
-            s2=s2,
-            rng=self._rng.spawn("s1"),
-            leakage=leakage,
+    def make_clouds(
+        self, transport: str = "inprocess", label: str = ""
+    ) -> S1Context:
+        """Wire up a fresh S1 context and S2 crypto cloud.
+
+        ``transport`` selects the backend (``"inprocess"`` or
+        ``"threaded"``).  Each context's randomness streams are salted
+        with a scheme-wide monotonic counter (plus the optional
+        ``label``), so contexts created from one scheme — by however
+        many servers or sessions share it — never repeat blinding or
+        permutation draws.  Still deterministic for a seeded scheme:
+        the N-th context of an identically-seeded scheme draws the same
+        stream.
+        """
+        salt = f"{label}#{next(self._ctx_counter)}"
+        return wire_clouds(
+            self.keypair,
+            self.dj,
+            self.encoder,
+            transport,
+            self._rng.spawn("s1" + salt),
+            self._rng.spawn("s2" + salt),
         )
 
     def query(
@@ -177,14 +194,32 @@ class SecTopK:
         config: QueryConfig | None = None,
         ctx: S1Context | None = None,
     ) -> QueryResult:
-        """Process a top-k query on the encrypted relation."""
-        config = config or QueryConfig()
-        ctx = ctx or self.make_clouds()
+        """Process a top-k query on the encrypted relation.
 
+        A caller-provided ``ctx`` stays open (the caller owns its
+        transport); a default one is closed before returning.
+        """
+        config = config or QueryConfig()
+        owns_ctx = ctx is None
+        ctx = ctx or self.make_clouds()
+        try:
+            return self._query(relation, token, config, ctx)
+        finally:
+            if owns_ctx:
+                ctx.close()
+
+    def _query(
+        self,
+        relation: EncryptedRelation,
+        token: Token,
+        config: QueryConfig,
+        ctx: S1Context,
+    ) -> QueryResult:
         # L1 leakage: query pattern + (later) halting depth.
         fingerprint = token.fingerprint()
-        repeated = fingerprint in self._query_history
-        self._query_history.add(fingerprint)
+        with self._history_lock:
+            repeated = fingerprint in self._query_history
+            self._query_history.add(fingerprint)
         ctx.leakage.record("S1", "SecQuery", "query_pattern", repeated)
 
         weights = token.effective_weights()

@@ -116,6 +116,7 @@ class PaillierSecretKey:
         self._p2 = p * p
         self._q2 = q * q
         self._p2_inv_q2 = pow(self._p2, -1, self._q2)
+        self._p_inv_q = pow(p, -1, q)
         self._hp = pow(self._l_func(pow(1 + n, p - 1, self._p2), p), -1, p)
         self._hq = pow(self._l_func(pow(1 + n, q - 1, self._q2), q), -1, q)
 
@@ -129,7 +130,7 @@ class PaillierSecretKey:
         mp = self._l_func(pow(c % self._p2, p - 1, self._p2), p) * self._hp % p
         mq = self._l_func(pow(c % self._q2, q - 1, self._q2), q) * self._hq % q
         # CRT combine mp (mod p) and mq (mod q) into m (mod n).
-        u = (mq - mp) * pow(p, -1, q) % q
+        u = (mq - mp) * self._p_inv_q % q
         return (mp + p * u) % n
 
     def raw_decrypt(self, c: int) -> int:

@@ -19,6 +19,8 @@ paper notes this too can be padded away with SecDedup-style dummies).
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass
 
 from repro.crypto.damgard_jurik import DamgardJurik
@@ -28,8 +30,7 @@ from repro.crypto.prf import random_key
 from repro.crypto.prp import Prp
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError, QueryError
-from repro.net.channel import Channel
-from repro.protocols.base import CryptoCloud, LeakageLog, S1Context
+from repro.protocols.base import S1Context, wire_clouds
 from repro.protocols.enc_sort import enc_sort
 from repro.protocols.sec_filter import JoinedTuple, sec_filter
 from repro.protocols.sec_join import SCORE_OFFSET, sec_join
@@ -106,6 +107,8 @@ class SecTopKJoin:
         self._s1_keypair = PaillierKeypair.generate(
             2 * self.params.key_bits + 16, self._rng.spawn("s1-own")
         )
+        # Monotonic salt so every context draws independent randomness.
+        self._ctx_counter = itertools.count()
 
     # ------------------------------------------------------------------
 
@@ -161,18 +164,16 @@ class SecTopKJoin:
 
     # ------------------------------------------------------------------
 
-    def make_clouds(self) -> S1Context:
+    def make_clouds(self, transport: str = "inprocess") -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud."""
-        leakage = LeakageLog()
-        s2 = CryptoCloud(self.keypair, self.dj, self._rng.spawn("s2"), leakage)
-        return S1Context(
-            public_key=self.public_key,
-            dj=self.dj,
-            encoder=self.encoder,
-            channel=Channel(),
-            s2=s2,
-            rng=self._rng.spawn("s1"),
-            leakage=leakage,
+        salt = f"#{next(self._ctx_counter)}"
+        return wire_clouds(
+            self.keypair,
+            self.dj,
+            self.encoder,
+            transport,
+            self._rng.spawn("s1" + salt),
+            self._rng.spawn("s2" + salt),
         )
 
     def join_query(
@@ -183,7 +184,21 @@ class SecTopKJoin:
         ctx: S1Context | None = None,
     ) -> JoinResult:
         """Execute ``⋈_sec``: SecJoin → SecFilter → EncSort → top-k."""
+        owns_ctx = ctx is None
         ctx = ctx or self.make_clouds()
+        try:
+            return self._join_query(left, right, token, ctx)
+        finally:
+            if owns_ctx:
+                ctx.close()
+
+    def _join_query(
+        self,
+        left: EncryptedJoinRelation,
+        right: EncryptedJoinRelation,
+        token: JoinToken,
+        ctx: S1Context,
+    ) -> JoinResult:
         combined = sec_join(
             ctx,
             left.tuples,

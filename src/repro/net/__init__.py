@@ -1,8 +1,10 @@
-"""Inter-cloud communication accounting.
+"""The inter-cloud message-passing layer.
 
-The two clouds S1 and S2 run in-process in this reproduction, but every
-value that crosses the S1/S2 boundary is routed through
-:class:`repro.net.channel.Channel`, which records
+Everything that crosses the S1/S2 boundary is a typed request message
+(:mod:`repro.net.messages`) carried by a :class:`repro.net.transport.Transport`
+and serviced by the :class:`repro.net.dispatch.S2Dispatcher`; the
+:class:`repro.net.batching.RoundBatcher` coalesces independent requests
+into single round-trips, and :class:`repro.net.channel.Channel` records
 
 * bytes transferred in each direction,
 * the number of communication rounds, and
@@ -11,9 +13,30 @@ value that crosses the S1/S2 boundary is routed through
 so the bandwidth/latency results of Table 3 and Figure 13 can be
 regenerated exactly, and a configurable :class:`repro.net.channel.LinkModel`
 turns byte counts into modeled latency (the paper assumes a 50 Mbps
-inter-cloud link).
+inter-cloud link).  See ARCHITECTURE.md for the full layer map.
 """
 
+from repro.net.batching import RoundBatcher
 from repro.net.channel import Channel, ChannelStats, LinkModel, measure_size
+from repro.net.dispatch import S2Dispatcher
+from repro.net.transport import (
+    InProcessTransport,
+    ThreadedTransport,
+    Transport,
+    make_transport,
+)
+from repro.net.wire import WireCodec
 
-__all__ = ["Channel", "ChannelStats", "LinkModel", "measure_size"]
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "InProcessTransport",
+    "LinkModel",
+    "RoundBatcher",
+    "S2Dispatcher",
+    "ThreadedTransport",
+    "Transport",
+    "WireCodec",
+    "make_transport",
+    "measure_size",
+]

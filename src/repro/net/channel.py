@@ -104,14 +104,18 @@ class LinkModel:
 class Channel:
     """The S1 <-> S2 message channel with automatic accounting.
 
-    Usage pattern inside a sub-protocol (S1-side code)::
+    The transport machinery (:class:`repro.net.batching.RoundBatcher`)
+    accounts every message exchange here::
 
-        with channel.round("SecWorst"):
-            channel.send(enc_b)                # S1 -> S2
-            reply = channel.receive(s2.test_zero(enc_b))   # S2 -> S1
+        with channel.coalesced_round([msg.protocol for msg in batch]):
+            for msg in batch:
+                with channel.protocol(msg.protocol):
+                    channel.send(msg.request_payload())   # S1 -> S2
+            ...
+            channel.receive(reply)                        # S2 -> S1
 
-    The :meth:`round` context increments the round counter once and tags
-    all traffic inside it with the protocol name.
+    The :meth:`round` context (one protocol, one round) remains for
+    direct use in tests and ad-hoc accounting.
     """
 
     def __init__(self):
@@ -130,6 +134,21 @@ class Channel:
             yield self
         finally:
             self._current_protocol.pop()
+
+    @contextlib.contextmanager
+    def coalesced_round(self, protocols: list[str]):
+        """One round-trip carrying requests of several protocols.
+
+        The global round counter increments once (it measures physical
+        round-trips); each *distinct* participating protocol's round
+        counter increments once (it measures how many rounds that
+        protocol rode in).  With a single-protocol batch this is exactly
+        :meth:`round`.
+        """
+        self.stats.rounds += 1
+        for name in dict.fromkeys(protocols):
+            self.stats.per_protocol_rounds[name] += 1
+        yield self
 
     @contextlib.contextmanager
     def protocol(self, protocol: str):

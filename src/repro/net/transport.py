@@ -1,0 +1,136 @@
+"""Transport backends carrying protocol messages between the clouds.
+
+A :class:`Transport` delivers a *batch* of typed request messages to S2
+and returns the per-message replies; one :meth:`Transport.exchange` call
+is one communication round-trip, which is exactly what the channel's
+round counter measures.
+
+Two backends:
+
+* :class:`InProcessTransport` — invokes the S2 dispatcher directly.
+  Nothing is copied or encoded (the accounting channel still measures
+  payload sizes), which keeps the simulation as fast as the seed's
+  direct-call style while enforcing the message boundary.
+
+* :class:`ThreadedTransport` — a queue-pair to a dedicated S2 service
+  thread.  Requests and replies genuinely cross the boundary as *bytes*
+  (encoded with :class:`~repro.net.wire.WireCodec`), so nothing but
+  serialized messages ever reaches S2 — the strongest in-process stand-in
+  for a socket link, and the template for one (see ROADMAP open items).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+
+from repro.exceptions import ProtocolError
+from repro.net.wire import WireCodec
+
+
+class Transport(ABC):
+    """One side of the S1 <-> S2 link, message-batch oriented."""
+
+    @abstractmethod
+    def exchange(self, messages: list) -> list:
+        """Deliver ``messages`` in one round-trip; return their replies."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class InProcessTransport(Transport):
+    """Directly dispatch messages to an in-process S2."""
+
+    def __init__(self, dispatcher):
+        self.dispatcher = dispatcher
+
+    def exchange(self, messages: list) -> list:
+        return [self.dispatcher.dispatch(msg) for msg in messages]
+
+
+class _RemoteError:
+    """Marker shuttling an S2-side exception back over the reply queue."""
+
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+
+class ThreadedTransport(Transport):
+    """A queue-pair link to an S2 service thread with real serialization.
+
+    The S1 side encodes each request batch to bytes, the service thread
+    decodes, dispatches in order, and encodes the replies back.  Each
+    endpoint owns its own :class:`WireCodec`; the registries stay in sync
+    because both process the identical byte stream in the same order.
+    """
+
+    def __init__(self, dispatcher):
+        self.dispatcher = dispatcher
+        self._requests: queue.Queue = queue.Queue()
+        self._replies: queue.Queue = queue.Queue()
+        self._s1_codec = WireCodec()
+        self._s2_codec = WireCodec()
+        self._closed = False
+        # _state_lock makes the closed-check + request-put atomic against
+        # close()'s closed-set + sentinel-put, so the shutdown sentinel
+        # always queues *behind* any admitted request — close() never
+        # waits on an in-flight round and no round can be orphaned.
+        # _exchange_lock serializes whole exchanges (request/reply pairing).
+        self._state_lock = threading.Lock()
+        self._exchange_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._serve, name="s2-transport", daemon=True
+        )
+        self._worker.start()
+
+    # -- S2 service thread ----------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            data = self._requests.get()
+            if data is None:
+                return
+            try:
+                messages = self._s2_codec.decode_envelope(data)
+                replies = [self.dispatcher.dispatch(msg) for msg in messages]
+                self._replies.put(self._s2_codec.encode_replies(replies))
+            except Exception as exc:  # propagate to the S1 side
+                self._replies.put(_RemoteError(type(exc).__name__, str(exc)))
+
+    # -- S1 side ---------------------------------------------------------
+
+    def exchange(self, messages: list) -> list:
+        with self._exchange_lock:
+            data = self._s1_codec.encode_envelope(messages)
+            with self._state_lock:
+                if self._closed:
+                    raise ProtocolError("transport is closed")
+                self._requests.put(data)
+            reply = self._replies.get()
+        if isinstance(reply, _RemoteError):
+            raise ProtocolError(f"S2 dispatch failed ({reply.kind}): {reply.text}")
+        return self._s1_codec.decode_replies(reply)
+
+    def close(self) -> None:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Queues behind any admitted request; the worker finishes
+            # that round, then exits.
+            self._requests.put(None)
+        self._worker.join(timeout=5)
+
+
+def make_transport(kind: str, dispatcher) -> Transport:
+    """Build a transport backend by name (``"inprocess"`` or ``"threaded"``)."""
+    if kind == "inprocess":
+        return InProcessTransport(dispatcher)
+    if kind == "threaded":
+        return ThreadedTransport(dispatcher)
+    raise ProtocolError(f"unknown transport kind: {kind!r}")

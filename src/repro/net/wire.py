@@ -1,0 +1,371 @@
+"""Binary wire encoding for everything that crosses the S1 <-> S2 link.
+
+The transport layer serializes typed protocol messages into self-
+describing byte streams: ciphertexts use the same fixed-width big-endian
+encoding that ``serialized_size`` accounts for, and container/metadata
+values use a small tag + varint framing.  The codec is *stateful*: key
+material (Paillier public keys, Damgård–Jurik instances) is registered
+on first appearance in the stream and referenced by index afterwards, so
+both endpoints rebuild identical registries simply by processing the same
+bytes in the same order — no out-of-band key exchange is needed.
+
+Note on accounting: the paper's bandwidth numbers (Table 3, Fig. 13)
+count ciphertext payload bytes, so the channel statistics keep using
+``measure_size`` over the payload objects; the framing overhead this
+codec adds (tags, varints, key registrations) is transport detail and is
+deliberately excluded from those statistics.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.damgard_jurik import DamgardJurik, LayeredCiphertext
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.exceptions import ProtocolError
+from repro.structures.ehl import Ehl
+from repro.structures.ehl_plus import EhlPlus
+from repro.structures.items import EncryptedItem, JoinedTuple, ScoredItem
+
+# Value tags.
+_NONE = 0
+_FALSE = 1
+_TRUE = 2
+_INT = 3
+_BYTES = 4
+_STR = 5
+_LIST = 6
+_TUPLE = 7
+_CT = 8          # Ciphertext under an already-registered key
+_CT_NEWKEY = 9   # Ciphertext introducing a new key
+_LC = 10         # LayeredCiphertext under an already-registered scheme
+_LC_NEWSCHEME = 11
+_EHL = 12
+_SCORED = 13
+_JOINED = 14
+_PK = 15         # bare PaillierPublicKey reference
+_PK_NEW = 16
+_ENCITEM = 17
+
+_EHL_CLASSES = (Ehl, EhlPlus)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_signed(out: bytearray, value: int) -> None:
+    # ZigZag so small negative ints stay small on the wire.
+    _write_varint(out, ((-value) << 1) - 1 if value < 0 else value << 1)
+
+
+def _zigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ProtocolError("truncated wire message")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.take(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def signed(self) -> int:
+        return _zigzag(self.varint())
+
+
+class WireCodec:
+    """Stateful encoder/decoder for protocol messages and replies.
+
+    One codec instance serves one endpoint of one transport; its key
+    registry grows as the stream introduces new key material.  Both
+    endpoints stay in sync because registration order is fully determined
+    by the byte stream itself.
+    """
+
+    def __init__(self):
+        self._keys: list[PaillierPublicKey] = []
+        self._key_index: dict[int, int] = {}       # n -> index
+        self._schemes: list[DamgardJurik] = []
+        self._scheme_index: dict[tuple[int, int], int] = {}  # (n, s) -> index
+
+    # -- key registries --------------------------------------------------
+
+    def _register_key(self, pk: PaillierPublicKey) -> int:
+        idx = self._key_index.get(pk.n)
+        if idx is None:
+            idx = len(self._keys)
+            self._keys.append(pk)
+            self._key_index[pk.n] = idx
+        return idx
+
+    def _register_scheme(self, dj: DamgardJurik) -> int:
+        key = (dj.n, dj.s)
+        idx = self._scheme_index.get(key)
+        if idx is None:
+            idx = len(self._schemes)
+            self._schemes.append(dj)
+            self._scheme_index[key] = idx
+        return idx
+
+    # -- value encoding --------------------------------------------------
+
+    def encode_value(self, value, out: bytearray) -> None:
+        """Append the tagged encoding of ``value`` to ``out``."""
+        if value is None:
+            out.append(_NONE)
+        elif value is True:
+            out.append(_TRUE)
+        elif value is False:
+            out.append(_FALSE)
+        elif isinstance(value, int):
+            out.append(_INT)
+            _write_signed(out, value)
+        elif isinstance(value, bytes):
+            out.append(_BYTES)
+            _write_varint(out, len(value))
+            out.extend(value)
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_STR)
+            _write_varint(out, len(raw))
+            out.extend(raw)
+        elif isinstance(value, list):
+            out.append(_LIST)
+            _write_varint(out, len(value))
+            for entry in value:
+                self.encode_value(entry, out)
+        elif isinstance(value, tuple):
+            out.append(_TUPLE)
+            _write_varint(out, len(value))
+            for entry in value:
+                self.encode_value(entry, out)
+        elif isinstance(value, Ciphertext):
+            self._encode_ciphertext(value, out)
+        elif isinstance(value, LayeredCiphertext):
+            self._encode_layered(value, out)
+        elif isinstance(value, _EHL_CLASSES):
+            out.append(_EHL)
+            out.append(_EHL_CLASSES.index(type(value)))
+            _write_varint(out, len(value.cells))
+            for cell in value.cells:
+                self._encode_ciphertext(cell, out)
+        elif isinstance(value, ScoredItem):
+            out.append(_SCORED)
+            self.encode_value(value.ehl, out)
+            self.encode_value(value.worst, out)
+            self.encode_value(value.best, out)
+            self.encode_value(value.list_scores, out)
+            self.encode_value(value.seen_bits, out)
+            self.encode_value(value.record, out)
+            _write_signed(out, value.uid)
+        elif isinstance(value, EncryptedItem):
+            out.append(_ENCITEM)
+            self.encode_value(value.ehl, out)
+            self.encode_value(value.score, out)
+            self.encode_value(value.record, out)
+        elif isinstance(value, JoinedTuple):
+            out.append(_JOINED)
+            self.encode_value(value.score, out)
+            self.encode_value(value.attributes, out)
+        elif isinstance(value, PaillierPublicKey):
+            idx = self._key_index.get(value.n)
+            if idx is None:
+                self._register_key(value)
+                raw = value.n.to_bytes((value.n.bit_length() + 7) // 8, "big")
+                out.append(_PK_NEW)
+                _write_varint(out, len(raw))
+                out.extend(raw)
+            else:
+                out.append(_PK)
+                _write_varint(out, idx)
+        else:
+            raise ProtocolError(f"cannot serialize {type(value).__name__} on the wire")
+
+    def _encode_ciphertext(self, ct: Ciphertext, out: bytearray) -> None:
+        pk = ct.public_key
+        idx = self._key_index.get(pk.n)
+        if idx is None:
+            self._register_key(pk)
+            raw = pk.n.to_bytes((pk.n.bit_length() + 7) // 8, "big")
+            out.append(_CT_NEWKEY)
+            _write_varint(out, len(raw))
+            out.extend(raw)
+        else:
+            out.append(_CT)
+            _write_varint(out, idx)
+        out.extend(ct.value.to_bytes(pk.ciphertext_bytes, "big"))
+
+    def _encode_layered(self, lc: LayeredCiphertext, out: bytearray) -> None:
+        scheme = lc.scheme
+        idx = self._scheme_index.get((scheme.n, scheme.s))
+        if idx is None:
+            # Register the underlying key too, mirroring _decode_layered —
+            # the registries on both endpoints must grow identically.
+            self._register_key(scheme.public_key)
+            self._register_scheme(scheme)
+            raw = scheme.n.to_bytes((scheme.n.bit_length() + 7) // 8, "big")
+            out.append(_LC_NEWSCHEME)
+            _write_varint(out, len(raw))
+            out.extend(raw)
+            _write_varint(out, scheme.s)
+        else:
+            out.append(_LC)
+            _write_varint(out, idx)
+        out.extend(lc.value.to_bytes(scheme.ciphertext_bytes, "big"))
+
+    # -- value decoding --------------------------------------------------
+
+    def decode_value(self, reader: _Reader):
+        """Decode one tagged value from ``reader``."""
+        tag = reader.take(1)[0]
+        if tag == _NONE:
+            return None
+        if tag == _TRUE:
+            return True
+        if tag == _FALSE:
+            return False
+        if tag == _INT:
+            return reader.signed()
+        if tag == _BYTES:
+            return bytes(reader.take(reader.varint()))
+        if tag == _STR:
+            return reader.take(reader.varint()).decode("utf-8")
+        if tag == _LIST:
+            return [self.decode_value(reader) for _ in range(reader.varint())]
+        if tag == _TUPLE:
+            return tuple(self.decode_value(reader) for _ in range(reader.varint()))
+        if tag in (_CT, _CT_NEWKEY):
+            return self._decode_ciphertext(tag, reader)
+        if tag in (_LC, _LC_NEWSCHEME):
+            return self._decode_layered(tag, reader)
+        if tag == _EHL:
+            cls = _EHL_CLASSES[reader.take(1)[0]]
+            count = reader.varint()
+            cells = []
+            for _ in range(count):
+                inner_tag = reader.take(1)[0]
+                cells.append(self._decode_ciphertext(inner_tag, reader))
+            return cls(cells)
+        if tag == _SCORED:
+            ehl = self.decode_value(reader)
+            worst = self.decode_value(reader)
+            best = self.decode_value(reader)
+            list_scores = self.decode_value(reader)
+            seen_bits = self.decode_value(reader)
+            record = self.decode_value(reader)
+            uid = reader.signed()
+            return ScoredItem(
+                ehl=ehl,
+                worst=worst,
+                best=best,
+                list_scores=list_scores,
+                seen_bits=seen_bits,
+                record=record,
+                uid=uid,
+            )
+        if tag == _ENCITEM:
+            return EncryptedItem(
+                ehl=self.decode_value(reader),
+                score=self.decode_value(reader),
+                record=self.decode_value(reader),
+            )
+        if tag == _JOINED:
+            return JoinedTuple(
+                score=self.decode_value(reader),
+                attributes=self.decode_value(reader),
+            )
+        if tag == _PK:
+            return self._keys[reader.varint()]
+        if tag == _PK_NEW:
+            pk = PaillierPublicKey(int.from_bytes(reader.take(reader.varint()), "big"))
+            self._register_key(pk)
+            return pk
+        raise ProtocolError(f"unknown wire tag {tag}")
+
+    def _decode_ciphertext(self, tag: int, reader: _Reader) -> Ciphertext:
+        if tag == _CT_NEWKEY:
+            n = int.from_bytes(reader.take(reader.varint()), "big")
+            pk = PaillierPublicKey(n)
+            self._register_key(pk)
+        elif tag == _CT:
+            pk = self._keys[reader.varint()]
+        else:
+            raise ProtocolError("expected a ciphertext tag")
+        return Ciphertext(int.from_bytes(reader.take(pk.ciphertext_bytes), "big"), pk)
+
+    def _decode_layered(self, tag: int, reader: _Reader) -> LayeredCiphertext:
+        if tag == _LC_NEWSCHEME:
+            n = int.from_bytes(reader.take(reader.varint()), "big")
+            s = reader.varint()
+            pk = self._keys[self._register_key(PaillierPublicKey(n))]
+            scheme = DamgardJurik(pk, s=s)
+            self._register_scheme(scheme)
+        else:
+            scheme = self._schemes[reader.varint()]
+        return LayeredCiphertext(
+            int.from_bytes(reader.take(scheme.ciphertext_bytes), "big"), scheme
+        )
+
+    # -- message envelopes ----------------------------------------------
+
+    def encode_envelope(self, messages: list) -> bytes:
+        """Serialize a batch of request messages (one coalesced round)."""
+        from repro.net.messages import message_fields, message_type_id
+
+        out = bytearray()
+        _write_varint(out, len(messages))
+        for msg in messages:
+            _write_varint(out, message_type_id(type(msg)))
+            for name in message_fields(type(msg)):
+                self.encode_value(getattr(msg, name), out)
+        return bytes(out)
+
+    def decode_envelope(self, data: bytes) -> list:
+        """Inverse of :meth:`encode_envelope`."""
+        from repro.net.messages import message_class, message_fields
+
+        reader = _Reader(data)
+        messages = []
+        for _ in range(reader.varint()):
+            cls = message_class(reader.varint())
+            values = [self.decode_value(reader) for _ in message_fields(cls)]
+            messages.append(cls(*values))
+        return messages
+
+    def encode_replies(self, replies: list) -> bytes:
+        """Serialize the per-message responses of one coalesced round."""
+        out = bytearray()
+        _write_varint(out, len(replies))
+        for reply in replies:
+            self.encode_value(reply, out)
+        return bytes(out)
+
+    def decode_replies(self, data: bytes) -> list:
+        """Inverse of :meth:`encode_replies`."""
+        reader = _Reader(data)
+        return [self.decode_value(reader) for _ in range(reader.varint())]

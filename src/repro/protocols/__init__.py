@@ -2,11 +2,15 @@
 
 Every protocol is written from S1's point of view as a function taking an
 :class:`~repro.protocols.base.S1Context` (public key material, the
-communication channel, and a handle to the S2
-:class:`~repro.protocols.base.CryptoCloud`).  S2's side of each protocol is
-a method on :class:`CryptoCloud`; S2 only ever sees blinded or permuted
-data and records every bit it *does* learn in the leakage log, which the
-security tests audit.
+communication channel, and a transport to S2).  The interactive protocols
+also expose a ``*_flow`` generator form that yields typed request
+messages — the engines run many flows lock-step so each stage crosses
+the link as one coalesced round (see :mod:`repro.net.batching`).  S2's
+side of each protocol is a :class:`~repro.protocols.base.CryptoCloud`
+method or an ``s2_*`` function in the protocol module, reached only
+through the :class:`~repro.net.dispatch.S2Dispatcher`; S2 only ever sees
+blinded or permuted data and records every bit it *does* learn in the
+leakage log, which the security tests audit.
 
 Protocol inventory
 ------------------
@@ -26,11 +30,11 @@ Protocol inventory
 """
 
 from repro.protocols.base import CryptoCloud, S1Context
-from repro.protocols.recover_enc import recover_enc, recover_enc_batch
-from repro.protocols.enc_compare import enc_compare
+from repro.protocols.recover_enc import recover_enc, recover_enc_batch, recover_enc_flow
+from repro.protocols.enc_compare import enc_compare, enc_compare_flow
 from repro.protocols.enc_sort import enc_sort
-from repro.protocols.sec_worst import sec_worst
-from repro.protocols.sec_best import sec_best
+from repro.protocols.sec_worst import sec_worst, sec_worst_flow
+from repro.protocols.sec_best import sec_best, sec_best_flow
 from repro.protocols.sec_dedup import sec_dedup
 from repro.protocols.sec_dup_elim import sec_dup_elim
 from repro.protocols.sec_update import sec_update
@@ -40,10 +44,14 @@ __all__ = [
     "S1Context",
     "recover_enc",
     "recover_enc_batch",
+    "recover_enc_flow",
     "enc_compare",
+    "enc_compare_flow",
     "enc_sort",
     "sec_worst",
+    "sec_worst_flow",
     "sec_best",
+    "sec_best_flow",
     "sec_dedup",
     "sec_dup_elim",
     "sec_update",

@@ -9,7 +9,10 @@
 
 * :class:`S1Context` bundles what the S1-side protocol code needs: the
   public keys, the Damgård–Jurik instance, the signed encoder, the
-  channel, a randomness source, and the :class:`CryptoCloud` handle.
+  channel, a randomness source, and a :class:`~repro.net.transport.Transport`
+  to S2.  S1-side code never holds an S2 object: every interaction is a
+  typed message submitted through the transport and serviced by the
+  :class:`~repro.net.dispatch.S2Dispatcher`.
 
 S1 never holds the secret key; tests enforce this by auditing that no
 ``PaillierSecretKey`` is reachable from an :class:`S1Context`.
@@ -27,7 +30,10 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
 )
 from repro.crypto.rng import SecureRandom
+from repro.net.batching import RoundBatcher
 from repro.net.channel import Channel
+from repro.net.dispatch import S2Dispatcher
+from repro.net.transport import Transport, make_transport
 from repro.exceptions import ProtocolError
 
 
@@ -217,18 +223,40 @@ class CryptoCloud:
 class S1Context:
     """Everything the S1-side protocol code needs.
 
-    S1 holds only public key material; the :class:`CryptoCloud` handle
-    stands in for the network connection to S2 and every value passed to
-    it is accounted through :attr:`channel`.
+    S1 holds only public key material; :attr:`transport` stands in for
+    the network connection to S2 — every value that crosses it is a
+    typed message accounted through :attr:`channel`, submitted either
+    one-per-round (:meth:`call`) or coalesced across many independent
+    protocol flows (:meth:`run_flows`).
     """
 
     public_key: PaillierPublicKey
     dj: DamgardJurik
     encoder: SignedEncoder
     channel: Channel
-    s2: CryptoCloud
+    transport: Transport
     rng: SecureRandom = field(default_factory=SecureRandom)
     leakage: LeakageLog = field(default_factory=LeakageLog)
+
+    def __post_init__(self):
+        self._batcher = RoundBatcher(self.channel, self.transport)
+
+    # -- S2 interaction --------------------------------------------------
+
+    def call(self, msg):
+        """Submit one request message to S2; one communication round."""
+        return self._batcher.call(msg)
+
+    def run_flows(self, flows: list) -> list:
+        """Run protocol flows lock-step, coalescing each stage's requests
+        into a single round-trip (see :mod:`repro.net.batching`)."""
+        return self._batcher.run_flows(flows)
+
+    def close(self) -> None:
+        """Release the transport (threaded backends own a service thread)."""
+        self.transport.close()
+
+    # -- local helpers ---------------------------------------------------
 
     def encrypt(self, value: int) -> Ciphertext:
         """Encrypt a (signed) constant under the shared public key."""
@@ -239,27 +267,49 @@ class S1Context:
         return self.public_key.encrypt(0, self.rng)
 
 
+def wire_clouds(
+    keypair: PaillierKeypair,
+    dj: DamgardJurik,
+    encoder: SignedEncoder,
+    transport: str,
+    s1_rng: SecureRandom,
+    s2_rng: SecureRandom,
+    leakage: LeakageLog | None = None,
+) -> S1Context:
+    """Assemble the two-cloud wiring: crypto cloud behind a dispatcher
+    behind a ``transport``, and an S1 context in front of it.
+
+    Single point of truth for context construction — every scheme's
+    ``make_clouds`` and :func:`make_parties` delegate here.
+    """
+    leakage = leakage or LeakageLog()
+    cloud = CryptoCloud(keypair, dj, s2_rng, leakage)
+    return S1Context(
+        public_key=keypair.public_key,
+        dj=dj,
+        encoder=encoder,
+        channel=Channel(),
+        transport=make_transport(transport, S2Dispatcher(cloud)),
+        rng=s1_rng,
+        leakage=leakage,
+    )
+
+
 def make_parties(
     keypair: PaillierKeypair,
     encoder: SignedEncoder | None = None,
     rng: SecureRandom | None = None,
+    transport: str = "inprocess",
 ) -> S1Context:
     """Wire up an S1 context talking to a fresh S2 over a fresh channel.
 
+    ``transport`` selects the backend (``"inprocess"`` or ``"threaded"``).
     Convenience for tests and examples; the full scheme in
     :mod:`repro.core` builds the parties itself.
     """
     rng = rng or SecureRandom()
     dj = DamgardJurik(keypair.public_key, s=2)
     encoder = encoder or SignedEncoder(keypair.public_key.n)
-    leakage = LeakageLog()
-    s2 = CryptoCloud(keypair, dj, rng.spawn("s2"), leakage)
-    return S1Context(
-        public_key=keypair.public_key,
-        dj=dj,
-        encoder=encoder,
-        channel=Channel(),
-        s2=s2,
-        rng=rng.spawn("s1"),
-        leakage=leakage,
+    return wire_clouds(
+        keypair, dj, encoder, transport, rng.spawn("s1"), rng.spawn("s2")
     )

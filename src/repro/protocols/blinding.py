@@ -26,7 +26,6 @@ from repro.crypto.paillier import Ciphertext, PaillierKeypair, PaillierPublicKey
 from repro.crypto.prf import Prf
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import ProtocolError
-from repro.structures.ehl_plus import EhlPlus
 from repro.structures.items import ScoredItem
 
 # 96-bit seeds: comfortably inside every supported Paillier modulus (the

@@ -28,6 +28,7 @@ non-negative range internally, so the huge negative sentinel that
 from __future__ import annotations
 
 from repro.crypto.paillier import Ciphertext
+from repro.net.messages import BlindedSign, DecryptMaskedBit, DgkAnyZero, DgkDecompose
 from repro.protocols.base import S1Context
 from repro.exceptions import ProtocolError
 
@@ -43,6 +44,21 @@ def comparison_bits(ctx: S1Context) -> int:
     return ctx.encoder.score_bits + ctx.encoder.blind_bits + 2
 
 
+def enc_compare_flow(
+    ctx: S1Context,
+    enc_a: Ciphertext,
+    enc_b: Ciphertext,
+    method: str = "blinded",
+    protocol: str = PROTOCOL,
+):
+    """Flow form of :func:`enc_compare` (coalescible across candidates)."""
+    if method == "blinded":
+        return (yield from _compare_blinded_flow(ctx, enc_a, enc_b, protocol))
+    if method == "dgk":
+        return (yield from _compare_dgk_flow(ctx, enc_a, enc_b, protocol))
+    raise ProtocolError(f"unknown EncCompare method: {method!r}")
+
+
 def enc_compare(
     ctx: S1Context,
     enc_a: Ciphertext,
@@ -51,11 +67,7 @@ def enc_compare(
     protocol: str = PROTOCOL,
 ) -> bool:
     """Return ``a <= b`` to S1 without revealing ``a`` or ``b``."""
-    if method == "blinded":
-        return _compare_blinded(ctx, enc_a, enc_b, protocol)
-    if method == "dgk":
-        return _compare_dgk(ctx, enc_a, enc_b, protocol)
-    raise ProtocolError(f"unknown EncCompare method: {method!r}")
+    return ctx.run_flows([enc_compare_flow(ctx, enc_a, enc_b, method, protocol)])[0]
 
 
 # ----------------------------------------------------------------------
@@ -63,9 +75,9 @@ def enc_compare(
 # ----------------------------------------------------------------------
 
 
-def _compare_blinded(
+def _compare_blinded_flow(
     ctx: S1Context, enc_a: Ciphertext, enc_b: Ciphertext, protocol: str
-) -> bool:
+):
     ell = comparison_bits(ctx)
     kappa = ctx.encoder.blind_bits
     if ell + 1 + kappa + 2 >= ctx.public_key.n.bit_length():
@@ -77,9 +89,7 @@ def _compare_blinded(
         diff = -diff
     scale = ctx.rng.randint(1, (1 << kappa) - 1)
     masked = ctx.public_key.rerandomize(diff * scale, ctx.rng)
-    with ctx.channel.round(protocol):
-        ctx.channel.send(masked)
-        positive = ctx.channel.receive(ctx.s2.blinded_sign(masked, protocol))
+    positive = yield BlindedSign(protocol=protocol, ct=masked)
     # S2 reported sign of (-1)^sigma * scale * (2(b-a)+1).
     return positive != bool(sigma)
 
@@ -89,9 +99,9 @@ def _compare_blinded(
 # ----------------------------------------------------------------------
 
 
-def _compare_dgk(
+def _compare_dgk_flow(
     ctx: S1Context, enc_a: Ciphertext, enc_b: Ciphertext, protocol: str
-) -> bool:
+):
     ell = comparison_bits(ctx)
     kappa = ctx.encoder.blind_bits
     n_bits = ctx.public_key.n.bit_length()
@@ -106,11 +116,7 @@ def _compare_dgk(
     r = ctx.rng.randint_below(1 << (ell + kappa))
     enc_c = ctx.public_key.rerandomize(enc_z + r, ctx.rng)
 
-    with ctx.channel.round(protocol):
-        ctx.channel.send(enc_c)
-        bit_cts, enc_high = ctx.channel.receive(
-            ctx.s2.dgk_decompose(enc_c, ell, protocol)
-        )
+    bit_cts, enc_high = yield DgkDecompose(protocol=protocol, ct=enc_c, ell=ell)
 
     # DGK core: decide borrow = ((c mod 2^ell) < (r mod 2^ell)) where S1
     # knows r-hat = r mod 2^ell and S2 supplied encrypted bits of
@@ -119,9 +125,7 @@ def _compare_dgk(
     delta = ctx.rng.randbits(1)
     terms = _dgk_terms(ctx, bit_cts, r_hat, ell, delta)
     ctx.rng.shuffle(terms)
-    with ctx.channel.round(protocol):
-        ctx.channel.send(terms)
-        any_zero = ctx.channel.receive(ctx.s2.dgk_any_zero(terms, protocol))
+    any_zero = yield DgkAnyZero(protocol=protocol, cts=terms)
     if delta == 0:
         borrow = 1 if any_zero else 0          # any_zero <=> c-hat < r-hat
     else:
@@ -135,9 +139,7 @@ def _compare_dgk(
     if gamma:
         enc_f = ctx.encrypt(1) - enc_f
     enc_f = ctx.public_key.rerandomize(enc_f, ctx.rng)
-    with ctx.channel.round(protocol):
-        ctx.channel.send(enc_f)
-        masked_bit = ctx.channel.receive(ctx.s2.decrypt_masked_bit(enc_f, protocol))
+    masked_bit = yield DecryptMaskedBit(protocol=protocol, ct=enc_f)
     return bool(masked_bit ^ gamma)
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
 from repro.exceptions import ProtocolError
+from repro.net.messages import SortAffine, SortGateBatch
 from repro.protocols.base import CryptoCloud, S1Context
 from repro.protocols.blinding import ItemBlinder
 from repro.structures.items import ScoredItem
@@ -120,19 +121,16 @@ def _sort_affine(
     blinded_items = [blinded_items[i] for i in order]
     companions = [companions[i] for i in order]
 
-    with ctx.channel.round(protocol):
-        ctx.channel.send(blinded_keys, blinded_items, companions)
-        keys_out, items_out, comps_out = ctx.channel.receive(
-            *_s2_sort_affine(
-                ctx.s2,
-                own_keypair.public_key,
-                blinded_keys,
-                blinded_items,
-                companions,
-                descending,
-                protocol,
-            )
+    keys_out, items_out, comps_out = ctx.call(
+        SortAffine(
+            protocol=protocol,
+            keys=blinded_keys,
+            items=blinded_items,
+            companions=companions,
+            own_public=own_keypair.public_key,
+            descending=descending,
         )
+    )
 
     result: list[ScoredItem] = []
     for key_ct, item, comp_pair in zip(keys_out, items_out, comps_out):
@@ -149,7 +147,7 @@ def _sort_affine(
     return result
 
 
-def _s2_sort_affine(
+def s2_sort_affine(
     s2: CryptoCloud,
     own_public,
     blinded_keys: list[Ciphertext],
@@ -253,36 +251,36 @@ def _sort_network(
     blinder = ItemBlinder(ctx.public_key, ctx.dj)
 
     for layer in batcher_network(len(working)):
-        with ctx.channel.round(protocol):
-            plan = []
-            payload = []
-            for (i, j) in layer:
-                r, s = _affine_params(ctx)
-                swap = bool(ctx.rng.randbits(1))
-                a, b = (j, i) if swap else (i, j)
-                pair_keys = []
-                pair_items = []
-                pair_comps = []
-                for idx in (a, b):
-                    pair_keys.append(
-                        ctx.public_key.rerandomize(
-                            _get_key(working[idx], key) * r + s, ctx.rng
-                        )
+        plan = []
+        payload = []
+        for (i, j) in layer:
+            r, s = _affine_params(ctx)
+            swap = bool(ctx.rng.randbits(1))
+            a, b = (j, i) if swap else (i, j)
+            pair_keys = []
+            pair_items = []
+            pair_comps = []
+            for idx in (a, b):
+                pair_keys.append(
+                    ctx.public_key.rerandomize(
+                        _get_key(working[idx], key) * r + s, ctx.rng
                     )
-                    seed = blinder.fresh_seed(ctx.rng)
-                    pair_items.append(blinder.blind(working[idx], seed, ctx.rng))
-                    pair_comps.append(
-                        blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng)
-                    )
-                plan.append((i, j, r, s, swap))
-                payload.append((pair_keys, pair_items, pair_comps))
-            ctx.channel.send([p[0] + p[1] + p[2] for p in payload])
-            replies = ctx.channel.receive(
-                [
-                    _s2_gate(ctx.s2, own_keypair.public_key, *entry, descending, protocol)
-                    for entry in payload
-                ]
+                )
+                seed = blinder.fresh_seed(ctx.rng)
+                pair_items.append(blinder.blind(working[idx], seed, ctx.rng))
+                pair_comps.append(
+                    blinder.encrypt_seed(own_keypair.public_key, seed, ctx.rng)
+                )
+            plan.append((i, j, r, s, swap))
+            payload.append((pair_keys, pair_items, pair_comps))
+        replies = ctx.call(
+            SortGateBatch(
+                protocol=protocol,
+                gates=payload,
+                own_public=own_keypair.public_key,
+                descending=descending,
             )
+        )
         for (i, j, r, s, swap), reply in zip(plan, replies):
             keys_out, items_out, comps_out = reply
             r_inv = pow(r, -1, ctx.public_key.n)
@@ -299,7 +297,7 @@ def _sort_network(
     return working
 
 
-def _s2_gate(
+def s2_gate(
     s2: CryptoCloud,
     own_public,
     pair_keys,

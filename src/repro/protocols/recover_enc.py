@@ -19,27 +19,37 @@ from __future__ import annotations
 
 from repro.crypto.damgard_jurik import LayeredCiphertext
 from repro.crypto.paillier import Ciphertext
+from repro.net.messages import StripLayerBatch
 from repro.protocols.base import S1Context
 
 PROTOCOL = "RecoverEnc"
+
+
+def recover_enc_flow(
+    ctx: S1Context, layered: list[LayeredCiphertext], protocol: str = PROTOCOL
+):
+    """Flow form: yields one ``StripLayerBatch``, returns the stripped cts.
+
+    Written as a generator so the engines can coalesce many independent
+    recoveries into one round (:meth:`S1Context.run_flows`).
+    """
+    if not layered:
+        return []
+    n = ctx.public_key.n
+    blinds = [ctx.rng.randint_below(n) for _ in layered]
+    blinded = [
+        lc.scalar_ct(ctx.public_key.encrypt(r, ctx.rng))
+        for lc, r in zip(layered, blinds)
+    ]
+    replies = yield StripLayerBatch(protocol=protocol, cts=blinded)
+    return [reply - r for reply, r in zip(replies, blinds)]
 
 
 def recover_enc_batch(
     ctx: S1Context, layered: list[LayeredCiphertext], protocol: str = PROTOCOL
 ) -> list[Ciphertext]:
     """Strip the outer layer of each ciphertext in one round."""
-    if not layered:
-        return []
-    n = ctx.public_key.n
-    blinds = [ctx.rng.randint_below(n) for _ in layered]
-    with ctx.channel.round(protocol):
-        blinded = [
-            lc.scalar_ct(ctx.public_key.encrypt(r, ctx.rng))
-            for lc, r in zip(layered, blinds)
-        ]
-        ctx.channel.send(blinded)
-        replies = ctx.channel.receive(ctx.s2.strip_layer_batch(blinded, protocol))
-    return [reply - r for reply, r in zip(replies, blinds)]
+    return ctx.run_flows([recover_enc_flow(ctx, layered, protocol)])[0]
 
 
 def recover_enc(

@@ -29,30 +29,30 @@ from __future__ import annotations
 
 from repro.crypto.damgard_jurik import layered_one_hot_select, layered_select
 from repro.crypto.paillier import Ciphertext
+from repro.net.messages import ZeroTestBatch
 from repro.protocols.base import S1Context
-from repro.protocols.recover_enc import recover_enc_batch
+from repro.protocols.recover_enc import recover_enc_flow
 from repro.structures.items import EncryptedItem
 
 PROTOCOL = "SecBest"
 
 
-def sec_best(
+def sec_best_flow(
     ctx: S1Context,
     item: EncryptedItem,
-    other_prefixes: list[list[EncryptedItem]],
+    other_prefixes,
     protocol: str = PROTOCOL,
-) -> Ciphertext:
-    """Return ``Enc(B)`` for ``item``.
+):
+    """Flow form: one equality stage, one recover stage (coalescible).
 
-    ``other_prefixes[j]`` is the full prefix (depths ``1..d``) of the
-    ``j``-th *other* sorted list; its last element is the bottom item
-    whose score is the list's current bottom value.
+    ``other_prefixes`` entries may be lists or zero-copy
+    :class:`~repro.structures.items.ListPrefix` views.
     """
     best = item.score
     if not other_prefixes:
         return ctx.public_key.rerandomize(best, ctx.rng)
 
-    # One equality round covering all (list, depth) pairs, permuted
+    # One equality batch covering all (list, depth) pairs, permuted
     # per-list so S2 cannot align replies with depths.
     batches: list[tuple[list[EncryptedItem], list[int]]] = []
     flat_cts: list[Ciphertext] = []
@@ -64,9 +64,7 @@ def sec_best(
             flat_cts.append(item.ehl.minus(entry.ehl, ctx.rng))
         batches.append((permuted, list(range(start, len(flat_cts)))))
 
-    with ctx.channel.round(protocol):
-        ctx.channel.send(flat_cts)
-        bits = ctx.channel.receive(ctx.s2.test_zero_batch(flat_cts, protocol))
+    bits = yield ZeroTestBatch(protocol=protocol, cts=flat_cts)
 
     zero = ctx.zero()
     layered_terms = []
@@ -82,7 +80,22 @@ def sec_best(
             layered_one_hot_select(ctx.dj, [seen_sum], [zero], bottom)
         )
 
-    contributions = recover_enc_batch(ctx, layered_terms, protocol)
+    contributions = yield from recover_enc_flow(ctx, layered_terms, protocol)
     for contribution in contributions:
         best = best + contribution
     return ctx.public_key.rerandomize(best, ctx.rng)
+
+
+def sec_best(
+    ctx: S1Context,
+    item: EncryptedItem,
+    other_prefixes,
+    protocol: str = PROTOCOL,
+) -> Ciphertext:
+    """Return ``Enc(B)`` for ``item``.
+
+    ``other_prefixes[j]`` is the full prefix (depths ``1..d``) of the
+    ``j``-th *other* sorted list; its last element is the bottom item
+    whose score is the list's current bottom value.
+    """
+    return ctx.run_flows([sec_best_flow(ctx, item, other_prefixes, protocol)])[0]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
 from repro.exceptions import ProtocolError
+from repro.net.messages import DedupBatch
 from repro.protocols.base import CryptoCloud, S1Context
 from repro.protocols.blinding import ItemBlinder, junk_item
 from repro.structures.items import ScoredItem
@@ -109,28 +110,25 @@ def sec_dedup(
     blinder, matrix, blinded, companions, permuted_ranks = _prepare(
         ctx, items, ranks, own_keypair
     )
-    with ctx.channel.round(protocol):
-        ctx.channel.send(matrix, blinded, companions, permuted_ranks)
-        items_out, comps_out = ctx.channel.receive(
-            *_s2_dedup(
-                ctx.s2,
-                own_keypair.public_key,
-                matrix,
-                blinded,
-                companions,
-                permuted_ranks,
-                sentinel=-ctx.encoder.sentinel,
-                eliminate=False,
-                protocol=protocol,
-            )
+    items_out, comps_out = ctx.call(
+        DedupBatch(
+            protocol=protocol,
+            matrix=matrix,
+            items=blinded,
+            companions=companions,
+            ranks=permuted_ranks,
+            own_public=own_keypair.public_key,
+            sentinel=-ctx.encoder.sentinel,
+            eliminate=False,
         )
+    )
     return [
         blinder.unblind(item, blinder.decrypt_seeds(own_keypair, list(comp)))
         for item, comp in zip(items_out, comps_out)
     ]
 
 
-def _s2_dedup(
+def s2_dedup(
     s2: CryptoCloud,
     own_public,
     matrix: list[Ciphertext],

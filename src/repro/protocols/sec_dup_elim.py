@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from repro.crypto.paillier import PaillierKeypair
 from repro.exceptions import ProtocolError
+from repro.net.messages import DedupBatch
 from repro.protocols.base import S1Context
-from repro.protocols.sec_dedup import _prepare, _s2_dedup
+from repro.protocols.sec_dedup import _prepare
 from repro.structures.items import ScoredItem
 
 PROTOCOL = "SecDupElim"
@@ -37,21 +38,18 @@ def sec_dup_elim(
     blinder, matrix, blinded, companions, permuted_ranks = _prepare(
         ctx, items, ranks, own_keypair
     )
-    with ctx.channel.round(protocol):
-        ctx.channel.send(matrix, blinded, companions, permuted_ranks)
-        items_out, comps_out = ctx.channel.receive(
-            *_s2_dedup(
-                ctx.s2,
-                own_keypair.public_key,
-                matrix,
-                blinded,
-                companions,
-                permuted_ranks,
-                sentinel=-ctx.encoder.sentinel,
-                eliminate=True,
-                protocol=protocol,
-            )
+    items_out, comps_out = ctx.call(
+        DedupBatch(
+            protocol=protocol,
+            matrix=matrix,
+            items=blinded,
+            companions=companions,
+            ranks=permuted_ranks,
+            own_public=own_keypair.public_key,
+            sentinel=-ctx.encoder.sentinel,
+            eliminate=True,
         )
+    )
     ctx.leakage.record("S1", protocol, "unique_count", len(items_out))
     return [
         blinder.unblind(item, blinder.decrypt_seeds(own_keypair, list(comp)))

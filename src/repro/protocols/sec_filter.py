@@ -21,26 +21,14 @@ to S1 *which* pairs joined:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.net.messages import FilterBatch
 from repro.protocols.base import CryptoCloud, S1Context
+from repro.structures.items import JoinedTuple
+
+__all__ = ["JoinedTuple", "sec_filter", "s2_filter"]
 
 PROTOCOL = "SecFilter"
-
-
-@dataclass
-class JoinedTuple:
-    """One combined tuple ``E(o) = (Enc(s), [Enc(x_1) ... Enc(x_m)])``."""
-
-    score: Ciphertext
-    attributes: list[Ciphertext]
-
-    def serialized_size(self) -> int:
-        """Byte size on the wire."""
-        return self.score.serialized_size() + sum(
-            a.serialized_size() for a in self.attributes
-        )
 
 
 def sec_filter(
@@ -77,11 +65,14 @@ def sec_filter(
     blinded = [blinded[i] for i in order]
     keys_material = [keys_material[i] for i in order]
 
-    with ctx.channel.round(protocol):
-        ctx.channel.send(blinded, keys_material)
-        tuples_out, material_out = ctx.channel.receive(
-            *_s2_filter(ctx.s2, own_pk, blinded, keys_material, protocol)
+    tuples_out, material_out = ctx.call(
+        FilterBatch(
+            protocol=protocol,
+            tuples=blinded,
+            material=keys_material,
+            own_public=own_pk,
         )
+    )
 
     result: list[JoinedTuple] = []
     for t, material in zip(tuples_out, material_out):
@@ -96,7 +87,7 @@ def sec_filter(
     return result
 
 
-def _s2_filter(
+def s2_filter(
     s2: CryptoCloud,
     own_pk,
     blinded: list[JoinedTuple],

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from repro.crypto.damgard_jurik import LayeredCiphertext, layered_select
 from repro.crypto.paillier import Ciphertext
+from repro.net.messages import ZeroTestBatch
 from repro.protocols.base import S1Context
 from repro.protocols.recover_enc import recover_enc_batch
-from repro.protocols.sec_filter import JoinedTuple
+from repro.structures.items import JoinedTuple
 
 PROTOCOL = "SecJoin"
 
@@ -59,14 +60,12 @@ def sec_join(
     pairs = [(i, j) for i in range(len(left)) for j in range(len(right))]
     ctx.rng.shuffle(pairs)
 
-    with ctx.channel.round(protocol):
-        eq_cts: list[Ciphertext] = []
-        for i, j in pairs:
-            eq_cts.append(left[i]["ehl"][t1].minus(right[j]["ehl"][t2], ctx.rng))
-        ctx.channel.send(eq_cts)
-        bits: list[LayeredCiphertext] = ctx.channel.receive(
-            ctx.s2.test_zero_batch(eq_cts, protocol)
-        )
+    eq_cts: list[Ciphertext] = []
+    for i, j in pairs:
+        eq_cts.append(left[i]["ehl"][t1].minus(right[j]["ehl"][t2], ctx.rng))
+    bits: list[LayeredCiphertext] = ctx.call(
+        ZeroTestBatch(protocol=protocol, cts=eq_cts)
+    )
 
     # Homomorphic combination: score and carried attributes, gated by t
     # (the select keeps the inner value a valid ciphertext — Enc(0) — when

@@ -27,6 +27,7 @@ from repro.crypto.damgard_jurik import (
     layered_one_hot_select,
 )
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.net.messages import ZeroTestBatch
 from repro.protocols.base import S1Context
 from repro.protocols.recover_enc import recover_enc_batch
 from repro.protocols.sec_dedup import sec_dedup
@@ -55,13 +56,11 @@ def sec_update(
     permuted_gamma = [gamma[i] for i in order]
 
     # One equality round for the full |Γ| x |T| grid.
-    with ctx.channel.round(protocol):
-        flat: list[Ciphertext] = []
-        for g_item in permuted_gamma:
-            for t_item in t_list:
-                flat.append(g_item.ehl.minus(t_item.ehl, ctx.rng))
-        ctx.channel.send(flat)
-        bits_flat = ctx.channel.receive(ctx.s2.test_zero_batch(flat, protocol))
+    flat: list[Ciphertext] = []
+    for g_item in permuted_gamma:
+        for t_item in t_list:
+            flat.append(g_item.ehl.minus(t_item.ehl, ctx.rng))
+    bits_flat = ctx.call(ZeroTestBatch(protocol=protocol, cts=flat))
 
     n_t = len(t_list)
     bits: list[list[LayeredCiphertext]] = [

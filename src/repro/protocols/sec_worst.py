@@ -25,11 +25,41 @@ from __future__ import annotations
 
 from repro.crypto.damgard_jurik import layered_select
 from repro.crypto.paillier import Ciphertext
+from repro.net.messages import ZeroTestBatch
 from repro.protocols.base import S1Context
-from repro.protocols.recover_enc import recover_enc_batch
+from repro.protocols.recover_enc import recover_enc_flow
 from repro.structures.items import EncryptedItem
 
 PROTOCOL = "SecWorst"
+
+
+def sec_worst_flow(
+    ctx: S1Context,
+    item: EncryptedItem,
+    others: list[EncryptedItem],
+    protocol: str = PROTOCOL,
+):
+    """Flow form: equality stage, then recover stage (coalescible)."""
+    if not others:
+        return ctx.public_key.rerandomize(item.score, ctx.rng)
+
+    order = ctx.rng.permutation(len(others))
+    permuted = [others[i] for i in order]
+
+    equality_cts = [item.ehl.minus(other.ehl, ctx.rng) for other in permuted]
+    bits = yield ZeroTestBatch(protocol=protocol, cts=equality_cts)
+
+    zero = ctx.zero()
+    selected = [
+        layered_select(ctx.dj, bit, other.score, zero)
+        for bit, other in zip(bits, permuted)
+    ]
+    scores = yield from recover_enc_flow(ctx, selected, protocol)
+
+    worst = item.score
+    for score in scores:
+        worst = worst + score
+    return ctx.public_key.rerandomize(worst, ctx.rng)
 
 
 def sec_worst(
@@ -39,27 +69,4 @@ def sec_worst(
     protocol: str = PROTOCOL,
 ) -> Ciphertext:
     """Return ``Enc(W)`` for ``item`` given the depth's other items."""
-    if not others:
-        return ctx.public_key.rerandomize(item.score, ctx.rng)
-
-    order = ctx.rng.permutation(len(others))
-    permuted = [others[i] for i in order]
-
-    with ctx.channel.round(protocol):
-        equality_cts = [
-            item.ehl.minus(other.ehl, ctx.rng) for other in permuted
-        ]
-        ctx.channel.send(equality_cts)
-        bits = ctx.channel.receive(ctx.s2.test_zero_batch(equality_cts, protocol))
-
-    zero = ctx.zero()
-    selected = [
-        layered_select(ctx.dj, bit, other.score, zero)
-        for bit, other in zip(bits, permuted)
-    ]
-    scores = recover_enc_batch(ctx, selected, protocol)
-
-    worst = item.score
-    for score in scores:
-        worst = worst + score
-    return ctx.public_key.rerandomize(worst, ctx.rng)
+    return ctx.run_flows([sec_worst_flow(ctx, item, others, protocol)])[0]

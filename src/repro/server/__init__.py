@@ -1,0 +1,11 @@
+"""The multi-query server front-end (see ARCHITECTURE.md, layer 3).
+
+:class:`~repro.server.topk_server.TopKServer` holds one encrypted
+relation plus the S2 connection recipe and serves many isolated
+:class:`~repro.server.topk_server.QuerySession`\\ s, sequentially or
+concurrently.
+"""
+
+from repro.server.topk_server import QuerySession, TopKServer
+
+__all__ = ["QuerySession", "TopKServer"]

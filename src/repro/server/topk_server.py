@@ -1,0 +1,165 @@
+"""Multi-query server front-end for one encrypted relation.
+
+A :class:`TopKServer` owns one :class:`~repro.core.relation.EncryptedRelation`
+plus the S2 connection recipe, and serves many sequential or concurrent
+:class:`QuerySession`\\ s.  Each session gets its own accounting channel,
+leakage log, randomness streams and transport — so per-query channel
+statistics and leakage records never bleed across queries — while the
+relation, key material and the (deliberately cross-query) query-pattern
+history stay shared.
+
+This is the deployment shape the ROADMAP's production goal asks for:
+S1 as a long-lived query service in front of a crypto-cloud link, with
+``execute_many`` fanning sessions over a thread pool.  Pure-Python
+big-int crypto holds the GIL, so thread concurrency here buys latency
+overlap on the (simulated) link rather than CPU parallelism; the
+session isolation is what a multi-process or remote deployment would
+reuse unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.relation import EncryptedRelation
+from repro.core.results import QueryConfig, QueryResult
+from repro.core.scheme import SecTopK
+from repro.core.token import Token
+from repro.net.channel import ChannelStats
+from repro.protocols.base import LeakageLog, S1Context
+
+
+class QuerySession:
+    """One client's query context on a :class:`TopKServer`."""
+
+    def __init__(self, server: "TopKServer", ctx: S1Context, session_id: int):
+        self._server = server
+        self._ctx = ctx
+        self.session_id = session_id
+        self.closed = False
+
+    # -- querying --------------------------------------------------------
+
+    def query(self, token: Token, config: QueryConfig | None = None) -> QueryResult:
+        """Run one secure top-k query inside this session."""
+        if self.closed:
+            raise RuntimeError("session is closed")
+        return self._server.scheme.query(
+            self._server.relation, token, config, ctx=self._ctx
+        )
+
+    # -- per-session observability ---------------------------------------
+
+    @property
+    def leakage(self) -> LeakageLog:
+        """This session's leakage log (no cross-session events)."""
+        return self._ctx.leakage
+
+    @property
+    def channel_stats(self) -> ChannelStats:
+        """Cumulative traffic of this session's channel."""
+        return self._ctx.channel.snapshot()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's transport (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self._ctx.close()
+            self._server._forget(self)
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TopKServer:
+    """Serves top-k queries over one encrypted relation."""
+
+    def __init__(
+        self,
+        scheme: SecTopK,
+        relation: EncryptedRelation,
+        transport: str = "inprocess",
+    ):
+        self.scheme = scheme
+        self.relation = relation
+        self.transport = transport
+        self._session_lock = threading.Lock()
+        self._session_counter = 0
+        self._sessions: list[QuerySession] = []
+
+    # -- sessions --------------------------------------------------------
+
+    def session(self) -> QuerySession:
+        """Open a fresh, isolated query session.
+
+        Session setup is serialized (it draws from the scheme's root
+        randomness); the returned session can then run queries
+        concurrently with other sessions.
+        """
+        with self._session_lock:
+            session_id = self._session_counter
+            self._session_counter += 1
+            ctx = self.scheme.make_clouds(
+                transport=self.transport, label=f":session-{session_id}"
+            )
+            session = QuerySession(self, ctx, session_id)
+            self._sessions.append(session)
+            return session
+
+    def _forget(self, session: QuerySession) -> None:
+        """Drop a closed session so long-lived servers don't accumulate."""
+        with self._session_lock:
+            try:
+                self._sessions.remove(session)
+            except ValueError:
+                pass
+
+    # -- one-shot and bulk execution -------------------------------------
+
+    def execute(self, token: Token, config: QueryConfig | None = None) -> QueryResult:
+        """Run one query in a throwaway session."""
+        with self.session() as session:
+            return session.query(token, config)
+
+    def execute_many(
+        self,
+        requests: list[tuple[Token, QueryConfig | None]],
+        concurrency: int = 1,
+    ) -> list[QueryResult]:
+        """Run many queries, ``concurrency`` sessions at a time.
+
+        Results are returned in request order regardless of completion
+        order; every request runs in its own isolated session, opened
+        when its worker picks it up and closed when it finishes (at most
+        ``concurrency`` sessions are live at once).
+        """
+        if concurrency <= 1:
+            return [self.execute(token, config) for token, config in requests]
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            futures = [
+                pool.submit(self.execute, token, config)
+                for token, config in requests
+            ]
+            return [future.result() for future in futures]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every session this server opened."""
+        with self._session_lock:
+            sessions = list(self._sessions)
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "TopKServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

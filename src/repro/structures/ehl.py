@@ -27,7 +27,7 @@ one the database was encrypted with.
 from __future__ import annotations
 
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey
-from repro.crypto.prf import Prf, derive_keys, encode_object_id
+from repro.crypto.prf import Prf, derive_keys
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import KeyMismatchError
 from repro.structures.bloom import BloomFilter

@@ -14,7 +14,7 @@ those fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.damgard_jurik import LayeredCiphertext
 from repro.crypto.paillier import Ciphertext
@@ -41,6 +41,60 @@ class EncryptedItem:
         if self.record is not None:
             size += self.record.serialized_size()
         return size
+
+
+@dataclass
+class JoinedTuple:
+    """One combined join tuple ``E(o) = (Enc(s), [Enc(x_1) ... Enc(x_m)])``.
+
+    Produced by ``SecJoin`` and filtered by ``SecFilter``; lives here (and
+    not in the protocol modules) because it is a pure data container that
+    also crosses the inter-cloud wire.
+    """
+
+    score: Ciphertext
+    attributes: list[Ciphertext]
+
+    def serialized_size(self) -> int:
+        """Byte size on the wire."""
+        return self.score.serialized_size() + sum(
+            a.serialized_size() for a in self.attributes
+        )
+
+
+class ListPrefix:
+    """A zero-copy view of the first ``length`` entries of a sorted list.
+
+    ``SecBest`` consumes one prefix per other query list per depth; slicing
+    ``lists[j][: depth + 1]`` for every item at every depth costs
+    ``O(n·m²)`` list copying over a scan.  This view supports exactly the
+    operations the protocol needs — ``len``, indexing (including negative
+    indices for the bottom item) and iteration — without copying.
+    """
+
+    __slots__ = ("_items", "_length")
+
+    def __init__(self, items: list, length: int):
+        if not 0 <= length <= len(items):
+            raise ValueError("prefix length out of range")
+        self._items = items
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        if not isinstance(index, int):
+            raise TypeError("ListPrefix supports integer indices only")
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("prefix index out of range")
+        return self._items[index]
+
+    def __iter__(self):
+        for i in range(self._length):
+            yield self._items[i]
 
 
 @dataclass

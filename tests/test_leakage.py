@@ -101,8 +101,17 @@ class TestS1HoldsNoSecrets:
             ) if hasattr(value, "__dict__") else True
 
     def test_s2_private_key_is_name_mangled_away(self, query_run):
+        """The crypto cloud sits behind the transport's dispatcher; even
+        there the keypair is a private attribute, not ``secret_key``."""
         _, ctx, _, _ = query_run
-        assert not hasattr(ctx.s2, "secret_key")
+        cloud = ctx.transport.dispatcher.cloud
+        assert not hasattr(cloud, "secret_key")
+
+    def test_s1_protocol_code_holds_no_s2_handle(self, query_run):
+        """The transport boundary is real: the context exposes no ``s2``
+        attribute for protocol code to call around the message layer."""
+        _, ctx, _, _ = query_run
+        assert not hasattr(ctx, "s2")
 
 
 class TestEqualityPatternSemantics:

@@ -1,0 +1,100 @@
+"""Tests for the multi-query server front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.results import QueryConfig
+from repro.core.scheme import SecTopK
+from repro.crypto.rng import SecureRandom
+from repro.server import TopKServer
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = SecureRandom(123)
+    rows = [[rng.randint_below(40) for _ in range(3)] for _ in range(10)]
+    scheme = SecTopK(SystemParams.tiny(), seed=55)
+    relation = scheme.encrypt(rows)
+    return scheme, relation, rows
+
+
+def _oracle_topk(rows, attrs, k):
+    from repro.nra import SortedLists, nra_topk
+
+    return {o for o, _ in nra_topk(SortedLists(rows, attrs), k).topk}
+
+
+class TestSessions:
+    def test_sequential_sessions_are_isolated(self, deployment):
+        scheme, relation, rows = deployment
+        with TopKServer(scheme, relation) as server:
+            token = scheme.token([0, 1], k=2)
+            with server.session() as first:
+                result_a = first.query(token, QueryConfig(variant="elim"))
+            with server.session() as second:
+                result_b = second.query(token, QueryConfig(variant="elim"))
+
+            # Per-session observability: each log/channel covers exactly
+            # its own query — no cross-query state bleed.
+            assert first.channel_stats.rounds == result_a.channel_stats.rounds
+            assert second.channel_stats.rounds == result_b.channel_stats.rounds
+            assert first.leakage.events is not second.leakage.events
+            a_pattern = [e for e in first.leakage.events if e.kind == "query_pattern"]
+            b_pattern = [e for e in second.leakage.events if e.kind == "query_pattern"]
+            assert len(a_pattern) == len(b_pattern) == 1
+            # The query-pattern history itself is shared (it IS the L1
+            # leakage): the second run of the same token is a repeat.
+            assert a_pattern[0].payload is False
+            assert b_pattern[0].payload is True
+
+    def test_results_match_oracle(self, deployment):
+        scheme, relation, rows = deployment
+        with TopKServer(scheme, relation) as server:
+            result = server.execute(scheme.token([0, 2], k=2))
+            winners = {o for o, _ in scheme.reveal(result)}
+            assert winners == _oracle_topk(rows, [0, 2], 2)
+
+    def test_closed_session_rejects_queries(self, deployment):
+        scheme, relation, _ = deployment
+        with TopKServer(scheme, relation) as server:
+            session = server.session()
+            session.close()
+            with pytest.raises(RuntimeError):
+                session.query(scheme.token([0], k=1))
+
+    def test_threaded_transport_sessions(self, deployment):
+        scheme, relation, rows = deployment
+        with TopKServer(scheme, relation, transport="threaded") as server:
+            result = server.execute(scheme.token([1, 2], k=2))
+            winners = {o for o, _ in scheme.reveal(result)}
+            assert winners == _oracle_topk(rows, [1, 2], 2)
+
+
+class TestExecuteMany:
+    def test_concurrent_matches_sequential(self, deployment):
+        scheme, relation, rows = deployment
+        requests = [
+            (scheme.token([0, 1], k=2), QueryConfig(variant="elim")),
+            (scheme.token([1, 2], k=2), QueryConfig(variant="elim")),
+            (scheme.token([0, 2], k=3), QueryConfig(variant="elim")),
+            (scheme.token([0, 1, 2], k=2), QueryConfig(variant="elim")),
+        ]
+        attrs_and_k = [([0, 1], 2), ([1, 2], 2), ([0, 2], 3), ([0, 1, 2], 2)]
+        with TopKServer(scheme, relation) as server:
+            concurrent = server.execute_many(requests, concurrency=3)
+        for result, (attrs, k) in zip(concurrent, attrs_and_k):
+            winners = {o for o, _ in scheme.reveal(result)}
+            assert winners == _oracle_topk(rows, attrs, k)
+
+    def test_results_keep_request_order(self, deployment):
+        scheme, relation, _ = deployment
+        requests = [
+            (scheme.token([0], k=1), None),
+            (scheme.token([0, 1, 2], k=4), None),
+        ]
+        with TopKServer(scheme, relation) as server:
+            results = server.execute_many(requests, concurrency=2)
+        assert len(results[0].items) == 1
+        assert len(results[1].items) == 4

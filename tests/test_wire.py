@@ -1,0 +1,302 @@
+"""Unit tests for the wire codec, typed messages and round batcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.damgard_jurik import DamgardJurik
+from repro.exceptions import ProtocolError
+from repro.net.batching import RoundBatcher, single_message_flow
+from repro.net.channel import Channel, measure_size
+from repro.net.dispatch import S2Dispatcher
+from repro.net.messages import (
+    MESSAGE_TYPES,
+    DedupBatch,
+    StripLayerBatch,
+    ZeroTestBatch,
+    message_class,
+    message_fields,
+    message_type_id,
+)
+from repro.net.transport import InProcessTransport, ThreadedTransport
+from repro.net.wire import WireCodec, _Reader
+from repro.structures.ehl_plus import EhlPlusFactory
+from repro.structures.items import JoinedTuple, ListPrefix, ScoredItem
+
+
+@pytest.fixture()
+def dj(keypair):
+    return DamgardJurik(keypair.public_key, s=2)
+
+
+def _roundtrip(value):
+    encoder = WireCodec()
+    out = bytearray()
+    encoder.encode_value(value, out)
+    decoder = WireCodec()
+    return decoder.decode_value(_Reader(bytes(out)))
+
+
+class TestWireValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            12345678901234567890,
+            -987654321,
+            b"",
+            b"\x00\xffabc",
+            "protocol-name",
+            [1, [2, None], (True, b"x")],
+            (),
+        ],
+    )
+    def test_primitives(self, value):
+        assert _roundtrip(value) == value
+
+    def test_ciphertext(self, keypair, rng):
+        ct = keypair.public_key.encrypt(42, rng)
+        back = _roundtrip(ct)
+        assert back.value == ct.value
+        assert back.public_key == keypair.public_key
+        assert keypair.secret_key.decrypt(back) == 42
+
+    def test_ciphertexts_under_two_keys(self, keypair, own_keypair, rng):
+        a = keypair.public_key.encrypt(1, rng)
+        b = own_keypair.public_key.encrypt(2, rng)
+        back_a, back_b = _roundtrip([a, b])
+        assert keypair.secret_key.decrypt(back_a) == 1
+        assert own_keypair.secret_key.decrypt(back_b) == 2
+
+    def test_layered_ciphertext(self, keypair, dj, rng):
+        lc = dj.encrypt(7, rng)
+        back = _roundtrip(lc)
+        assert back.value == lc.value
+        assert dj.decrypt(back, keypair) == 7
+
+    def test_layered_first_keeps_registries_in_sync(
+        self, keypair, own_keypair, dj, rng
+    ):
+        """A LayeredCiphertext introducing a key must register it on both
+        endpoints identically, or later index-based ciphertext references
+        resolve to different keys (regression: encoder skipped the
+        registration the decoder performed)."""
+        encoder, decoder = WireCodec(), WireCodec()
+        stream = [
+            dj.encrypt(3, rng),                       # introduces keypair's n
+            own_keypair.public_key.encrypt(1, rng),   # second key
+            keypair.public_key.encrypt(2, rng),       # back-reference first key
+        ]
+        out = bytearray()
+        for value in stream:
+            encoder.encode_value(value, out)
+        reader = _Reader(bytes(out))
+        decoded = [decoder.decode_value(reader) for _ in stream]
+        assert dj.decrypt(decoded[0], keypair) == 3
+        assert own_keypair.secret_key.decrypt(decoded[1]) == 1
+        assert keypair.secret_key.decrypt(decoded[2]) == 2
+
+    def test_scored_item_with_state(self, keypair, dj, rng):
+        factory = EhlPlusFactory(keypair.public_key, b"k" * 32, n_hashes=2, rng=rng)
+        item = ScoredItem(
+            ehl=factory.encode("obj"),
+            worst=keypair.public_key.encrypt(3, rng),
+            best=keypair.public_key.encrypt(9, rng),
+            list_scores=[keypair.public_key.encrypt(1, rng)],
+            seen_bits=[dj.encrypt(1, rng)],
+            record=keypair.public_key.encrypt(5, rng),
+            uid=17,
+        )
+        back = _roundtrip(item)
+        assert type(back.ehl) is type(item.ehl)
+        assert [c.value for c in back.ehl.cells] == [c.value for c in item.ehl.cells]
+        assert keypair.secret_key.decrypt(back.worst) == 3
+        assert keypair.secret_key.decrypt(back.best) == 9
+        assert back.uid == 17
+        assert dj.decrypt(back.seen_bits[0], keypair) == 1
+
+    def test_joined_tuple(self, keypair, rng):
+        jt = JoinedTuple(
+            score=keypair.public_key.encrypt(4, rng),
+            attributes=[keypair.public_key.encrypt(8, rng)],
+        )
+        back = _roundtrip(jt)
+        assert keypair.secret_key.decrypt(back.score) == 4
+        assert keypair.secret_key.decrypt(back.attributes[0]) == 8
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ProtocolError):
+            _roundtrip(object())
+
+    def test_encoding_is_size_faithful(self, keypair, rng):
+        """Framing overhead stays small next to the accounted payload."""
+        cts = [keypair.public_key.encrypt(i, rng) for i in range(8)]
+        out = bytearray()
+        WireCodec().encode_value(cts, out)
+        payload = measure_size(cts)
+        assert payload <= len(out) <= payload + 128
+
+
+class TestMessageEnvelopes:
+    def test_registry_is_bijective(self):
+        for cls in MESSAGE_TYPES:
+            assert message_class(message_type_id(cls)) is cls
+            assert message_fields(cls)[0] == "protocol"
+
+    def test_envelope_roundtrip(self, keypair, dj, rng):
+        msgs = [
+            ZeroTestBatch(protocol="SecWorst", cts=[keypair.public_key.encrypt(0, rng)]),
+            StripLayerBatch(protocol="RecoverEnc", cts=[dj.encrypt(1, rng)]),
+            DedupBatch(
+                protocol="SecDedup",
+                matrix=[],
+                items=[],
+                companions=[],
+                ranks=[0, 1],
+                own_public=keypair.public_key,
+                sentinel=-(1 << 40),
+                eliminate=True,
+            ),
+        ]
+        codec_out, codec_in = WireCodec(), WireCodec()
+        back = codec_in.decode_envelope(codec_out.encode_envelope(msgs))
+        assert [type(m) for m in back] == [type(m) for m in msgs]
+        assert back[0].protocol == "SecWorst"
+        assert back[0].cts[0].value == msgs[0].cts[0].value
+        assert back[2].ranks == [0, 1]
+        assert back[2].sentinel == -(1 << 40)
+        assert back[2].eliminate is True
+        assert back[2].own_public == keypair.public_key
+
+    def test_request_payload_excludes_metadata(self, keypair, rng):
+        msg = DedupBatch(
+            protocol="SecDedup",
+            matrix=[keypair.public_key.encrypt(0, rng)],
+            items=[],
+            companions=[],
+            ranks=[0],
+            own_public=keypair.public_key,
+            sentinel=-5,
+            eliminate=False,
+        )
+        payload = msg.request_payload()
+        assert payload == (msg.matrix, msg.items, msg.companions, msg.ranks)
+
+
+class TestRoundBatcher:
+    def _parties(self, keypair, seed=5):
+        from repro.crypto.rng import SecureRandom
+        from repro.protocols.base import make_parties
+
+        return make_parties(keypair, rng=SecureRandom(seed))
+
+    def test_single_call_is_one_round(self, keypair, rng):
+        ctx = self._parties(keypair)
+        ct = ctx.public_key.encrypt(0, ctx.rng)
+        bits = ctx.call(ZeroTestBatch(protocol="P", cts=[ct]))
+        assert len(bits) == 1
+        assert ctx.channel.stats.rounds == 1
+        assert ctx.channel.stats.per_protocol_rounds["P"] == 1
+        assert ctx.channel.stats.per_protocol_bytes["P"] > 0
+
+    def test_coalesced_flows_share_one_round(self, keypair):
+        ctx = self._parties(keypair)
+        msgs = [
+            ZeroTestBatch(protocol="P", cts=[ctx.public_key.encrypt(i, ctx.rng)])
+            for i in range(4)
+        ]
+        replies = ctx.run_flows([single_message_flow(m) for m in msgs])
+        assert len(replies) == 4
+        assert ctx.channel.stats.rounds == 1
+        assert ctx.channel.stats.per_protocol_rounds["P"] == 1
+
+    def test_mixed_length_flows(self, keypair):
+        """Flows of different stage counts coalesce stage by stage."""
+        ctx = self._parties(keypair)
+
+        def two_stage():
+            first = yield ZeroTestBatch(
+                protocol="A", cts=[ctx.public_key.encrypt(0, ctx.rng)]
+            )
+            second = yield ZeroTestBatch(
+                protocol="A", cts=[ctx.public_key.encrypt(1, ctx.rng)]
+            )
+            return (first, second)
+
+        def no_stage():
+            return "done"
+            yield  # pragma: no cover
+
+        results = ctx.run_flows(
+            [
+                two_stage(),
+                single_message_flow(
+                    ZeroTestBatch(
+                        protocol="B", cts=[ctx.public_key.encrypt(2, ctx.rng)]
+                    )
+                ),
+                no_stage(),
+            ]
+        )
+        assert results[2] == "done"
+        assert len(results[0]) == 2
+        # Stage 1 carried A+B coalesced; stage 2 carried A alone.
+        assert ctx.channel.stats.rounds == 2
+        assert ctx.channel.stats.per_protocol_rounds["A"] == 2
+        assert ctx.channel.stats.per_protocol_rounds["B"] == 1
+
+    def test_threaded_transport_propagates_errors(self, keypair):
+        from repro.crypto.rng import SecureRandom
+        from repro.protocols.base import make_parties
+
+        ctx = make_parties(keypair, rng=SecureRandom(6), transport="threaded")
+        try:
+            batcher = RoundBatcher(Channel(), ctx.transport)
+            with pytest.raises(ProtocolError, match="S2 dispatch failed"):
+                # A DJ ciphertext is not a valid Paillier ciphertext.
+                batcher.call(
+                    ZeroTestBatch(
+                        protocol="P",
+                        cts=[DamgardJurik(keypair.public_key, s=2).encrypt(0, ctx.rng)],
+                    )
+                )
+        finally:
+            ctx.close()
+
+    def test_transport_close_is_idempotent(self, keypair):
+        from repro.protocols.base import make_parties
+
+        ctx = make_parties(keypair, transport="threaded")
+        assert isinstance(ctx.transport, ThreadedTransport)
+        ctx.close()
+        ctx.close()
+        with pytest.raises(ProtocolError):
+            ctx.call(ZeroTestBatch(protocol="P", cts=[]))
+
+
+class TestListPrefix:
+    def test_view_semantics(self):
+        backing = list(range(10))
+        view = ListPrefix(backing, 4)
+        assert len(view) == 4
+        assert view[0] == 0
+        assert view[-1] == 3
+        assert list(view) == [0, 1, 2, 3]
+        with pytest.raises(IndexError):
+            view[4]
+        with pytest.raises(IndexError):
+            view[-5]
+        with pytest.raises(TypeError):
+            view[1:2]
+
+    def test_dispatcher_rejects_unknown_message(self, keypair):
+        from repro.protocols.base import make_parties
+
+        ctx = make_parties(keypair)
+        assert isinstance(ctx.transport, InProcessTransport)
+        with pytest.raises(ProtocolError):
+            ctx.transport.dispatcher.dispatch(object())
