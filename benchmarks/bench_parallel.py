@@ -1,0 +1,268 @@
+"""Compute-layer benchmark: backends × execution modes, machine-readable.
+
+Measures the two levers the compute layer adds and emits
+``benchmarks/results/parallel.json``:
+
+* **Per-op microbench** — latency of the hot modular operations
+  (raw ``powmod`` over ``Z_{N^2}``, Paillier encrypt, batched Paillier
+  CRT decrypt, batched DJ layer strip) under every available backend
+  (``pure`` always; ``gmpy2`` when installed).  This is the paper's
+  Section 11 cost model: query latency is a multiple of exactly these
+  operations.
+
+* **Server throughput** — ``TopKServer.execute_many`` queries/sec for
+  sequential, thread-pool and process-pool execution, on a zero-latency
+  link (pure CPU: only process mode can beat sequential, and only with
+  >1 core) and on a simulated WAN link (``--rtt-ms``, default 25 ms:
+  concurrency of either kind overlaps the round-trips — the paper's
+  two-cloud deployment has the clouds at different providers).
+
+The JSON records the environment (core count, gmpy2 availability) next
+to every figure, so a reader can tell a GIL-bound single-core run from
+a real fan-out.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--tiny] [--rtt-ms 25]
+
+``--tiny`` shrinks the workload for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.core.params import SystemParams
+from repro.core.results import QueryConfig
+from repro.core.scheme import SecTopK
+from repro.crypto import backend
+from repro.crypto.paillier import PaillierKeypair
+from repro.crypto.damgard_jurik import DamgardJurik
+from repro.crypto.rng import SecureRandom
+from repro.server import TopKServer
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "parallel.json"
+SEED = 7
+
+
+# ----------------------------------------------------------------------
+# Per-op microbench.
+# ----------------------------------------------------------------------
+
+
+def _time_per_op(fn, reps: int) -> float:
+    started = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - started) / reps * 1e6  # microseconds
+
+
+_MICRO_SETUP: dict = {}
+
+
+def _micro_setup(reps: int) -> dict:
+    """Seeded paper-size key material, built once and shared by every
+    backend's microbench (backends are bit-compatible, and the prime
+    search dominates setup cost)."""
+    if _MICRO_SETUP.get("reps") != reps:
+        rng = SecureRandom(SEED)
+        keypair = PaillierKeypair.generate(SystemParams.paper().key_bits, rng)
+        pk = keypair.public_key
+        dj = DamgardJurik(pk, s=2)
+        cts = [pk.encrypt(rng.randint_below(1000), rng) for _ in range(reps)]
+        _MICRO_SETUP.update(
+            reps=reps,
+            keypair=keypair,
+            dj=dj,
+            base=rng.rand_unit(pk.n_squared),
+            cts=cts,
+            layered=[dj.encrypt_ciphertext(ct, rng) for ct in cts[: max(reps // 2, 1)]],
+        )
+    return _MICRO_SETUP
+
+
+def microbench(backend_name: str, reps: int) -> dict:
+    """Per-op latencies (µs) under ``backend_name``, paper-sized keys."""
+    setup = _micro_setup(reps)
+    previous = backend.set_backend(backend_name)
+    try:
+        rng = SecureRandom(SEED + 1)
+        keypair = setup["keypair"]
+        pk, sk = keypair.public_key, keypair.secret_key
+        dj = setup["dj"]
+        base = setup["base"]
+        cts = setup["cts"]
+        layered = setup["layered"]
+
+        out = {
+            "powmod_n2_us": _time_per_op(
+                lambda: backend.powmod(base, pk.n, pk.n_squared), reps
+            ),
+            "paillier_encrypt_us": _time_per_op(
+                lambda: pk.encrypt(123456, rng), reps
+            ),
+        }
+        started = time.perf_counter()
+        sk.decrypt_batch(cts)
+        out["paillier_decrypt_us"] = (time.perf_counter() - started) / len(cts) * 1e6
+        started = time.perf_counter()
+        dj.decrypt_inner_batch(layered, keypair)
+        out["dj_strip_us"] = (time.perf_counter() - started) / len(layered) * 1e6
+        return {key: round(value, 2) for key, value in out.items()}
+    finally:
+        backend.set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Server throughput.
+# ----------------------------------------------------------------------
+
+
+def _deployment(n_rows: int, m: int):
+    rng = SecureRandom(SEED)
+    rows = [[rng.randint_below(50) for _ in range(m)] for _ in range(n_rows)]
+    scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+    return scheme, scheme.encrypt(rows)
+
+
+def _workload(scheme: SecTopK, count: int):
+    subsets = [[0, 1], [1, 2], [0, 2], [0, 1, 2], [2, 3], [1, 3]]
+    config = QueryConfig(variant="elim", engine="eager", halting="paper")
+    return [
+        (scheme.token(subsets[i % len(subsets)], k=2), config)
+        for i in range(count)
+    ]
+
+
+def throughput_row(
+    backend_name: str,
+    mode: str,
+    workers: int,
+    rtt_ms: float,
+    n_rows: int,
+    n_queries: int,
+) -> dict:
+    previous = backend.set_backend(backend_name)
+    try:
+        scheme, relation = _deployment(n_rows, m=4)
+        requests = _workload(scheme, n_queries)
+        with TopKServer(scheme, relation, rtt_ms=rtt_ms) as server:
+            started = time.perf_counter()
+            if mode == "sequential":
+                results = server.execute_many(requests, concurrency=1)
+            else:
+                results = server.execute_many(
+                    requests, concurrency=workers, mode=mode
+                )
+            elapsed = time.perf_counter() - started
+        assert all(len(r.items) == 2 for r in results)
+        return {
+            "backend": backend_name,
+            "mode": mode,
+            "workers": 1 if mode == "sequential" else workers,
+            "rtt_ms": rtt_ms,
+            "queries": n_queries,
+            "seconds": round(elapsed, 3),
+            "qps": round(n_queries / elapsed, 3),
+        }
+    finally:
+        backend.set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Assembly.
+# ----------------------------------------------------------------------
+
+
+def run(tiny: bool, rtt_ms: float, workers: int) -> dict:
+    n_rows = 12 if tiny else 16
+    n_queries = 4 if tiny else 8
+    reps = 50 if tiny else 200
+
+    backends = list(backend.available_backends())
+    report: dict = {
+        "meta": {
+            "generated_unix": round(time.time(), 1),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "gmpy2_available": backend.gmpy2_available(),
+            "params": "tiny (throughput) / paper key size (microbench)",
+            "n_rows": n_rows,
+            "n_queries": n_queries,
+            "workers": workers,
+            "note": (
+                "process-mode CPU speedup requires >1 core; rtt rows "
+                "measure latency overlap on a simulated WAN link"
+            ),
+        },
+        "microbench": {},
+        "execute_many": [],
+        "speedups": {},
+    }
+
+    for name in ("pure", "gmpy2"):
+        if name in backends:
+            print(f"[microbench] backend={name}")
+            report["microbench"][name] = microbench(name, reps)
+        else:
+            report["microbench"][name] = {"available": False}
+
+    if "gmpy2" in backends:
+        pure, fast = report["microbench"]["pure"], report["microbench"]["gmpy2"]
+        report["speedups"]["gmpy2_vs_pure"] = {
+            op: round(pure[op] / fast[op], 2) for op in pure
+        }
+
+    # A zero --rtt-ms would otherwise duplicate every row.
+    rtts = (0.0,) if rtt_ms == 0 else (0.0, rtt_ms)
+    for name in backends:
+        for rtt in rtts:
+            for mode, nworkers in (
+                ("sequential", 1),
+                ("thread", workers),
+                ("process", workers),
+            ):
+                print(
+                    f"[execute_many] backend={name} mode={mode} "
+                    f"workers={nworkers} rtt={rtt}ms"
+                )
+                report["execute_many"].append(
+                    throughput_row(name, mode, nworkers, rtt, n_rows, n_queries)
+                )
+
+    def _qps(name: str, mode: str, rtt: float) -> float | None:
+        for row in report["execute_many"]:
+            if row["backend"] == name and row["mode"] == mode and row["rtt_ms"] == rtt:
+                return row["qps"]
+        return None
+
+    for name in backends:
+        for rtt in rtts:
+            seq, proc = _qps(name, "sequential", rtt), _qps(name, "process", rtt)
+            if seq and proc:
+                report["speedups"][
+                    f"process_vs_sequential[{name},rtt={rtt}ms]"
+                ] = round(proc / seq, 2)
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke size")
+    parser.add_argument("--rtt-ms", type=float, default=25.0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS)
+    args = parser.parse_args()
+
+    report = run(args.tiny, args.rtt_ms, args.workers)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    print(json.dumps(report["speedups"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -124,7 +124,9 @@ def run_coalescing() -> SeriesReport:
             )
     report.note(
         "rounds/depth stays flat as m grows: each depth's equality stage "
-        "and RecoverEnc stage cross the link as one coalesced round-trip."
+        "and RecoverEnc stage cross the link as one coalesced round-trip, "
+        "and the eager check-depth bound refresh rides the absorption's "
+        "recover round (5 rounds per eager check depth, was 6)."
     )
     return report
 

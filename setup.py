@@ -1,12 +1,34 @@
-"""Setup shim.
+"""Packaging for the secure top-k reproduction.
 
 The evaluation environment is offline and lacks the ``wheel`` package, so
-PEP-517 editable installs cannot build. This shim lets
-``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
-``pip install -e .`` on modern environments via pyproject.toml) work
-everywhere.  All metadata lives in ``pyproject.toml``.
+PEP-517 editable installs cannot build; this classic setup.py keeps
+``pip install -e . --no-build-isolation --no-use-pep517`` working
+everywhere.
+
+The core library is dependency-free (the crypto stack is built on Python
+integers).  The optional ``accel`` extra installs gmpy2, which the
+pluggable compute backend (``repro.crypto.backend``) auto-detects for
+3–10x faster modular exponentiation::
+
+    pip install .[accel]          # gmpy2-accelerated big-int backend
+
+Select explicitly with ``REPRO_BACKEND=pure|gmpy2|auto`` (default auto).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-sec-topk",
+    version="0.2.0",
+    description=(
+        "Reproduction of a secure top-k query scheme over encrypted data "
+        "(two-cloud NRA with Paillier/Damgård–Jurik)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    extras_require={
+        # Optional GMP-backed big-int acceleration for the compute layer.
+        "accel": ["gmpy2>=2.1"],
+    },
+)

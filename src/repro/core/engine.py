@@ -190,9 +190,12 @@ class EagerEngine(_EngineBase):
         t_list: list[ScoredItem] = []
         for depth in range(self._max_depth()):
             started = time.perf_counter()
-            t_list = self._absorb_depth(t_list, depth)
-            if self._is_check_depth(depth):
-                self._refresh_bounds(t_list, depth)
+            check = self._is_check_depth(depth)
+            # At check depths the bound refresh rides the absorption's
+            # recover round (one coalesced flow batch) instead of paying
+            # its own round afterwards.
+            t_list = self._absorb_depth(t_list, depth, refresh=check)
+            if check:
                 t_list = self._dedup(t_list, list(range(len(t_list))))
                 if len(t_list) >= self.k:
                     t_list = self._sort(t_list)
@@ -209,7 +212,7 @@ class EagerEngine(_EngineBase):
     # -- coalesced per-depth absorption ----------------------------------
 
     def _absorb_depth(
-        self, t_list: list[ScoredItem], depth: int
+        self, t_list: list[ScoredItem], depth: int, refresh: bool = False
     ) -> list[ScoredItem]:
         """Fold all ``m`` sorted-access items of one depth into the state.
 
@@ -218,6 +221,13 @@ class EagerEngine(_EngineBase):
         candidates before it, which are known at depth start), so their
         equality tests ship in one round and their ``RecoverEnc`` batches
         in a second — two round-trips per depth instead of ``2m``.
+
+        With ``refresh=True`` (check depths) the worst/best bound
+        recomputation joins the same flow batch: its inputs are only the
+        seen bits, which the absorb flows settle from the equality
+        stage's bits, so its ``RecoverEnc`` batch coalesces into the
+        absorption's recover round — a check depth costs 5 rounds where
+        the uncoalesced refresh paid a 6th.
         """
         items = [self.lists[j][depth] for j in range(self.m)]
         shared = list(t_list)
@@ -225,6 +235,8 @@ class EagerEngine(_EngineBase):
         flows = [
             self._absorb_flow(shared, base, j, items) for j in range(self.m)
         ]
+        if refresh:
+            flows.append(self._refresh_flow(shared, depth, wait_rounds=1))
         self.ctx.run_flows(flows)
         return shared
 
@@ -267,6 +279,14 @@ class EagerEngine(_EngineBase):
             for slot, i in enumerate(order):
                 bits[i] = permuted_bits[slot]
 
+        # Everything that needs only the equality bits — seen-bit credits
+        # and the new candidate's entry — settles *before* the recover
+        # round, so a check depth's bound refresh (whose inputs are the
+        # seen bits) can ride the same recover round.
+        for i, bit in enumerate(bits):
+            candidate = shared[i]
+            candidate.seen_bits[list_slot] = candidate.seen_bits[list_slot] + bit
+
         matched = None
         for bit in bits:
             matched = bit if matched is None else matched + bit
@@ -281,22 +301,14 @@ class EagerEngine(_EngineBase):
             own_layered = layered_one_hot_select(dj, [matched], [zero], item.score)
             layered.append(own_layered)
 
-        recovered = yield from recover_enc_flow(ctx, layered, PROTOCOL)
-
-        for i, (bit, credit) in enumerate(zip(bits, recovered)):
-            candidate = shared[i]
-            candidate.list_scores[list_slot] = (
-                candidate.list_scores[list_slot] + credit
-            )
-            candidate.seen_bits[list_slot] = candidate.seen_bits[list_slot] + bit
-
-        own_score = recovered[-1] if own_layered is not None else item.score
         entry = ScoredItem(
             ehl=item.ehl,
             worst=zero,
             best=zero,
             list_scores=[
-                own_score if j == list_slot else ctx.public_key.encrypt(0, ctx.rng)
+                # The own-list slot is patched to the recovered score
+                # after the recover round resolves.
+                zero if j == list_slot else ctx.public_key.encrypt(0, ctx.rng)
                 for j in range(self.m)
             ],
             seen_bits=[
@@ -312,10 +324,36 @@ class EagerEngine(_EngineBase):
             )
         shared.append(entry)
 
+        recovered = yield from recover_enc_flow(ctx, layered, PROTOCOL)
+
+        for i, credit in enumerate(recovered[: len(bits)]):
+            candidate = shared[i]
+            candidate.list_scores[list_slot] = (
+                candidate.list_scores[list_slot] + credit
+            )
+
+        entry.list_scores[list_slot] = (
+            recovered[-1] if own_layered is not None else item.score
+        )
+
     # -- bound recomputation ----------------------------------------------
 
-    def _refresh_bounds(self, t_list: list[ScoredItem], depth: int) -> None:
-        """Recompute every candidate's worst/best from the per-list state."""
+    def _refresh_flow(
+        self, t_list: list[ScoredItem], depth: int, wait_rounds: int = 0
+    ):
+        """Recompute every candidate's worst/best from the per-list state
+        (flow form).
+
+        ``wait_rounds`` lets the flow sit out leading rounds so that,
+        when appended after the absorb flows of a check depth, its
+        layered selects are built only once the absorptions have settled
+        the seen bits — the ``RecoverEnc`` batch then coalesces into the
+        absorption's recover round.  The worst/best sums are computed
+        after that round resolves, by which time the absorb flows (which
+        run first each stage) have applied their score credits.
+        """
+        for _ in range(wait_rounds):
+            yield None
         if not t_list:
             return
         ctx = self.ctx
@@ -332,7 +370,7 @@ class EagerEngine(_EngineBase):
                         dj, [t_item.seen_bits[j]], [zero], bottoms[j]
                     )
                 )
-        recovered = ctx.run_flows([recover_enc_flow(ctx, layered, PROTOCOL)])[0]
+        recovered = yield from recover_enc_flow(ctx, layered, PROTOCOL)
 
         idx = 0
         for t_item in t_list:
@@ -345,6 +383,10 @@ class EagerEngine(_EngineBase):
                 idx += 1
             t_item.worst = worst
             t_item.best = best
+
+    def _refresh_bounds(self, t_list: list[ScoredItem], depth: int) -> None:
+        """Standalone bound refresh (budget-exhausted best-effort path)."""
+        self.ctx.run_flows([self._refresh_flow(t_list, depth)])
 
 
 class LiteralEngine(_EngineBase):

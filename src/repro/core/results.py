@@ -85,6 +85,11 @@ class QueryResult:
 
     config: QueryConfig | None = None
 
+    leakage_events: list | None = None
+    """Populated by the server's ``execute_many`` paths: the session's
+    leakage log, riding along so callers (and the process-mode parity
+    tests) can audit queries whose sessions live in worker processes."""
+
     @property
     def time_per_depth(self) -> float:
         """Average seconds per depth — the paper's main query metric."""

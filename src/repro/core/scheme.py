@@ -74,6 +74,54 @@ class SecTopK:
         self._ctx_counter = itertools.count()
 
     # ------------------------------------------------------------------
+    # Pickling (process-mode execute_many ships the scheme to workers).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_history_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._history_lock = threading.Lock()
+
+    def record_query_patterns(self, tokens) -> None:
+        """Fold query fingerprints into the cross-query history.
+
+        Process-mode ``execute_many`` workers hold forked copies of this
+        scheme, so the parent folds the batch back in afterwards to keep
+        the authoritative query-pattern history (the L1 leakage) exact.
+        """
+        with self._history_lock:
+            for token in tokens:
+                self._query_history.add(token.fingerprint())
+
+    def query_pattern_snapshot(self) -> frozenset:
+        """A frozen copy of the query-pattern history (fingerprints)."""
+        with self._history_lock:
+            return frozenset(self._query_history)
+
+    def reset_query_history(self, patterns) -> None:
+        """Replace the history wholesale.
+
+        Process-mode workers install each request's sequential-equivalent
+        prior before querying; their scheme copies are per-task scratch.
+        """
+        with self._history_lock:
+            self._query_history = set(patterns)
+
+    def context_namespace(self) -> str:
+        """Reserve a scheme-wide unique namespace for caller-built salts.
+
+        Servers prefix their per-request salts with one of these so two
+        servers sharing a scheme never reuse a randomness stream.  Drawn
+        from the same counter as ``make_clouds``' automatic salts, so
+        the two schemes of uniqueness can never collide either.
+        """
+        return f"ns{next(self._ctx_counter)}"
+
+    # ------------------------------------------------------------------
     # Enc (Algorithm 2)
     # ------------------------------------------------------------------
 
@@ -164,7 +212,12 @@ class SecTopK:
     # ------------------------------------------------------------------
 
     def make_clouds(
-        self, transport: str = "inprocess", label: str = ""
+        self,
+        transport: str = "inprocess",
+        label: str = "",
+        salt: str | None = None,
+        compute=None,
+        rtt_ms: float = 0.0,
     ) -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud.
 
@@ -176,8 +229,18 @@ class SecTopK:
         permutation draws.  Still deterministic for a seeded scheme:
         the N-th context of an identically-seeded scheme draws the same
         stream.
+
+        An explicit ``salt`` bypasses the counter and is used verbatim —
+        the caller then guarantees uniqueness.  This is what lets the
+        server's ``execute_many`` assign each request a deterministic
+        stream regardless of which worker thread or *process* serves it
+        (the counter lives in this process and cannot coordinate forks).
+
+        ``compute`` attaches a :class:`~repro.crypto.parallel.ComputePool`
+        to the crypto cloud; ``rtt_ms`` adds simulated link latency.
         """
-        salt = f"{label}#{next(self._ctx_counter)}"
+        if salt is None:
+            salt = f"{label}#{next(self._ctx_counter)}"
         return wire_clouds(
             self.keypair,
             self.dj,
@@ -185,6 +248,8 @@ class SecTopK:
             transport,
             self._rng.spawn("s1" + salt),
             self._rng.spawn("s2" + salt),
+            compute=compute,
+            rtt_ms=rtt_ms,
         )
 
     def query(

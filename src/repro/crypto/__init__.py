@@ -15,9 +15,14 @@ so everything the paper's construction needs is implemented here:
 * :mod:`repro.crypto.encoding` — signed fixed-width score encoding in
   ``Z_N``;
 * :mod:`repro.crypto.rng` — deterministic randomness plumbing so tests and
-  benchmarks are reproducible.
+  benchmarks are reproducible;
+* :mod:`repro.crypto.backend` — the pluggable modular-arithmetic compute
+  layer (pure Python or gmpy2) every hot operation routes through;
+* :mod:`repro.crypto.parallel` — process-pool fan-out for the crypto
+  cloud's bulk decrypt batches.
 """
 
+from repro.crypto import backend
 from repro.crypto.rng import SecureRandom, system_random
 from repro.crypto.primes import is_probable_prime, random_prime
 from repro.crypto.paillier import PaillierKeypair, PaillierPublicKey, PaillierSecretKey, Ciphertext
@@ -27,6 +32,7 @@ from repro.crypto.prp import Prp
 from repro.crypto.encoding import SignedEncoder
 
 __all__ = [
+    "backend",
     "SecureRandom",
     "system_random",
     "is_probable_prime",

@@ -27,8 +27,7 @@ original Damgård–Jurik paper.
 
 from __future__ import annotations
 
-import math
-
+from repro.crypto import backend
 from repro.crypto.paillier import Ciphertext, PaillierKeypair, PaillierPublicKey
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DecryptionError, KeyMismatchError
@@ -54,6 +53,16 @@ class DamgardJurik:
         self.n_s = public_key.n**s          # plaintext modulus N^s
         self.n_s1 = public_key.n ** (s + 1)  # ciphertext modulus N^{s+1}
         self._pool: list[int] | None = None
+        self._rng: SecureRandom | None = None
+
+    def __getstate__(self):
+        # Per-process caches (randomizer pool, hoisted default rng) are
+        # excluded so DJ instances ship cheaply to worker processes;
+        # default dict-state unpickling restores everything else.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_rng"] = None
+        return state
 
     def __eq__(self, other) -> bool:
         return (
@@ -67,20 +76,29 @@ class DamgardJurik:
 
     # -- encryption ------------------------------------------------------
 
+    def _fresh_rng(self) -> SecureRandom:
+        """Hoisted default randomness source (see the Paillier twin)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = SecureRandom()
+        return rng
+
     def _randomizer(self, rng: SecureRandom) -> int:
         """A fresh randomizer ``r^{N^s} mod N^{s+1}`` from the cached pool.
 
         Same randomizer-caching optimization as the Paillier key uses.
         """
-        if self._pool is None:
+        pool = self._pool
+        if pool is None:
             pool_rng = SecureRandom()
-            self._pool = [
-                pow(pool_rng.rand_unit(self.n), self.n_s, self.n_s1)
-                for _ in range(self._POOL_SIZE)
-            ]
+            pool = self._pool = backend.powmod_vec(
+                [pool_rng.rand_unit(self.n) for _ in range(self._POOL_SIZE)],
+                self.n_s,
+                self.n_s1,
+            )
         out = 1
         for _ in range(self._POOL_PICKS):
-            out = out * self._pool[rng.randint_below(self._POOL_SIZE)] % self.n_s1
+            out = out * pool[rng.randint_below(self._POOL_SIZE)] % self.n_s1
         return out
 
     def _g_pow(self, m: int) -> int:
@@ -104,7 +122,7 @@ class DamgardJurik:
 
     def encrypt(self, m: int, rng: SecureRandom | None = None) -> "LayeredCiphertext":
         """Encrypt an integer plaintext (e.g. a bit, or a Paillier ct value)."""
-        rng = rng or SecureRandom()
+        rng = rng or self._fresh_rng()
         return LayeredCiphertext(self.raw_encrypt(m, rng), self)
 
     def encrypt_ciphertext(
@@ -139,6 +157,43 @@ class DamgardJurik:
             i = t1
         return i % self.n_s
 
+    def _crt_exponents(self, keypair: PaillierKeypair):
+        """Per-keypair CRT constants for decryption.
+
+        Cached *on the secret key* (fixed for a ``(keypair, s)`` pair;
+        the two big modular inversions would otherwise recur on every
+        batch of the crypto cloud's hottest path).  Deliberately not
+        cached on this DJ instance: S1 holds the same object, and
+        secret-derived material must stay confined to the key the
+        crypto cloud owns.
+        """
+        sk = keypair.secret_key
+        cached = sk.dj_crt_cache.get(self.s)
+        if cached is not None:
+            return cached
+        p, q = sk.p, sk.q
+        lam = sk.lam
+        # d = 1 mod N^s and d = 0 mod lambda (CRT); then c^d = (1+N)^m.
+        d = lam * backend.invert(lam, self.n_s)
+        p_s1 = p ** (self.s + 1)
+        q_s1 = q ** (self.s + 1)
+        # |Z*_{p^{s+1}}| = p^s (p - 1); reduce the exponent per factor.
+        dp = d % (p**self.s * (p - 1))
+        dq = d % (q**self.s * (q - 1))
+        p_s1_inv = backend.invert(p_s1, q_s1)
+        constants = (p_s1, q_s1, dp, dq, p_s1_inv)
+        sk.dj_crt_cache[self.s] = constants
+        return constants
+
+    def _check_batch(self, cts: list["LayeredCiphertext"], keypair: PaillierKeypair):
+        if keypair.public_key != self.public_key:
+            raise KeyMismatchError("keypair does not match this DJ instance")
+        for c in cts:
+            if c.scheme != self:
+                raise KeyMismatchError("ciphertext from a different DJ instance")
+            if backend.gcd(c.value, self.n) != 1:
+                raise DecryptionError("ciphertext is not a unit")
+
     def decrypt(self, c: "LayeredCiphertext", keypair: PaillierKeypair) -> int:
         """Decrypt to an element of ``Z_{N^s}``.
 
@@ -147,25 +202,24 @@ class DamgardJurik:
         the Paillier secret key uses, worth ~4x on the crypto cloud's
         hottest operation (layer stripping).
         """
-        if c.scheme != self:
-            raise KeyMismatchError("ciphertext from a different DJ instance")
-        if keypair.public_key != self.public_key:
-            raise KeyMismatchError("keypair does not match this DJ instance")
-        if math.gcd(c.value, self.n) != 1:
-            raise DecryptionError("ciphertext is not a unit")
-        sk = keypair.secret_key
-        lam = sk.lam
-        # d = 1 mod N^s and d = 0 mod lambda (CRT); then c^d = (1+N)^m.
-        d = lam * pow(lam, -1, self.n_s)
-        p, q = sk.p, sk.q
-        p_s1 = p ** (self.s + 1)
-        q_s1 = q ** (self.s + 1)
-        # |Z*_{p^{s+1}}| = p^s (p - 1); reduce the exponent per factor.
-        ap = pow(c.value % p_s1, d % (p**self.s * (p - 1)), p_s1)
-        aq = pow(c.value % q_s1, d % (q**self.s * (q - 1)), q_s1)
-        u = (aq - ap) * pow(p_s1, -1, q_s1) % q_s1
-        a = (ap + p_s1 * u) % self.n_s1
-        return self._dlog(a)
+        return self.decrypt_batch([c], keypair)[0]
+
+    def decrypt_batch(
+        self, cts: list["LayeredCiphertext"], keypair: PaillierKeypair
+    ) -> list[int]:
+        """Batch decryption: the CRT constants and the backend's shared
+        exponent/modulus setup are paid once for the whole batch."""
+        if not cts:
+            return []
+        self._check_batch(cts, keypair)
+        p_s1, q_s1, dp, dq, p_s1_inv = self._crt_exponents(keypair)
+        aps = backend.powmod_vec([c.value % p_s1 for c in cts], dp, p_s1)
+        aqs = backend.powmod_vec([c.value % q_s1 for c in cts], dq, q_s1)
+        out = []
+        for ap, aq in zip(aps, aqs):
+            u = (aq - ap) * p_s1_inv % q_s1
+            out.append(self._dlog((ap + p_s1 * u) % self.n_s1))
+        return out
 
     def decrypt_inner(self, c: "LayeredCiphertext", keypair: PaillierKeypair) -> Ciphertext:
         """Strip the outer layer: ``E2(Enc(m))`` -> ``Enc(m)``.
@@ -173,8 +227,17 @@ class DamgardJurik:
         This is what the crypto cloud computes inside ``RecoverEnc``
         (Algorithm 5).
         """
-        inner_value = self.decrypt(c, keypair) % self.public_key.n_squared
-        return Ciphertext(inner_value, self.public_key)
+        return self.decrypt_inner_batch([c], keypair)[0]
+
+    def wrap_inner_value(self, value: int) -> Ciphertext:
+        """Wrap a decrypted DJ plaintext as the inner Paillier ciphertext."""
+        return Ciphertext(value % self.public_key.n_squared, self.public_key)
+
+    def decrypt_inner_batch(
+        self, cts: list["LayeredCiphertext"], keypair: PaillierKeypair
+    ) -> list[Ciphertext]:
+        """Batch layer stripping — the crypto cloud's hottest operation."""
+        return [self.wrap_inner_value(v) for v in self.decrypt_batch(cts, keypair)]
 
     @property
     def ciphertext_bytes(self) -> int:
@@ -211,7 +274,9 @@ class LayeredCiphertext:
 
     def __neg__(self):
         # Group inverse == encryption of the negated plaintext.
-        return LayeredCiphertext(pow(self.value, -1, self.scheme.n_s1), self.scheme)
+        return LayeredCiphertext(
+            backend.invert(self.value, self.scheme.n_s1), self.scheme
+        )
 
     def __sub__(self, other):
         if isinstance(other, LayeredCiphertext):
@@ -223,7 +288,8 @@ class LayeredCiphertext:
         if not isinstance(scalar, int):
             return NotImplemented
         return LayeredCiphertext(
-            pow(self.value, scalar % self.scheme.n_s, self.scheme.n_s1), self.scheme
+            backend.powmod(self.value, scalar % self.scheme.n_s, self.scheme.n_s1),
+            self.scheme,
         )
 
     __rmul__ = __mul__

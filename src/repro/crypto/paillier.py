@@ -13,7 +13,12 @@ Homomorphic properties used throughout the construction:
 * negation:        ``Enc(x)^(N-1)    = Enc(-x)``
 
 Decryption uses the CRT split over ``p^2`` and ``q^2`` for a ~3x speedup,
-which matters because the two-cloud protocols decrypt constantly.
+which matters because the two-cloud protocols decrypt constantly.  All
+modular arithmetic routes through :mod:`repro.crypto.backend`, so the
+same code runs on the pure-Python big-int implementation or on gmpy2
+when installed; the batch methods (:meth:`PaillierPublicKey.encrypt_batch`,
+:meth:`PaillierSecretKey.decrypt_batch`) amortize backend setup over
+whole vectors — the shape every protocol round actually has.
 
 Ciphertexts are wrapped in :class:`Ciphertext` objects carrying a reference
 to their public key so that accidental cross-key operations raise
@@ -23,9 +28,9 @@ garbage.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.crypto import backend
 from repro.crypto.primes import lcm, random_prime_pair
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DecryptionError, KeyMismatchError
@@ -48,6 +53,7 @@ class PaillierPublicKey:
         self.n_squared = n * n
         self.bits = n.bit_length()
         self._pool: list[int] | None = None
+        self._rng: SecureRandom | None = None
 
     def __eq__(self, other) -> bool:
         return isinstance(other, PaillierPublicKey) and self.n == other.n
@@ -58,19 +64,45 @@ class PaillierPublicKey:
     def __repr__(self) -> str:
         return f"PaillierPublicKey(bits={self.bits})"
 
+    # -- pickling --------------------------------------------------------
+
+    def __getstate__(self):
+        # The randomizer pool and the hoisted default rng are per-process
+        # caches: exclude them so keys ship cheaply to worker processes
+        # (each rebuilds lazily from its own entropy).  Default dict-state
+        # unpickling restores everything else.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_rng"] = None
+        return state
+
     # -- encryption ------------------------------------------------------
+
+    def _fresh_rng(self) -> SecureRandom:
+        """The key's hoisted default randomness source.
+
+        Callers that need replayable streams pass their own ``rng``; the
+        default paths share one OS-backed instance per key instead of
+        allocating a fresh ``SecureRandom`` per call.
+        """
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = SecureRandom()
+        return rng
 
     def _randomizer(self, rng: SecureRandom) -> int:
         """A fresh randomizer ``r^N mod N^2`` from the cached pool."""
-        if self._pool is None:
+        pool = self._pool
+        if pool is None:
             pool_rng = SecureRandom()  # pool values need not be replayable
-            self._pool = [
-                pow(pool_rng.rand_unit(self.n), self.n, self.n_squared)
-                for _ in range(self._POOL_SIZE)
-            ]
+            pool = self._pool = backend.powmod_vec(
+                [pool_rng.rand_unit(self.n) for _ in range(self._POOL_SIZE)],
+                self.n,
+                self.n_squared,
+            )
         out = 1
         for _ in range(self._POOL_PICKS):
-            out = out * self._pool[rng.randint_below(self._POOL_SIZE)] % self.n_squared
+            out = out * pool[rng.randint_below(self._POOL_SIZE)] % self.n_squared
         return out
 
     def raw_encrypt(self, m: int, rng: SecureRandom) -> int:
@@ -80,16 +112,24 @@ class PaillierPublicKey:
 
     def encrypt(self, m: int, rng: SecureRandom | None = None) -> "Ciphertext":
         """Encrypt ``m`` (reduced mod ``N``) into a :class:`Ciphertext`."""
-        rng = rng or SecureRandom()
+        rng = rng or self._fresh_rng()
         return Ciphertext(self.raw_encrypt(m, rng), self)
 
     def encrypt_signed(self, m: int, rng: SecureRandom | None = None) -> "Ciphertext":
         """Encrypt a signed integer (negatives become ``N - |m|``)."""
         return self.encrypt(m % self.n, rng)
 
+    def encrypt_batch(
+        self, values: list[int], rng: SecureRandom | None = None
+    ) -> list["Ciphertext"]:
+        """Encrypt a vector component-wise (same stream order as a loop
+        of :meth:`encrypt` calls, so seeded transcripts are unchanged)."""
+        rng = rng or self._fresh_rng()
+        return [Ciphertext(self.raw_encrypt(v, rng), self) for v in values]
+
     def rerandomize(self, c: "Ciphertext", rng: SecureRandom | None = None) -> "Ciphertext":
         """Return a fresh encryption of the same plaintext."""
-        rng = rng or SecureRandom()
+        rng = rng or self._fresh_rng()
         return Ciphertext(c.value * self._randomizer(rng) % self.n_squared, self)
 
     @property
@@ -111,35 +151,66 @@ class PaillierSecretKey:
         self.lam = lcm(p - 1, q - 1)
         # mu = (L(g^lam mod N^2))^-1 mod N; with g = N+1, g^lam = 1 + lam*N,
         # so L(g^lam) = lam and mu = lam^-1 mod N.
-        self.mu = pow(self.lam, -1, n)
+        self.mu = backend.invert(self.lam, n)
         # CRT precomputations.
         self._p2 = p * p
         self._q2 = q * q
-        self._p2_inv_q2 = pow(self._p2, -1, self._q2)
-        self._p_inv_q = pow(p, -1, q)
-        self._hp = pow(self._l_func(pow(1 + n, p - 1, self._p2), p), -1, p)
-        self._hq = pow(self._l_func(pow(1 + n, q - 1, self._q2), q), -1, q)
+        self._p2_inv_q2 = backend.invert(self._p2, self._q2)
+        self._p_inv_q = backend.invert(p, q)
+        self._hp = backend.invert(
+            self._l_func(backend.powmod(1 + n, p - 1, self._p2), p), p
+        )
+        self._hq = backend.invert(
+            self._l_func(backend.powmod(1 + n, q - 1, self._q2), q), q
+        )
+        #: Damgård–Jurik decryption constants per expansion degree ``s``
+        #: (filled lazily by ``DamgardJurik._crt_exponents``).  Lives here
+        #: — not on the DJ instance — because the constants derive from
+        #: the secret primes and DJ objects are shared with S1.
+        self.dj_crt_cache: dict[int, tuple] = {}
 
     @staticmethod
     def _l_func(u: int, n: int) -> int:
         return (u - 1) // n
 
-    def _decrypt_crt(self, c: int) -> int:
-        n = self.public_key.n
-        p, q = self.p, self.q
-        mp = self._l_func(pow(c % self._p2, p - 1, self._p2), p) * self._hp % p
-        mq = self._l_func(pow(c % self._q2, q - 1, self._q2), q) * self._hq % q
+    def _crt_combine(self, mp: int, mq: int) -> int:
         # CRT combine mp (mod p) and mq (mod q) into m (mod n).
-        u = (mq - mp) * self._p_inv_q % q
-        return (mp + p * u) % n
+        u = (mq - mp) * self._p_inv_q % self.q
+        return (mp + self.p * u) % self.public_key.n
+
+    def _decrypt_crt(self, c: int) -> int:
+        p, q = self.p, self.q
+        mp = self._l_func(backend.powmod(c % self._p2, p - 1, self._p2), p) * self._hp % p
+        mq = self._l_func(backend.powmod(c % self._q2, q - 1, self._q2), q) * self._hq % q
+        return self._crt_combine(mp, mq)
+
+    def _check_unit(self, c: int) -> None:
+        if not 0 < c < self.public_key.n_squared:
+            raise DecryptionError("ciphertext outside Z_{N^2}")
+        if backend.gcd(c, self.public_key.n) != 1:
+            raise DecryptionError("ciphertext is not a unit mod N^2")
 
     def raw_decrypt(self, c: int) -> int:
         """Decrypt a bare integer ciphertext to an element of ``Z_N``."""
-        if not 0 < c < self.public_key.n_squared:
-            raise DecryptionError("ciphertext outside Z_{N^2}")
-        if math.gcd(c, self.public_key.n) != 1:
-            raise DecryptionError("ciphertext is not a unit mod N^2")
+        self._check_unit(c)
         return self._decrypt_crt(c)
+
+    def raw_decrypt_batch(self, values: list[int]) -> list[int]:
+        """Decrypt many bare ciphertexts with two vectorized CRT pows."""
+        if not values:
+            return []
+        p, q = self.p, self.q
+        for c in values:
+            self._check_unit(c)
+        mps = backend.powmod_vec([c % self._p2 for c in values], p - 1, self._p2)
+        mqs = backend.powmod_vec([c % self._q2 for c in values], q - 1, self._q2)
+        return [
+            self._crt_combine(
+                self._l_func(mp, p) * self._hp % p,
+                self._l_func(mq, q) * self._hq % q,
+            )
+            for mp, mq in zip(mps, mqs)
+        ]
 
     def decrypt(self, c: "Ciphertext") -> int:
         """Decrypt to the canonical representative in ``[0, N)``."""
@@ -147,11 +218,20 @@ class PaillierSecretKey:
             raise KeyMismatchError("ciphertext was produced under a different key")
         return self.raw_decrypt(c.value)
 
+    def decrypt_batch(self, cts: list["Ciphertext"]) -> list[int]:
+        """Batch variant of :meth:`decrypt` (one backend setup per batch)."""
+        for c in cts:
+            if c.public_key != self.public_key:
+                raise KeyMismatchError("ciphertext was produced under a different key")
+        return self.raw_decrypt_batch([c.value for c in cts])
+
     def decrypt_signed(self, c: "Ciphertext") -> int:
         """Decrypt to a signed integer in ``(-N/2, N/2]``."""
-        m = self.decrypt(c)
-        n = self.public_key.n
-        return m - n if m > n // 2 else m
+        return to_signed(self.public_key.n, [self.decrypt(c)])[0]
+
+    def decrypt_signed_batch(self, cts: list["Ciphertext"]) -> list[int]:
+        """Batch variant of :meth:`decrypt_signed`."""
+        return to_signed(self.public_key.n, self.decrypt_batch(cts))
 
 
 @dataclass(frozen=True)
@@ -215,7 +295,7 @@ class Ciphertext:
         # Group inverse == encryption of -x; modular inversion is far
         # cheaper than the equivalent pow(value, N-1, N^2).
         pk = self.public_key
-        return Ciphertext(pow(self.value, -1, pk.n_squared), pk)
+        return Ciphertext(backend.invert(self.value, pk.n_squared), pk)
 
     def __sub__(self, other):
         if isinstance(other, Ciphertext):
@@ -229,7 +309,7 @@ class Ciphertext:
         if not isinstance(scalar, int):
             return NotImplemented
         pk = self.public_key
-        return Ciphertext(pow(self.value, scalar % pk.n, pk.n_squared), pk)
+        return Ciphertext(backend.powmod(self.value, scalar % pk.n, pk.n_squared), pk)
 
     __rmul__ = __mul__
 
@@ -250,14 +330,23 @@ class Ciphertext:
         return cls(int.from_bytes(data, "big"), public_key)
 
 
+def to_signed(n: int, values: list[int]) -> list[int]:
+    """Map ``Z_N`` representatives to signed integers in ``(-N/2, N/2]``.
+
+    The single signed-decode rule for every decrypt path (secret key,
+    crypto cloud, with or without a compute pool).
+    """
+    half = n // 2
+    return [m - n if m > half else m for m in values]
+
+
 def encrypt_vector(
     pk: PaillierPublicKey, values: list[int], rng: SecureRandom | None = None
 ) -> list[Ciphertext]:
     """Encrypt a list of integers component-wise."""
-    rng = rng or SecureRandom()
-    return [pk.encrypt(v, rng) for v in values]
+    return pk.encrypt_batch(values, rng)
 
 
 def decrypt_vector(sk: PaillierSecretKey, cts: list[Ciphertext]) -> list[int]:
     """Decrypt a list of ciphertexts component-wise."""
-    return [sk.decrypt(c) for c in cts]
+    return sk.decrypt_batch(cts)

@@ -1,0 +1,180 @@
+"""Process-pool fan-out for the crypto cloud's bulk decrypt batches.
+
+Pure-Python big-int arithmetic holds the GIL, so the only way a single
+query's coalesced per-depth rounds (one ``ZeroTestBatch`` / one
+``StripLayerBatch`` carrying work for *every* list and candidate of the
+depth) can use more than one core is to fan the decryptions out to
+worker processes.  A :class:`ComputePool` owns a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold the
+secret key material; batches are chunked evenly across workers and only
+bare integers cross the process boundary (ciphertext values out,
+plaintexts back), so IPC cost stays a small fraction of the modular
+exponentiations it buys back.
+
+Decryption consumes no randomness, so fanning it out changes neither
+the crypto cloud's rng stream nor any leakage event — a query served
+with a pool is bit-identical to one served without (pinned by
+``tests/test_server.py``).
+
+Key material ships to workers via the pool initializer; the randomizer
+pools and hoisted rngs are excluded from pickling (see
+``PaillierPublicKey.__getstate__``), so the payload is a handful of
+integers per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.crypto import backend
+
+# Worker-process state, installed by the pool initializer.
+_WORKER: dict = {}
+
+
+def _init_worker(keypair, dj, backend_name: str) -> None:
+    backend.set_backend(backend_name)
+    _WORKER["keypair"] = keypair
+    _WORKER["dj"] = dj
+
+
+def _decrypt_chunk(values: list[int]) -> list[int]:
+    """Paillier-decrypt bare ciphertext values to plaintext ints."""
+    return _WORKER["keypair"].secret_key.raw_decrypt_batch(values)
+
+
+def _strip_chunk(values: list[int]) -> list[int]:
+    """DJ-decrypt bare layered-ciphertext values to inner plaintext ints."""
+    from repro.crypto.damgard_jurik import LayeredCiphertext
+
+    dj = _WORKER["dj"]
+    cts = [LayeredCiphertext(v, dj) for v in values]
+    return dj.decrypt_batch(cts, _WORKER["keypair"])
+
+
+def _warmup() -> None:
+    return None
+
+
+def make_pool_executor(workers: int, initializer, initargs) -> ProcessPoolExecutor:
+    """A worker-process pool with the platform's cheapest start method.
+
+    Shared by the crypto :class:`ComputePool` and the server's
+    query-worker pool so start-method policy lives in one place: fork
+    starts workers cheaply on POSIX; spawn works too because the
+    initializer arguments carry everything workers need.
+
+    Workers are spawned eagerly here rather than at first submit:
+    executors fork lazily, and deferring the forks until a session or
+    transport thread is live would fork a multi-threaded process (lock
+    state inherited mid-held, ``DeprecationWarning`` on 3.12+).  Build
+    pools before starting threads where possible — the server constructs
+    its S2 pool in ``__init__`` for exactly this reason.  Fork stays
+    preferred even when threads exist: the non-fork methods re-import
+    ``__main__`` in each worker, which breaks REPL/stdin parents
+    outright, while a late fork only risks the (documented) 3.12+
+    warning from another pool's manager threads.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    mp_context = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context,
+        initializer=initializer,
+        initargs=initargs,
+    )
+    # One submit per worker forks the whole pool now (the executor adds
+    # a process per pending item until max_workers is reached).
+    for future in [executor.submit(_warmup) for _ in range(workers)]:
+        future.result()
+    return executor
+
+
+def _chunks(values: list, n: int) -> list[list]:
+    size = (len(values) + n - 1) // n
+    return [values[i : i + size] for i in range(0, len(values), size)]
+
+
+def _chunk_count(n_values: int, workers: int, min_batch: int) -> int:
+    """How many chunks to cut: never so many that a chunk drops below
+    ``min_batch`` items (tiny chunks cost more to pickle than to decrypt)."""
+    return max(1, min(workers, n_values // max(min_batch, 1)))
+
+
+class ComputePool:
+    """A persistent worker pool for chunked secret-key operations.
+
+    Parameters
+    ----------
+    keypair / dj:
+        The secret key material the workers need (pickled once per
+        worker at pool start-up).
+    workers:
+        Pool size; defaults to the machine's core count.
+    min_batch:
+        Batches smaller than this are computed inline — below it the
+        pickling round-trip costs more than the decryptions.
+    """
+
+    def __init__(self, keypair, dj, workers: int | None = None, min_batch: int = 8):
+        self.workers = workers or os.cpu_count() or 1
+        self.min_batch = min_batch
+        self._keypair = keypair
+        self._dj = dj
+        self._executor = make_pool_executor(
+            self.workers, _init_worker, (keypair, dj, backend.get_backend().name)
+        )
+        self._closed = False
+
+    # -- chunked operations ----------------------------------------------
+
+    def _run(self, fn, local_fn, values: list[int]) -> list[int]:
+        if self._closed:
+            raise RuntimeError("compute pool is closed")
+        n_chunks = _chunk_count(len(values), self.workers, self.min_batch)
+        if len(values) < max(self.min_batch, 2) or self.workers < 2 or n_chunks < 2:
+            return local_fn(values)
+        futures = [
+            self._executor.submit(fn, chunk)
+            for chunk in _chunks(values, n_chunks)
+        ]
+        out: list[int] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    def decrypt_values(self, values: list[int]) -> list[int]:
+        """Paillier decryption of bare ciphertext values, fanned out."""
+        return self._run(
+            _decrypt_chunk,
+            self._keypair.secret_key.raw_decrypt_batch,
+            values,
+        )
+
+    def strip_values(self, values: list[int]) -> list[int]:
+        """DJ outer-layer decryption of bare values, fanned out."""
+        from repro.crypto.damgard_jurik import LayeredCiphertext
+
+        def local(vals: list[int]) -> list[int]:
+            cts = [LayeredCiphertext(v, self._dj) for v in vals]
+            return self._dj.decrypt_batch(cts, self._keypair)
+
+        return self._run(_strip_chunk, local, values)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ComputePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

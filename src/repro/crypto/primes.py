@@ -4,11 +4,14 @@ Implements deterministic trial division by small primes followed by
 Miller–Rabin with enough rounds for a < 2^-80 error bound, plus helpers to
 generate the random primes Paillier and Damgård–Jurik key generation need.
 No external cryptography packages are available in this environment, so
-this module is the root of the whole crypto stack.
+this module is the root of the whole crypto stack.  The Miller–Rabin
+exponentiations — the cost of key generation — route through the
+pluggable :mod:`repro.crypto.backend`.
 """
 
 from __future__ import annotations
 
+from repro.crypto import backend
 from repro.crypto.rng import SecureRandom
 
 # Small primes for fast trial-division pre-screening.
@@ -28,7 +31,7 @@ _DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
 
 def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
     """One Miller–Rabin round: ``True`` if ``n`` passes for witness ``a``."""
-    x = pow(a, d, n)
+    x = backend.powmod(a, d, n)
     if x == 1 or x == n - 1:
         return True
     for _ in range(r - 1):

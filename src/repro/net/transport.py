@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from abc import ABC, abstractmethod
 
 from repro.exceptions import ProtocolError
@@ -38,6 +39,32 @@ class Transport(ABC):
 
     def close(self) -> None:
         """Release transport resources (idempotent)."""
+
+
+class LatencyTransport(Transport):
+    """Wrap a transport with a simulated per-round-trip link latency.
+
+    The two clouds live at different providers in the paper's deployment
+    model; sleeping one RTT per :meth:`exchange` turns the in-process
+    simulation into a WAN-shaped one, which is what makes concurrent
+    sessions (thread- or process-pooled) overlap genuinely measurable
+    wall-clock latency in the benchmarks.  The sleep releases the GIL,
+    so concurrency hides it exactly like a real network wait.
+    """
+
+    def __init__(self, inner: Transport, rtt_ms: float):
+        if rtt_ms < 0:
+            raise ProtocolError("link RTT cannot be negative")
+        self.inner = inner
+        self.rtt_ms = rtt_ms
+
+    def exchange(self, messages: list) -> list:
+        replies = self.inner.exchange(messages)
+        time.sleep(self.rtt_ms / 1000.0)
+        return replies
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class InProcessTransport(Transport):
@@ -127,10 +154,18 @@ class ThreadedTransport(Transport):
         self._worker.join(timeout=5)
 
 
-def make_transport(kind: str, dispatcher) -> Transport:
-    """Build a transport backend by name (``"inprocess"`` or ``"threaded"``)."""
+def make_transport(kind: str, dispatcher, rtt_ms: float = 0.0) -> Transport:
+    """Build a transport backend by name (``"inprocess"`` or ``"threaded"``).
+
+    ``rtt_ms > 0`` wraps the backend in a :class:`LatencyTransport` that
+    sleeps one simulated round-trip per exchange.
+    """
     if kind == "inprocess":
-        return InProcessTransport(dispatcher)
-    if kind == "threaded":
-        return ThreadedTransport(dispatcher)
-    raise ProtocolError(f"unknown transport kind: {kind!r}")
+        transport: Transport = InProcessTransport(dispatcher)
+    elif kind == "threaded":
+        transport = ThreadedTransport(dispatcher)
+    else:
+        raise ProtocolError(f"unknown transport kind: {kind!r}")
+    if rtt_ms > 0:
+        transport = LatencyTransport(transport, rtt_ms)
+    return transport

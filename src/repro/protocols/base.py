@@ -28,13 +28,14 @@ from repro.crypto.paillier import (
     Ciphertext,
     PaillierKeypair,
     PaillierPublicKey,
+    to_signed,
 )
 from repro.crypto.rng import SecureRandom
 from repro.net.batching import RoundBatcher
 from repro.net.channel import Channel
 from repro.net.dispatch import S2Dispatcher
 from repro.net.transport import Transport, make_transport
-from repro.exceptions import ProtocolError
+from repro.exceptions import KeyMismatchError, ProtocolError
 
 
 @dataclass
@@ -91,12 +92,49 @@ class CryptoCloud:
         dj: DamgardJurik,
         rng: SecureRandom | None = None,
         leakage: LeakageLog | None = None,
+        compute=None,
     ):
         self._keypair = keypair
         self.public_key = keypair.public_key
         self.dj = dj
         self.rng = rng or SecureRandom()
         self.leakage = leakage or LeakageLog()
+        #: Optional :class:`~repro.crypto.parallel.ComputePool`: large
+        #: decrypt batches are chunked across worker processes.  Decryption
+        #: consumes no randomness, so the fan-out is transcript-invisible.
+        self.compute = compute
+
+    # ------------------------------------------------------------------
+    # Batched secret-key primitives.  All bulk decryption funnels through
+    # these two helpers, which use the backend's vectorized CRT path and,
+    # when a compute pool is attached, fan chunks out to worker processes.
+    # ------------------------------------------------------------------
+
+    def _decrypt_values(self, cts: list[Ciphertext]) -> list[int]:
+        for ct in cts:
+            if ct.public_key != self.public_key:
+                raise KeyMismatchError(
+                    "ciphertext was produced under a different key"
+                )
+        values = [ct.value for ct in cts]
+        if self.compute is not None:
+            return self.compute.decrypt_values(values)
+        return self._keypair.secret_key.raw_decrypt_batch(values)
+
+    def _strip_values(self, lcs: list[LayeredCiphertext]) -> list[Ciphertext]:
+        if self.compute is not None:
+            # Same mismatch error as the plain path below; the workers
+            # rebuild the values under their own DJ copy and run the
+            # ordinary decrypt path (same unit validation, same errors),
+            # so only the inner wrapping differs here.
+            for lc in lcs:
+                if lc.scheme != self.dj:
+                    raise KeyMismatchError("ciphertext from a different DJ instance")
+            return [
+                self.dj.wrap_inner_value(value)
+                for value in self.compute.strip_values([lc.value for lc in lcs])
+            ]
+        return self.dj.decrypt_inner_batch(lcs, self._keypair)
 
     # ------------------------------------------------------------------
     # Equality testing (S2's side of SecWorst / SecBest / SecUpdate).
@@ -113,13 +151,10 @@ class CryptoCloud:
         S2 legitimately learns the multiset of equality bits — exactly the
         equality-pattern leakage ``EP_d`` of Section 9 — and nothing else.
         """
-        replies = []
-        bits = []
-        for ct in cts:
-            b = self._keypair.secret_key.decrypt(ct)
-            t = 1 if b == 0 else 0
-            bits.append(t)
-            replies.append(self.dj.encrypt(t, self.rng))
+        bits = [1 if b == 0 else 0 for b in self._decrypt_values(cts)]
+        # Re-encryption stays on this process's rng so the reply stream is
+        # identical with or without a compute pool.
+        replies = [self.dj.encrypt(t, self.rng) for t in bits]
         self.leakage.record("S2", protocol, "eq_bits", bits)
         return replies
 
@@ -137,7 +172,7 @@ class CryptoCloud:
         event is recorded beyond the batch size.
         """
         self.leakage.record("S2", protocol, "recover_batch", len(lcs))
-        return [self.dj.decrypt_inner(lc, self._keypair) for lc in lcs]
+        return self._strip_values(lcs)
 
     # ------------------------------------------------------------------
     # Comparison helpers (EncCompare constructions).
@@ -177,15 +212,20 @@ class CryptoCloud:
         c = self._keypair.secret_key.decrypt(ct)
         low = c % (1 << ell)
         high = c >> ell
-        bit_cts = [
-            self.public_key.encrypt((low >> i) & 1, self.rng) for i in range(ell)
-        ]
+        bit_cts = self.public_key.encrypt_batch(
+            [(low >> i) & 1 for i in range(ell)], self.rng
+        )
         self.leakage.record("S2", protocol, "dgk_blinded", None)
         return bit_cts, self.public_key.encrypt(high, self.rng)
 
     def dgk_any_zero(self, cts: list[Ciphertext], protocol: str) -> bool:
         """Whether any of the (randomized, permuted) values decrypts to 0."""
-        found = any(self._keypair.secret_key.decrypt(ct) == 0 for ct in cts)
+        if self.compute is None:
+            # Inline path keeps the short-circuit: stop at the first zero.
+            sk = self._keypair.secret_key
+            found = any(sk.decrypt(ct) == 0 for ct in cts)
+        else:
+            found = any(value == 0 for value in self._decrypt_values(cts))
         self.leakage.record("S2", protocol, "dgk_any_zero", found)
         return found
 
@@ -213,6 +253,24 @@ class CryptoCloud:
         value = self._keypair.secret_key.decrypt_signed(ct)
         self.leakage.record("S2", protocol, kind, None)
         return value
+
+    def decrypt_batch_for_protocol(
+        self, cts: list[Ciphertext], protocol: str, kind: str
+    ) -> list[int]:
+        """Batch variant of :meth:`decrypt_for_protocol`: one leakage event
+        per decryption (same audit granularity as the loop it replaces)."""
+        values = self._decrypt_values(cts)
+        for _ in values:
+            self.leakage.record("S2", protocol, kind, None)
+        return values
+
+    def decrypt_signed_batch_for_protocol(
+        self, cts: list[Ciphertext], protocol: str, kind: str
+    ) -> list[int]:
+        """Signed variant of :meth:`decrypt_batch_for_protocol`."""
+        return to_signed(
+            self.public_key.n, self.decrypt_batch_for_protocol(cts, protocol, kind)
+        )
 
     def fresh_encrypt(self, value: int) -> Ciphertext:
         """A fresh Paillier encryption (S2 re-encrypting after a bulk op)."""
@@ -275,21 +333,27 @@ def wire_clouds(
     s1_rng: SecureRandom,
     s2_rng: SecureRandom,
     leakage: LeakageLog | None = None,
+    compute=None,
+    rtt_ms: float = 0.0,
 ) -> S1Context:
     """Assemble the two-cloud wiring: crypto cloud behind a dispatcher
     behind a ``transport``, and an S1 context in front of it.
 
-    Single point of truth for context construction — every scheme's
-    ``make_clouds`` and :func:`make_parties` delegate here.
+    ``compute`` optionally attaches a
+    :class:`~repro.crypto.parallel.ComputePool` so S2's large decrypt
+    batches fan out across processes; ``rtt_ms`` adds a simulated
+    round-trip latency to the link.  Single point of truth for context
+    construction — every scheme's ``make_clouds`` and
+    :func:`make_parties` delegate here.
     """
     leakage = leakage or LeakageLog()
-    cloud = CryptoCloud(keypair, dj, s2_rng, leakage)
+    cloud = CryptoCloud(keypair, dj, s2_rng, leakage, compute=compute)
     return S1Context(
         public_key=keypair.public_key,
         dj=dj,
         encoder=encoder,
         channel=Channel(),
-        transport=make_transport(transport, S2Dispatcher(cloud)),
+        transport=make_transport(transport, S2Dispatcher(cloud), rtt_ms=rtt_ms),
         rng=s1_rng,
         leakage=leakage,
     )

@@ -158,10 +158,10 @@ def s2_sort_affine(
 ):
     """S2's side of the affine construction."""
     blinder = ItemBlinder(s2.public_key, s2.dj)
-    decorated = []
-    for key_ct, item, comp in zip(blinded_keys, blinded_items, companions):
-        value = s2.decrypt_signed_for_protocol(key_ct, protocol, "sort_key_blinded")
-        decorated.append((value, item, comp))
+    values = s2.decrypt_signed_batch_for_protocol(
+        blinded_keys, protocol, "sort_key_blinded"
+    )
+    decorated = list(zip(values, blinded_items, companions))
     decorated.sort(key=lambda t: t[0], reverse=descending)
     s2.leakage.record("S2", protocol, "sort_size", len(decorated))
 
@@ -297,30 +297,40 @@ def _sort_network(
     return working
 
 
-def s2_gate(
+def s2_gates(
     s2: CryptoCloud,
     own_public,
-    pair_keys,
-    pair_items,
-    pair_comps,
+    gates: list,
     descending: bool,
     protocol: str,
-):
-    """S2's side of one compare-exchange gate."""
-    blinder = ItemBlinder(s2.public_key, s2.dj)
-    values = [
-        s2.decrypt_signed_for_protocol(k, protocol, "gate_key_blinded")
-        for k in pair_keys
-    ]
-    order = [0, 1]
-    if (values[0] < values[1]) == descending:
-        order = [1, 0]
-    s2.leakage.record("S2", protocol, "gate_bit", order[0])
+) -> list:
+    """S2's side of one *layer* of compare-exchange gates.
 
-    keys_out, items_out, comps_out = [], [], []
-    for idx in order:
-        keys_out.append(s2.fresh_encrypt(values[idx] % s2.public_key.n))
-        seed2 = blinder.fresh_seed(s2.rng)
-        items_out.append(blinder.blind(pair_items[idx], seed2, s2.rng))
-        comps_out.append((pair_comps[idx], blinder.encrypt_seed(own_public, seed2, s2.rng)))
-    return keys_out, items_out, comps_out
+    All the layer's blinded pair keys are decrypted in a single batch
+    (one backend setup, and one compute-pool fan-out when attached)
+    before the per-gate ordering/re-blinding logic runs.
+    """
+    blinder = ItemBlinder(s2.public_key, s2.dj)
+    all_keys = [k for pair_keys, _, _ in gates for k in pair_keys]
+    all_values = s2.decrypt_signed_batch_for_protocol(
+        all_keys, protocol, "gate_key_blinded"
+    )
+
+    replies = []
+    for gate_index, (pair_keys, pair_items, pair_comps) in enumerate(gates):
+        values = all_values[2 * gate_index : 2 * gate_index + 2]
+        order = [0, 1]
+        if (values[0] < values[1]) == descending:
+            order = [1, 0]
+        s2.leakage.record("S2", protocol, "gate_bit", order[0])
+
+        keys_out, items_out, comps_out = [], [], []
+        for idx in order:
+            keys_out.append(s2.fresh_encrypt(values[idx] % s2.public_key.n))
+            seed2 = blinder.fresh_seed(s2.rng)
+            items_out.append(blinder.blind(pair_items[idx], seed2, s2.rng))
+            comps_out.append(
+                (pair_comps[idx], blinder.encrypt_seed(own_public, seed2, s2.rng))
+            )
+        replies.append((keys_out, items_out, comps_out))
+    return replies

@@ -143,11 +143,11 @@ def s2_dedup(
     blinder = ItemBlinder(s2.public_key, s2.dj)
     l = len(blinded)
     uf = _UnionFind(l)
+    entries = s2.decrypt_batch_for_protocol(matrix, protocol, "dedup_matrix")
     idx = 0
     for i in range(l):
         for j in range(i + 1, l):
-            b = s2.decrypt_for_protocol(matrix[idx], protocol, "dedup_matrix")
-            if b == 0:
+            if entries[idx] == 0:
                 uf.union(i, j)
             idx += 1
 

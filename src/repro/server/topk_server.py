@@ -8,26 +8,102 @@ statistics and leakage records never bleed across queries — while the
 relation, key material and the (deliberately cross-query) query-pattern
 history stay shared.
 
-This is the deployment shape the ROADMAP's production goal asks for:
-S1 as a long-lived query service in front of a crypto-cloud link, with
-``execute_many`` fanning sessions over a thread pool.  Pure-Python
-big-int crypto holds the GIL, so thread concurrency here buys latency
-overlap on the (simulated) link rather than CPU parallelism; the
-session isolation is what a multi-process or remote deployment would
-reuse unchanged.
+Two axes of parallelism:
+
+* ``execute_many(..., mode="process")`` fans whole sessions across a
+  persistent worker-process pool, so independent queries use multiple
+  cores despite the GIL (thread mode only overlaps link latency).  A
+  request's randomness streams are salted by its *request id*, not by
+  which worker serves it, so a process-mode batch is replay-identical
+  to the same batch run sequentially.
+* ``s2_workers > 0`` attaches a :class:`~repro.crypto.parallel.ComputePool`
+  to every session's crypto cloud, so a *single* query's coalesced
+  per-depth decrypt batches are chunked across processes too.  Pick the
+  axis that matches the workload shape (many small queries → process
+  mode; few large queries → ``s2_workers``): process-mode worker
+  sessions deliberately run without the S2 pool, so the two never
+  oversubscribe cores with nested pools.
+
+``rtt_ms`` adds a simulated per-round link latency (the two clouds live
+at different providers in the paper's deployment model), which is what
+makes concurrency wins measurable on few-core machines.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.relation import EncryptedRelation
 from repro.core.results import QueryConfig, QueryResult
 from repro.core.scheme import SecTopK
 from repro.core.token import Token
+from repro.crypto import backend
+from repro.crypto.parallel import ComputePool, make_pool_executor
 from repro.net.channel import ChannelStats
 from repro.protocols.base import LeakageLog, S1Context
+
+# Worker-process state for process-mode execute_many, installed once per
+# worker by the pool initializer (the scheme — including key material —
+# and the relation are pickled to each worker exactly once).
+_QUERY_WORKER: dict = {}
+
+
+def _init_query_worker(scheme, relation, transport, rtt_ms, backend_name) -> None:
+    backend.set_backend(backend_name)
+    _QUERY_WORKER["scheme"] = scheme
+    _QUERY_WORKER["relation"] = relation
+    _QUERY_WORKER["transport"] = transport
+    _QUERY_WORKER["rtt_ms"] = rtt_ms
+
+
+def _run_salted_query(
+    scheme,
+    relation,
+    transport: str,
+    rtt_ms: float,
+    compute,
+    salt: str,
+    token: Token,
+    config: QueryConfig | None,
+) -> QueryResult:
+    """One salted query with leakage attached — the single body behind
+    both the in-process path and the worker path, so the two can never
+    drift apart (process-mode replay identity depends on them matching).
+    """
+    ctx = scheme.make_clouds(
+        transport=transport, salt=salt, compute=compute, rtt_ms=rtt_ms
+    )
+    try:
+        result = scheme.query(relation, token, config, ctx=ctx)
+        result.leakage_events = list(ctx.leakage.events)
+        return result
+    finally:
+        ctx.close()
+
+
+def _run_query(
+    salt: str,
+    token: Token,
+    config: QueryConfig | None,
+    prior_patterns: frozenset,
+) -> QueryResult:
+    scheme = _QUERY_WORKER["scheme"]
+    # The parent ships exactly the query-pattern history a sequential run
+    # would see at this request (server history + earlier batch-mates), so
+    # the L1 repeat bit is deterministic no matter which worker serves it.
+    scheme.reset_query_history(prior_patterns)
+    return _run_salted_query(
+        scheme,
+        _QUERY_WORKER["relation"],
+        _QUERY_WORKER["transport"],
+        _QUERY_WORKER["rtt_ms"],
+        None,
+        salt,
+        token,
+        config,
+    )
 
 
 class QuerySession:
@@ -78,22 +154,58 @@ class QuerySession:
 
 
 class TopKServer:
-    """Serves top-k queries over one encrypted relation."""
+    """Serves top-k queries over one encrypted relation.
+
+    Parameters
+    ----------
+    transport:
+        Per-session transport backend (``"inprocess"`` or ``"threaded"``).
+    rtt_ms:
+        Simulated link round-trip latency added to every exchange.
+    s2_workers:
+        When positive, one shared :class:`ComputePool` of that many
+        worker processes serves every session's crypto cloud, chunking
+        large decrypt batches across cores.
+    """
 
     def __init__(
         self,
         scheme: SecTopK,
         relation: EncryptedRelation,
         transport: str = "inprocess",
+        rtt_ms: float = 0.0,
+        s2_workers: int = 0,
     ):
         self.scheme = scheme
         self.relation = relation
         self.transport = transport
+        self.rtt_ms = rtt_ms
+        # Scheme-wide unique namespace: request salts from different
+        # servers sharing one scheme must never collide (a collision
+        # would replay blinding/permutation streams across queries).
+        self._salt_namespace = scheme.context_namespace()
+        self._compute = (
+            ComputePool(scheme.keypair, scheme.dj, workers=s2_workers)
+            if s2_workers > 0
+            else None
+        )
         self._session_lock = threading.Lock()
         self._session_counter = 0
         self._sessions: list[QuerySession] = []
+        self._query_pool: ProcessPoolExecutor | None = None
+        self._query_pool_workers = 0
+        self._query_pool_active = 0  # in-flight process batches
+        self._closed = False
 
     # -- sessions --------------------------------------------------------
+
+    def _reserve_ids(self, count: int) -> range:
+        with self._session_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            start = self._session_counter
+            self._session_counter += count
+        return range(start, start + count)
 
     def session(self) -> QuerySession:
         """Open a fresh, isolated query session.
@@ -103,10 +215,15 @@ class TopKServer:
         concurrently with other sessions.
         """
         with self._session_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
             session_id = self._session_counter
             self._session_counter += 1
             ctx = self.scheme.make_clouds(
-                transport=self.transport, label=f":session-{session_id}"
+                transport=self.transport,
+                label=f":session-{session_id}",
+                compute=self._compute,
+                rtt_ms=self.rtt_ms,
             )
             session = QuerySession(self, ctx, session_id)
             self._sessions.append(session)
@@ -127,36 +244,196 @@ class TopKServer:
         with self.session() as session:
             return session.query(token, config)
 
+    def _request_salt(self, request_id: int) -> str:
+        # The salt is a pure function of (server namespace, request id),
+        # so the same batch produces the same randomness streams in every
+        # execution mode (sequential, thread pool, process pool) while
+        # distinct servers on one scheme draw disjoint streams.
+        return f":{self._salt_namespace}-request-{request_id}#"
+
+    def _execute_salted(
+        self, token: Token, config: QueryConfig | None, salt: str
+    ) -> QueryResult:
+        return _run_salted_query(
+            self.scheme,
+            self.relation,
+            self.transport,
+            self.rtt_ms,
+            self._compute,
+            salt,
+            token,
+            config,
+        )
+
     def execute_many(
         self,
         requests: list[tuple[Token, QueryConfig | None]],
         concurrency: int = 1,
+        mode: str = "thread",
     ) -> list[QueryResult]:
-        """Run many queries, ``concurrency`` sessions at a time.
+        """Run many queries, ``concurrency`` workers at a time.
 
-        Results are returned in request order regardless of completion
-        order; every request runs in its own isolated session, opened
-        when its worker picks it up and closed when it finishes (at most
-        ``concurrency`` sessions are live at once).
+        ``mode="thread"`` fans sessions over a thread pool: big-int
+        crypto holds the GIL, so threads overlap link latency only.
+        ``mode="process"`` fans them over a persistent worker-process
+        pool — real multi-core execution.  Results come back in request
+        order either way, each carrying its session's
+        ``leakage_events``; randomness streams are salted per request
+        id, so sequential and process modes produce identical results
+        and leakage (each worker receives the exact query-pattern
+        history a sequential run would see at its request; the parent's
+        history is re-synced after the batch).  Thread mode matches on
+        results too, but for a batch that *repeats* a token the
+        query-pattern bit lands on whichever duplicate the scheduler
+        runs first — threads share the live history.
+
+        ``concurrency <= 1`` always runs sequentially in this process
+        (no worker pool, the S2 compute pool still applies) — with one
+        request at a time there is no parallelism for a worker process
+        to add, and the execution is replay-identical by construction.
         """
-        if concurrency <= 1:
-            return [self.execute(token, config) for token, config in requests]
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown execute_many mode: {mode!r}")
+        if not requests:
+            return []
+        salts = [self._request_salt(i) for i in self._reserve_ids(len(requests))]
+        if mode == "process" and concurrency > 1 and len(requests) > 1:
+            # Never build a wider pool than there is work to fill it.
+            return self._execute_many_process(
+                requests, salts, min(concurrency, len(requests))
+            )
+        if concurrency <= 1 or mode == "process":
+            # Sequential (also where a process batch is too small for a
+            # pool — never silently downgrade process mode to threads).
+            return [
+                self._execute_salted(token, config, salt)
+                for (token, config), salt in zip(requests, salts)
+            ]
         with ThreadPoolExecutor(max_workers=concurrency) as pool:
             futures = [
-                pool.submit(self.execute, token, config)
-                for token, config in requests
+                pool.submit(self._execute_salted, token, config, salt)
+                for (token, config), salt in zip(requests, salts)
             ]
             return [future.result() for future in futures]
+
+    def _acquire_query_executor(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent query-worker pool, grown to ``workers`` when idle.
+
+        Growth replaces the pool, which is only safe with no in-flight
+        batch (a shutdown would cancel another thread's futures); while
+        batches are active the existing — possibly smaller — pool is
+        reused, and the per-batch submission semaphore still enforces the
+        caller's concurrency cap either way.  Pool construction (forking
+        and warming N workers, pickling the scheme and relation to each)
+        happens *outside* the lock so sessions and other batches never
+        block on a multi-second spin-up; a racing builder's spare pool is
+        discarded.  Callers must pair with :meth:`_release_query_executor`.
+        """
+        with self._session_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._query_pool is not None:
+                if self._query_pool_workers >= workers or self._query_pool_active > 0:
+                    self._query_pool_active += 1
+                    return self._query_pool
+                # Idle and smaller than requested: retire, rebuild below.
+                self._query_pool.shutdown(wait=False)
+                self._query_pool = None
+        new_pool = make_pool_executor(
+            workers,
+            _init_query_worker,
+            (
+                self.scheme,
+                self.relation,
+                self.transport,
+                self.rtt_ms,
+                backend.get_backend().name,
+            ),
+        )
+        with self._session_lock:
+            if self._closed:
+                new_pool.shutdown(wait=False, cancel_futures=True)
+                raise RuntimeError("server is closed")
+            if self._query_pool is None:
+                self._query_pool = new_pool
+                self._query_pool_workers = workers
+            else:
+                new_pool.shutdown(wait=False)  # a concurrent builder won
+            self._query_pool_active += 1
+            return self._query_pool
+
+    def _release_query_executor(self) -> None:
+        with self._session_lock:
+            self._query_pool_active -= 1
+
+    def _execute_many_process(self, requests, salts, concurrency) -> list[QueryResult]:
+        executor = self._acquire_query_executor(concurrency)
+        try:
+            # Sequential repeat semantics, precomputed: request i's history
+            # is the server history plus the fingerprints of requests
+            # 0..i-1.
+            seen = set(self.scheme.query_pattern_snapshot())
+            priors = []
+            for token, _ in requests:
+                priors.append(frozenset(seen))
+                seen.add(token.fingerprint())
+            # The semaphore caps *this batch's* parallelism at the
+            # requested concurrency even when the shared pool is wider.
+            slots = threading.Semaphore(concurrency)
+            futures = []
+            try:
+                for (token, config), salt, prior in zip(requests, salts, priors):
+                    slots.acquire()
+                    future = executor.submit(_run_query, salt, token, config, prior)
+                    future.add_done_callback(lambda _f: slots.release())
+                    futures.append(future)
+                return [future.result() for future in futures]
+            finally:
+                # Worker history copies are per-task scratch; fold the
+                # batch into the parent's authoritative query-pattern
+                # history even when a request fails — sequential execution
+                # records each fingerprint at query start, and a submitted
+                # task runs to completion in its worker regardless of
+                # siblings.  zip() truncates to what was actually
+                # submitted (a mid-batch submit failure leaves the rest
+                # unsent); cancelled futures (server closed mid-batch)
+                # and broken-pool casualties (worker process died — its
+                # query may never have started) stay out.  wait() settles
+                # stragglers first so exception() never blocks.
+                wait(futures)
+                self.scheme.record_query_patterns(
+                    [
+                        token
+                        for (token, _), future in zip(requests, futures)
+                        if not future.cancelled()
+                        and not isinstance(future.exception(), BrokenProcessPool)
+                    ]
+                )
+        finally:
+            self._release_query_executor()
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Close every session this server opened."""
+        """Close every session and worker pool this server opened.
+
+        Closing while a process batch is in flight cancels its pending
+        futures (that batch's ``execute_many`` raises) — an explicit
+        shutdown outranks in-flight work.
+        """
         with self._session_lock:
+            self._closed = True
             sessions = list(self._sessions)
             self._sessions.clear()
+            pool, self._query_pool = self._query_pool, None
+            self._query_pool_workers = 0
+            compute, self._compute = self._compute, None
         for session in sessions:
             session.close()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if compute is not None:
+            compute.close()
 
     def __enter__(self) -> "TopKServer":
         return self

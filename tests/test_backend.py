@@ -1,0 +1,214 @@
+"""Backend parity and batch entry-point tests for the compute layer.
+
+Every public op of :mod:`repro.crypto.backend` must be bit-identical
+under the pure-Python and gmpy2 backends (the gmpy2 half skips where the
+package is absent), and the batch entry points must match their
+per-item equivalents exactly — including randomness stream order, so
+seeded transcripts are invariant to batching.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.scheme import SecTopK
+from repro.crypto import backend
+from repro.crypto.damgard_jurik import DamgardJurik
+from repro.crypto.paillier import (
+    PaillierKeypair,
+    decrypt_vector,
+    encrypt_vector,
+)
+from repro.crypto.rng import SecureRandom
+
+needs_gmpy2 = pytest.mark.skipif(
+    not backend.gmpy2_available(), reason="gmpy2 not installed"
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return PaillierKeypair.generate(128, SecureRandom(11))
+
+
+@pytest.fixture(scope="module")
+def dj(keypair):
+    return DamgardJurik(keypair.public_key, s=2)
+
+
+class TestSelection:
+    def test_pure_always_available(self):
+        assert "pure" in backend.available_backends()
+
+    def test_set_backend_round_trip(self):
+        previous = backend.set_backend("pure")
+        try:
+            assert backend.get_backend().name == "pure"
+        finally:
+            backend.set_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            backend.set_backend("quantum")
+
+    def test_auto_resolution_matches_availability(self):
+        previous = backend.set_backend("auto")
+        try:
+            expected = "gmpy2" if backend.gmpy2_available() else "pure"
+            assert backend.get_backend().name == expected
+        finally:
+            backend.set_backend(previous)
+
+
+class TestPureOps:
+    def test_powmod_matches_builtin(self):
+        b = backend.PurePythonBackend()
+        assert b.powmod(12345, 678, 997) == pow(12345, 678, 997)
+
+    def test_powmod_vec_matches_loop(self):
+        b = backend.PurePythonBackend()
+        bases = [3, 5, 7, 11**20]
+        assert b.powmod_vec(bases, 65537, 10**9 + 7) == [
+            pow(x, 65537, 10**9 + 7) for x in bases
+        ]
+
+    def test_invert(self):
+        b = backend.PurePythonBackend()
+        assert b.invert(3, 11) * 3 % 11 == 1
+        with pytest.raises(ValueError):
+            b.invert(6, 9)
+
+    def test_gcd(self):
+        b = backend.PurePythonBackend()
+        assert b.gcd(48, 36) == 12
+
+
+@needs_gmpy2
+class TestGmpy2Parity:
+    """Bit-identical results for every public backend op."""
+
+    CASES = [
+        (2, 10, 1_000),
+        (0, 5, 77),
+        (1, 0, 77),
+        (123456789, 987654321, 2**127 - 1),
+    ]
+
+    def test_powmod(self):
+        pure, fast = backend.PurePythonBackend(), backend.Gmpy2Backend()
+        rng = SecureRandom(3)
+        cases = list(self.CASES) + [
+            (rng.randbits(256), rng.randbits(256), rng.randbits(256) | 1)
+            for _ in range(20)
+        ]
+        for base, exp, mod in cases:
+            assert pure.powmod(base, exp, mod) == fast.powmod(base, exp, mod)
+
+    def test_powmod_vec(self):
+        pure, fast = backend.PurePythonBackend(), backend.Gmpy2Backend()
+        rng = SecureRandom(4)
+        bases = [rng.randbits(256) for _ in range(16)]
+        exp, mod = rng.randbits(256), rng.randbits(256) | 1
+        assert pure.powmod_vec(bases, exp, mod) == fast.powmod_vec(bases, exp, mod)
+
+    def test_invert(self):
+        pure, fast = backend.PurePythonBackend(), backend.Gmpy2Backend()
+        rng = SecureRandom(5)
+        mod = (2**89 - 1) * (2**107 - 1)  # composite, mostly coprime draws
+        for _ in range(20):
+            a = rng.randint(1, mod - 1)
+            if pure.gcd(a, mod) != 1:
+                continue
+            assert pure.invert(a, mod) == fast.invert(a, mod)
+        with pytest.raises(ValueError):
+            fast.invert(2**89 - 1, mod)
+
+    def test_gcd(self):
+        pure, fast = backend.PurePythonBackend(), backend.Gmpy2Backend()
+        rng = SecureRandom(6)
+        for _ in range(20):
+            a, b = rng.randbits(300), rng.randbits(300)
+            assert pure.gcd(a, b) == fast.gcd(a, b)
+
+    def test_whole_query_invariant_under_backend(self):
+        """A seeded scheme reveals identical winners on both backends."""
+        revealed = []
+        for name in ("pure", "gmpy2"):
+            previous = backend.set_backend(name)
+            try:
+                rng = SecureRandom(77)
+                rows = [[rng.randint_below(40) for _ in range(3)] for _ in range(8)]
+                scheme = SecTopK(SystemParams.tiny(), seed=13)
+                relation = scheme.encrypt(rows)
+                result = scheme.query(relation, scheme.token([0, 1], k=2))
+                revealed.append(sorted(scheme.reveal(result)))
+            finally:
+                backend.set_backend(previous)
+        assert revealed[0] == revealed[1]
+
+
+class TestBatchEntryPoints:
+    def test_encrypt_batch_matches_encrypt_stream(self, keypair):
+        """Batching must not change the randomness stream."""
+        pk = keypair.public_key
+        values = [0, 1, 17, pk.n - 1]
+        batch = pk.encrypt_batch(values, SecureRandom(42))
+        rng = SecureRandom(42)
+        singles = [pk.encrypt(v, rng) for v in values]
+        assert [c.value for c in batch] == [c.value for c in singles]
+
+    def test_decrypt_batch_matches_singles(self, keypair):
+        pk, sk = keypair.public_key, keypair.secret_key
+        cts = pk.encrypt_batch([5, 0, 999, pk.n - 3], SecureRandom(8))
+        assert sk.decrypt_batch(cts) == [sk.decrypt(c) for c in cts]
+        assert sk.decrypt_signed_batch(cts) == [sk.decrypt_signed(c) for c in cts]
+
+    def test_module_level_entry_points(self, keypair):
+        pk, sk = keypair.public_key, keypair.secret_key
+        values = [3, 1, 4, 1, 5]
+        cts = backend.encrypt_batch(pk, values, SecureRandom(9))
+        assert backend.decrypt_batch(sk, cts) == values
+
+    def test_vector_helpers_round_trip(self, keypair):
+        pk, sk = keypair.public_key, keypair.secret_key
+        values = [10, 20, 30]
+        assert decrypt_vector(sk, encrypt_vector(pk, values, SecureRandom(1))) == values
+
+    def test_dj_batch_matches_singles(self, keypair, dj):
+        rng = SecureRandom(21)
+        lcs = [dj.encrypt(v, rng) for v in (0, 1, 12345)]
+        assert dj.decrypt_batch(lcs, keypair) == [
+            dj.decrypt(lc, keypair) for lc in lcs
+        ]
+        inner = [dj.encrypt_ciphertext(keypair.public_key.encrypt(7, rng), rng)]
+        assert dj.decrypt_inner_batch(inner, keypair)[0].value == dj.decrypt_inner(
+            inner[0], keypair
+        ).value
+
+
+class TestPickling:
+    def test_public_key_pool_excluded(self, keypair):
+        pk = keypair.public_key
+        pk.encrypt(1)  # force pool + hoisted rng to exist
+        assert pk._pool is not None and pk._rng is not None
+        clone = pickle.loads(pickle.dumps(pk))
+        assert clone._pool is None and clone._rng is None
+        assert clone == pk
+        # The clone still encrypts (pool rebuilt lazily) and round-trips.
+        assert keypair.secret_key.decrypt(clone.encrypt(41)) == 41
+
+    def test_dj_pool_excluded(self, keypair, dj):
+        dj.encrypt(1)
+        clone = pickle.loads(pickle.dumps(dj))
+        assert clone._pool is None and clone._rng is None
+        assert dj.decrypt(clone.encrypt(9), keypair) == 9
+
+    def test_scheme_round_trips(self):
+        scheme = SecTopK(SystemParams.tiny(), seed=2)
+        relation = scheme.encrypt([[1, 2], [3, 4], [5, 6]])
+        clone = pickle.loads(pickle.dumps(scheme))
+        result = clone.query(relation, clone.token([0, 1], k=1))
+        assert len(clone.reveal(result)) == 1

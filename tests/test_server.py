@@ -72,6 +72,130 @@ class TestSessions:
             assert winners == _oracle_topk(rows, [1, 2], 2)
 
 
+def _fresh_deployment():
+    """An identically-seeded deployment per call (parity comparisons need
+    two independent servers whose request ids start from zero)."""
+    rng = SecureRandom(123)
+    rows = [[rng.randint_below(40) for _ in range(3)] for _ in range(10)]
+    scheme = SecTopK(SystemParams.tiny(), seed=55)
+    return scheme, scheme.encrypt(rows), rows
+
+
+def _requests(scheme):
+    return [
+        (scheme.token([0, 1], k=2), QueryConfig(variant="elim")),
+        (scheme.token([1, 2], k=2), QueryConfig(variant="elim")),
+        (scheme.token([0, 1, 2], k=3), QueryConfig(variant="elim")),
+    ]
+
+
+def _leakage_tuples(result):
+    return [
+        (e.observer, e.protocol, e.kind, repr(e.payload))
+        for e in result.leakage_events
+    ]
+
+
+class TestProcessMode:
+    """Process-pool execution must be replay-identical to sequential."""
+
+    def test_process_matches_sequential(self):
+        scheme_a, relation_a, rows = _fresh_deployment()
+        with TopKServer(scheme_a, relation_a) as server:
+            sequential = server.execute_many(_requests(scheme_a), concurrency=1)
+
+        scheme_b, relation_b, _ = _fresh_deployment()
+        with TopKServer(scheme_b, relation_b) as server:
+            process = server.execute_many(
+                _requests(scheme_b), concurrency=2, mode="process"
+            )
+            # The pool is persistent: a second batch reuses the workers.
+            again = server.execute_many(
+                [(scheme_b.token([0, 2], k=1), None)], concurrency=2, mode="process"
+            )
+        assert len(again) == 1 and len(again[0].items) == 1
+
+        for a, b in zip(sequential, process):
+            assert scheme_a.reveal(a) == scheme_b.reveal(b)
+            assert a.halting_depth == b.halting_depth
+            assert a.channel_stats.rounds == b.channel_stats.rounds
+            assert a.channel_stats.total_bytes == b.channel_stats.total_bytes
+            # Identical leakage event sequences per request — which makes
+            # the batch multisets identical too.
+            assert _leakage_tuples(a) == _leakage_tuples(b)
+
+    def test_cross_batch_repeat_detected_in_workers(self):
+        """A token repeated across process batches must read as a repeat
+        regardless of which worker serves it (the parent ships each
+        request its sequential-equivalent history)."""
+        scheme, relation, _ = _fresh_deployment()
+        token = scheme.token([0, 1], k=2)
+        with TopKServer(scheme, relation) as server:
+            first = server.execute_many([(token, None)], concurrency=2, mode="process")
+            second = server.execute_many([(token, None)], concurrency=2, mode="process")
+
+        def pattern(result):
+            return [
+                e.payload for e in result.leakage_events if e.kind == "query_pattern"
+            ]
+
+        assert pattern(first[0]) == [False]
+        assert pattern(second[0]) == [True]
+
+    def test_servers_sharing_a_scheme_draw_disjoint_streams(self):
+        """Two servers on one scheme must not reuse request salts."""
+        scheme, relation, _ = _fresh_deployment()
+        server_a = TopKServer(scheme, relation)
+        server_b = TopKServer(scheme, relation)
+        assert server_a._salt_namespace != server_b._salt_namespace
+        assert server_a._request_salt(0) != server_b._request_salt(0)
+        server_a.close()
+        server_b.close()
+
+    def test_process_history_syncs_to_parent(self):
+        scheme, relation, _ = _fresh_deployment()
+        token = scheme.token([0, 1], k=2)
+        with TopKServer(scheme, relation) as server:
+            server.execute_many([(token, None)], concurrency=2, mode="process")
+            # The parent folded the batch into its history: the same
+            # token now reads as a repeat (L1 query-pattern leakage).
+            with server.session() as session:
+                session.query(token)
+                pattern = [
+                    e.payload
+                    for e in session.leakage.events
+                    if e.kind == "query_pattern"
+                ]
+        assert pattern == [True]
+
+    def test_unknown_mode_rejected(self, deployment):
+        scheme, relation, _ = deployment
+        with TopKServer(scheme, relation) as server:
+            with pytest.raises(ValueError):
+                server.execute_many([(scheme.token([0], k=1), None)], mode="fiber")
+
+
+class TestS2ComputePool:
+    def test_pool_matches_plain_and_audits_clean(self):
+        from repro.core.leakage import audit
+        from repro.protocols.base import LeakageLog
+
+        scheme_a, relation_a, _ = _fresh_deployment()
+        with TopKServer(scheme_a, relation_a) as server:
+            plain = server.execute_many(_requests(scheme_a), concurrency=1)
+
+        scheme_b, relation_b, _ = _fresh_deployment()
+        with TopKServer(scheme_b, relation_b, s2_workers=2) as server:
+            pooled = server.execute_many(_requests(scheme_b), concurrency=1)
+
+        for a, b in zip(plain, pooled):
+            assert scheme_a.reveal(a) == scheme_b.reveal(b)
+            assert _leakage_tuples(a) == _leakage_tuples(b)
+            log = LeakageLog()
+            log.events = list(b.leakage_events)
+            assert audit(log).clean
+
+
 class TestExecuteMany:
     def test_concurrent_matches_sequential(self, deployment):
         scheme, relation, rows = deployment
