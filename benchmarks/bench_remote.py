@@ -1,0 +1,163 @@
+"""Remote-deployment benchmark: standalone S2 daemon vs in-process S2.
+
+Launches the S2 service (``python -m repro.server.s2_service``) as a
+separate OS process on localhost and measures ``TopKServer`` throughput
+against it — the real deployment shape of the paper's two-cloud model —
+next to the in-process baseline, emitting machine-readable rows to
+``benchmarks/results/remote.json``:
+
+* **localhost TCP** — every protocol round crosses the kernel socket
+  stack and a process boundary; the gap to in-process is the true
+  price of the deployment split (framing, syscalls, scheduling), paid
+  without any of the WAN latency a real two-provider link adds.
+* **Unix-domain socket** — same split, cheaper transport; bounds how
+  much of the TCP gap is IP-stack overhead.
+* **thread concurrency** — sessions multiplex over one daemon
+  connection; with the S2 CPU in another process, threads overlap more
+  than the GIL-bound in-process rows can.
+
+Equivalence (identical results/rounds/bytes/leakage across transports)
+is pinned by the test suite; this benchmark records only speed.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_remote.py [--tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import socket as socket_module
+import subprocess
+import tempfile
+import time
+
+from repro.core.params import SystemParams
+from repro.core.results import QueryConfig
+from repro.core.scheme import SecTopK
+from repro.crypto.rng import SecureRandom
+from repro.net.socket_transport import disconnect_all
+from repro.server import TopKServer
+from repro.server.s2_service import launch_daemon
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "remote.json"
+SEED = 11
+
+
+def _deployment(n_rows: int, m: int):
+    rng = SecureRandom(SEED)
+    rows = [[rng.randint_below(50) for _ in range(m)] for _ in range(n_rows)]
+    scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+    return scheme, scheme.encrypt(rows)
+
+
+def _workload(scheme: SecTopK, count: int):
+    subsets = [[0, 1], [1, 2], [0, 2], [0, 1, 2]]
+    config = QueryConfig(variant="elim", engine="eager", halting="paper")
+    return [
+        (scheme.token(subsets[i % len(subsets)], k=2), config)
+        for i in range(count)
+    ]
+
+
+def throughput_row(
+    label: str, transport: str, concurrency: int, n_rows: int, n_queries: int
+) -> dict:
+    scheme, relation = _deployment(n_rows, m=3)
+    requests = _workload(scheme, n_queries)
+    with TopKServer(scheme, relation, transport=transport) as server:
+        started = time.perf_counter()
+        results = server.execute_many(requests, concurrency=concurrency)
+        elapsed = time.perf_counter() - started
+    assert all(len(r.items) == 2 for r in results)
+    return {
+        "transport": label,
+        "concurrency": concurrency,
+        "queries": n_queries,
+        "seconds": round(elapsed, 3),
+        "qps": round(n_queries / elapsed, 3),
+    }
+
+
+def run(tiny: bool) -> dict:
+    n_rows = 10 if tiny else 16
+    n_queries = 3 if tiny else 8
+    concurrencies = (1,) if tiny else (1, 4)
+
+    report: dict = {
+        "meta": {
+            "generated_unix": round(time.time(), 1),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "params": "tiny",
+            "n_rows": n_rows,
+            "n_queries": n_queries,
+            "note": (
+                "localhost links: the in-process/remote gap is pure "
+                "deployment overhead (framing + syscalls + process "
+                "switch); a WAN adds rtt * rounds on top — see "
+                "LatencyTransport / rtt_ms"
+            ),
+        },
+        "rows": [],
+        "overheads": {},
+    }
+
+    daemons: list[tuple[str, subprocess.Popen, str]] = []
+    tcp_daemon, tcp_address = launch_daemon("tcp://127.0.0.1:0", quiet=True)
+    daemons.append(("tcp-localhost", tcp_daemon, tcp_address))
+    if hasattr(socket_module, "AF_UNIX"):
+        path = tempfile.mktemp(suffix=".sock", prefix="repro-s2-bench-")
+        unix_daemon, unix_address = launch_daemon(f"unix://{path}", quiet=True)
+        daemons.append(("unix-socket", unix_daemon, unix_address))
+
+    try:
+        legs = [("inprocess", "inprocess")]
+        legs += [(label, address) for label, _, address in daemons]
+        for concurrency in concurrencies:
+            for label, transport in legs:
+                print(f"[remote] transport={label} concurrency={concurrency}")
+                report["rows"].append(
+                    throughput_row(label, transport, concurrency, n_rows, n_queries)
+                )
+    finally:
+        disconnect_all()
+        for _, daemon, _ in daemons:
+            daemon.terminate()
+        for _, daemon, _ in daemons:
+            daemon.wait(timeout=10)
+
+    def _qps(label: str, concurrency: int) -> float | None:
+        for row in report["rows"]:
+            if row["transport"] == label and row["concurrency"] == concurrency:
+                return row["qps"]
+        return None
+
+    for concurrency in concurrencies:
+        base = _qps("inprocess", concurrency)
+        for label, _, _ in daemons:
+            remote = _qps(label, concurrency)
+            if base and remote:
+                report["overheads"][f"{label}_vs_inprocess[c={concurrency}]"] = round(
+                    remote / base, 3
+                )
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke size")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS)
+    args = parser.parse_args()
+
+    report = run(args.tiny)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    print(json.dumps(report["overheads"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

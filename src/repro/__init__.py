@@ -39,8 +39,11 @@ from repro.exceptions import (
     ReproError,
     KeyMismatchError,
     EncodingRangeError,
+    PeerDisconnected,
     ProtocolError,
     QueryError,
+    RemoteS2Error,
+    TransportError,
 )
 
 __all__ = [
@@ -50,8 +53,11 @@ __all__ = [
     "ReproError",
     "KeyMismatchError",
     "EncodingRangeError",
+    "PeerDisconnected",
     "ProtocolError",
     "QueryError",
+    "RemoteS2Error",
+    "TransportError",
 ]
 
 _LAZY = {

@@ -10,7 +10,8 @@ only the relation size and attribute count (Theorem 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError
 from repro.structures.items import EncryptedItem
@@ -26,6 +27,31 @@ class EncryptedRelation:
     n_objects: int
     n_attributes: int
     ehl_variant: str
+
+    _relation_id: str | None = field(default=None, repr=False, compare=False)
+
+    def relation_id(self) -> str:
+        """A stable fingerprint identifying this encrypted relation.
+
+        Keys the deployment machinery: remote S2 daemons register key
+        material per relation id (so repeated queries skip the upload),
+        and query-worker pools cache the relation per id.  Derived from
+        the shape plus one ciphertext per list — encryption randomness
+        makes that distinguishing — so the same ``ER`` object, pickled
+        copies of it, and re-loads of it all agree.
+        """
+        if self._relation_id is None:
+            digest = hashlib.sha256(b"repro-relation:")
+            digest.update(
+                f"{self.n_objects}:{self.n_attributes}:{self.ehl_variant}".encode()
+            )
+            for name in sorted(self.lists):
+                entries = self.lists[name]
+                digest.update(name.to_bytes(8, "big", signed=True))
+                if entries:
+                    digest.update(entries[0].score.to_bytes())
+            self._relation_id = digest.hexdigest()[:32]
+        return self._relation_id
 
     def list_for(self, permuted_name: int) -> list[EncryptedItem]:
         """Sorted list stored under a permuted name."""

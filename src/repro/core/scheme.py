@@ -218,11 +218,20 @@ class SecTopK:
         salt: str | None = None,
         compute=None,
         rtt_ms: float = 0.0,
+        relation: EncryptedRelation | None = None,
     ) -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud.
 
         ``transport`` selects the backend (``"inprocess"`` or
-        ``"threaded"``).  Each context's randomness streams are salted
+        ``"threaded"``) or names a remote S2 daemon
+        (``"tcp://host:port"`` / ``"unix:///path"``): the remote path
+        opens a multiplexed daemon session provisioned with this
+        scheme's key material and the same spawned S2 randomness stream
+        a local cloud would hold, so remote queries replay local ones
+        bit-for-bit.  ``relation`` (optional) scopes the daemon-side
+        registration to that relation's id, letting repeated queries
+        against a registered relation skip the key/param upload
+        entirely.  Each context's randomness streams are salted
         with a scheme-wide monotonic counter (plus the optional
         ``label``), so contexts created from one scheme — by however
         many servers or sessions share it — never repeat blinding or
@@ -250,6 +259,7 @@ class SecTopK:
             self._rng.spawn("s2" + salt),
             compute=compute,
             rtt_ms=rtt_ms,
+            relation_id=relation.relation_id() if relation is not None else None,
         )
 
     def query(

@@ -58,6 +58,17 @@ def _warmup() -> None:
     return None
 
 
+def pool_start_method() -> str:
+    """The start method every pool here uses (fork where available).
+
+    Exposed so callers can tell whether worker processes inherit the
+    parent's memory (fork: module-level stores ship for free) or start
+    empty (spawn: state must travel through initializer arguments).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
 def make_pool_executor(workers: int, initializer, initargs) -> ProcessPoolExecutor:
     """A worker-process pool with the platform's cheapest start method.
 
@@ -77,10 +88,7 @@ def make_pool_executor(workers: int, initializer, initargs) -> ProcessPoolExecut
     outright, while a late fork only risks the (documented) 3.12+
     warning from another pool's manager threads.
     """
-    methods = multiprocessing.get_all_start_methods()
-    mp_context = multiprocessing.get_context(
-        "fork" if "fork" in methods else methods[0]
-    )
+    mp_context = multiprocessing.get_context(pool_start_method())
     executor = ProcessPoolExecutor(
         max_workers=workers,
         mp_context=mp_context,

@@ -30,6 +30,32 @@ class ProtocolError(ReproError):
     """A two-party sub-protocol received malformed or inconsistent input."""
 
 
+class TransportError(ProtocolError):
+    """The inter-cloud link failed (connect, framing, or lifecycle)."""
+
+
+class PeerDisconnected(TransportError):
+    """The remote endpoint closed the link mid-protocol.
+
+    Raised instead of hanging: a dead peer surfaces as this exception on
+    the very next (or in-flight) exchange.
+    """
+
+
+class RemoteS2Error(TransportError):
+    """The S2 service failed to service a request and reported why.
+
+    Carries the remote exception class name in :attr:`kind` so callers
+    can distinguish, say, a ``KeyMismatchError`` on the daemon from a
+    connection-level failure.
+    """
+
+    def __init__(self, kind: str, text: str):
+        super().__init__(f"S2 dispatch failed ({kind}): {text}")
+        self.kind = kind
+        self.text = text
+
+
 class QueryError(ReproError):
     """A top-k query was malformed (bad attributes, k out of range, ...)."""
 

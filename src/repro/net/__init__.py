@@ -19,6 +19,11 @@ inter-cloud link).  See ARCHITECTURE.md for the full layer map.
 from repro.net.batching import RoundBatcher
 from repro.net.channel import Channel, ChannelStats, LinkModel, measure_size
 from repro.net.dispatch import S2Dispatcher
+from repro.net.socket_transport import (
+    SocketTransport,
+    disconnect_all,
+    is_socket_address,
+)
 from repro.net.transport import (
     InProcessTransport,
     ThreadedTransport,
@@ -34,9 +39,12 @@ __all__ = [
     "LinkModel",
     "RoundBatcher",
     "S2Dispatcher",
+    "SocketTransport",
     "ThreadedTransport",
     "Transport",
     "WireCodec",
+    "disconnect_all",
+    "is_socket_address",
     "make_transport",
     "measure_size",
 ]

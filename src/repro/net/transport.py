@@ -16,7 +16,12 @@ Two backends:
   thread.  Requests and replies genuinely cross the boundary as *bytes*
   (encoded with :class:`~repro.net.wire.WireCodec`), so nothing but
   serialized messages ever reaches S2 — the strongest in-process stand-in
-  for a socket link, and the template for one (see ROADMAP open items).
+  for a socket link.
+
+The real socket link lives in :mod:`repro.net.socket_transport`: a
+:class:`~repro.net.socket_transport.SocketTransport` speaks the same
+codec over TCP or Unix-domain sockets to the standalone S2 daemon
+(:mod:`repro.server.s2_service`).
 """
 
 from __future__ import annotations
@@ -144,28 +149,53 @@ class ThreadedTransport(Transport):
         return self._s1_codec.decode_replies(reply)
 
     def close(self) -> None:
+        """Retire the S2 service thread deterministically.
+
+        The shutdown sentinel queues behind any admitted request, the
+        worker finishes that round and exits, and the unbounded join
+        guarantees that when ``close`` returns no service thread
+        survives — tests can assert a clean slate between cases instead
+        of racing a timed-out join.  An in-flight ``exchange`` on
+        another thread still receives its reply (the queues are never
+        drained out from under it); the worker leaves both queues empty
+        on every normal path.
+        """
         with self._state_lock:
             if self._closed:
                 return
             self._closed = True
-            # Queues behind any admitted request; the worker finishes
-            # that round, then exits.
             self._requests.put(None)
-        self._worker.join(timeout=5)
+        self._worker.join()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has retired the service thread."""
+        return self._closed
 
 
 def make_transport(kind: str, dispatcher, rtt_ms: float = 0.0) -> Transport:
-    """Build a transport backend by name (``"inprocess"`` or ``"threaded"``).
+    """Build a *local* transport backend by name (``"inprocess"`` or
+    ``"threaded"``).
 
-    ``rtt_ms > 0`` wraps the backend in a :class:`LatencyTransport` that
-    sleeps one simulated round-trip per exchange.
+    Remote S2 addresses (``tcp://`` / ``unix://``) are wired by
+    :func:`repro.protocols.base.wire_clouds`, which owns the key
+    material a remote session needs — they cannot be built from a
+    dispatcher.  ``rtt_ms > 0`` wraps the backend in a
+    :class:`LatencyTransport` that sleeps one simulated round-trip per
+    exchange.
     """
     if kind == "inprocess":
         transport: Transport = InProcessTransport(dispatcher)
     elif kind == "threaded":
         transport = ThreadedTransport(dispatcher)
     else:
-        raise ProtocolError(f"unknown transport kind: {kind!r}")
+        hint = (
+            " (remote S2 addresses are wired through wire_clouds / "
+            "make_clouds, not make_transport)"
+            if isinstance(kind, str) and kind.startswith(("tcp://", "unix://"))
+            else ""
+        )
+        raise ProtocolError(f"unknown transport kind: {kind!r}{hint}")
     if rtt_ms > 0:
         transport = LatencyTransport(transport, rtt_ms)
     return transport

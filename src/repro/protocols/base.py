@@ -335,25 +335,51 @@ def wire_clouds(
     leakage: LeakageLog | None = None,
     compute=None,
     rtt_ms: float = 0.0,
+    relation_id: str | None = None,
 ) -> S1Context:
     """Assemble the two-cloud wiring: crypto cloud behind a dispatcher
     behind a ``transport``, and an S1 context in front of it.
 
+    ``transport`` is either a local backend name (``"inprocess"`` /
+    ``"threaded"``) or a remote S2 daemon address (``"tcp://host:port"``
+    / ``"unix:///path"``).  The remote path opens one multiplexed
+    session against the daemon — registering the deployment's key
+    material under ``relation_id`` on first contact — and ships the S2
+    randomness stream with the session, so the remote run is
+    bit-identical (results, rounds, bytes, leakage) to the local one.
+
     ``compute`` optionally attaches a
     :class:`~repro.crypto.parallel.ComputePool` so S2's large decrypt
-    batches fan out across processes; ``rtt_ms`` adds a simulated
-    round-trip latency to the link.  Single point of truth for context
-    construction — every scheme's ``make_clouds`` and
+    batches fan out across processes (local backends only: a remote
+    daemon configures its own pool via ``--s2-workers``); ``rtt_ms``
+    adds a simulated round-trip latency to the link.  Single point of
+    truth for context construction — every scheme's ``make_clouds`` and
     :func:`make_parties` delegate here.
     """
+    from repro.net.socket_transport import is_socket_address, open_remote_session
+    from repro.net.transport import LatencyTransport
+
     leakage = leakage or LeakageLog()
-    cloud = CryptoCloud(keypair, dj, s2_rng, leakage, compute=compute)
+    if is_socket_address(transport):
+        if compute is not None:
+            raise ProtocolError(
+                "a local compute pool cannot serve a remote S2; "
+                "start the daemon with --s2-workers instead"
+            )
+        link: Transport = open_remote_session(
+            transport, keypair, dj, s2_rng, leakage, relation_id=relation_id
+        )
+        if rtt_ms > 0:
+            link = LatencyTransport(link, rtt_ms)
+    else:
+        cloud = CryptoCloud(keypair, dj, s2_rng, leakage, compute=compute)
+        link = make_transport(transport, S2Dispatcher(cloud), rtt_ms=rtt_ms)
     return S1Context(
         public_key=keypair.public_key,
         dj=dj,
         encoder=encoder,
         channel=Channel(),
-        transport=make_transport(transport, S2Dispatcher(cloud), rtt_ms=rtt_ms),
+        transport=link,
         rng=s1_rng,
         leakage=leakage,
     )

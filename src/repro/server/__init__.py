@@ -3,9 +3,21 @@
 :class:`~repro.server.topk_server.TopKServer` holds one encrypted
 relation plus the S2 connection recipe and serves many isolated
 :class:`~repro.server.topk_server.QuerySession`\\ s, sequentially or
-concurrently.
+concurrently — against an in-process S2 or a standalone
+:class:`~repro.server.s2_service.S2Service` daemon reached by socket
+address (see ARCHITECTURE.md, deployment layer).
 """
 
 from repro.server.topk_server import QuerySession, TopKServer
 
-__all__ = ["QuerySession", "TopKServer"]
+__all__ = ["QuerySession", "S2Service", "TopKServer"]
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.server.s2_service` does not import the
+    # daemon module twice (once via this package, once as __main__).
+    if name == "S2Service":
+        from repro.server.s2_service import S2Service
+
+        return S2Service
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,513 @@
+"""The standalone S2 crypto-cloud daemon.
+
+Runs the S2 half of the two-cloud protocol as its own process (or
+host)::
+
+    PYTHONPATH=src python -m repro.server.s2_service \\
+        --listen tcp://127.0.0.1:9317 [--s2-workers 4] [--backend auto]
+
+The daemon owns nothing at start — no keys, no relations.  A client
+(the S1 side: :class:`~repro.server.topk_server.TopKServer` or any
+``scheme.make_clouds(transport="tcp://...")``) provisions it through
+the frame protocol of :mod:`repro.net.socket_transport`:
+
+1. **HELLO** — version banner check, once per connection.
+2. **REGISTER** — the data owner's provisioning step (Section 3.1):
+   key material (Paillier keypair, DJ instance) stored under a
+   *relation id*.  Idempotent, and shared daemon-wide: any later
+   connection — another session, another worker process, another
+   machine — opens sessions by id alone, so repeated queries against
+   a registered relation never re-upload the blob.
+3. **OPEN** — one protocol session: its own
+   :class:`~repro.protocols.base.CryptoCloud` (seeded with the rng
+   stream the client ships, so transcripts match in-process runs),
+   :class:`~repro.net.dispatch.S2Dispatcher`, wire codec, leakage log,
+   and service thread.  Sessions are multiplexed over the connection by
+   the session id tagged on every frame; each runs on its own thread,
+   so a large batch in one session never blocks another's round.
+4. **REQUEST/REPLY** — one coalesced protocol round per frame, exactly
+   the batches :class:`~repro.net.transport.ThreadedTransport` carries
+   in-process.  S2-side leakage events ride back inside the REPLY.
+
+``--s2-workers N`` attaches one shared
+:class:`~repro.crypto.parallel.ComputePool` that chunks every session's
+large decrypt batches across worker processes — the daemon-side analog
+of ``TopKServer(s2_workers=...)``.  The pool forks at the *first
+registration* (the earliest moment key material exists), outside the
+service lock; ``make_pool_executor`` documents why fork stays the right
+start method even with service threads live.
+
+A dropped client connection tears down all of its sessions; a dispatch
+failure is reported as an ERROR frame (typed
+:class:`~repro.exceptions.RemoteS2Error` on the client) and leaves the
+connection usable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import pickle
+import queue
+import socket
+import threading
+
+from repro.crypto import backend
+from repro.crypto.parallel import ComputePool
+from repro.exceptions import PeerDisconnected, TransportError
+from repro.net.dispatch import S2Dispatcher
+from repro.net.socket_transport import (
+    CLOSE,
+    CLOSED,
+    ERROR,
+    HELLO,
+    HELLO_OK,
+    OPEN,
+    OPENED,
+    PROTOCOL_BANNER,
+    REGISTER,
+    REGISTERED,
+    REPLY,
+    REQUEST,
+    UNKNOWN_RELATION,
+    encode_error,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.net.wire import WireCodec
+from repro.protocols.base import CryptoCloud, LeakageLog
+
+
+class _Session:
+    """One protocol session: crypto cloud + codec + service thread."""
+
+    def __init__(self, connection: "_Connection", session_id: int, cloud: CryptoCloud):
+        self.connection = connection
+        self.session_id = session_id
+        self.cloud = cloud
+        self.dispatcher = S2Dispatcher(cloud)
+        self.codec = WireCodec()
+        self.requests: queue.SimpleQueue = queue.SimpleQueue()
+        self.thread = threading.Thread(
+            target=self._serve, name=f"s2-session-{session_id}", daemon=True
+        )
+        self.thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            data = self.requests.get()
+            if data is None:
+                return
+            try:
+                messages = self.codec.decode_envelope(data)
+                replies = [self.dispatcher.dispatch(msg) for msg in messages]
+                # The session log holds exactly this round's S2
+                # observations (drained every round); they ride back in
+                # the reply so the client's log interleaves S1 and S2
+                # events at the in-process positions.
+                events = [
+                    (e.observer, e.protocol, e.kind, e.payload)
+                    for e in self.cloud.leakage.events
+                ]
+                self.cloud.leakage.clear()
+                out = bytearray()
+                self.codec.encode_value((replies, events), out)
+                self.connection.send(REPLY, self.session_id, bytes(out))
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                # Drop any events the failed round recorded before the
+                # error: the client never sees that round's reply, and
+                # stale events must not ride the *next* reply at wrong
+                # positions.
+                self.cloud.leakage.clear()
+                self.connection.send_error(
+                    self.session_id, type(exc).__name__, str(exc)
+                )
+
+    def stop(self) -> None:
+        """Finish queued rounds, then retire the service thread."""
+        self.requests.put(None)
+        self.thread.join()
+
+
+class _Connection:
+    """One accepted client connection and its session table."""
+
+    def __init__(self, service: "S2Service", sock: socket.socket):
+        self.service = service
+        self.sock = sock
+        self._write_lock = threading.Lock()
+        self._sessions: dict[int, _Session] = {}
+
+    # -- frame output ----------------------------------------------------
+
+    def send(self, ftype: int, session_id: int, payload: bytes = b"") -> None:
+        with self._write_lock:
+            send_frame(self.sock, ftype, session_id, payload)
+
+    def send_error(self, session_id: int, kind: str, text: str) -> None:
+        with contextlib.suppress(TransportError):
+            self.send(ERROR, session_id, encode_error(kind, text))
+
+    # -- frame input -----------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            # A peer that connects but never greets should not pin a
+            # thread forever; after the banner the link blocks freely.
+            self.sock.settimeout(30.0)
+            ftype, _, payload = recv_frame(self.sock)
+            if ftype != HELLO or payload != PROTOCOL_BANNER:
+                self.send_error(0, "version-mismatch", PROTOCOL_BANNER.decode())
+                return
+            self.send(HELLO_OK, 0, PROTOCOL_BANNER)
+            self.sock.settimeout(None)
+            while True:
+                ftype, session_id, payload = recv_frame(self.sock)
+                self._handle(ftype, session_id, payload)
+        except PeerDisconnected:
+            pass  # normal client departure
+        except Exception as exc:  # noqa: BLE001 — last-resort report
+            self.send_error(0, type(exc).__name__, str(exc))
+        finally:
+            self._teardown()
+
+    def _handle(self, ftype: int, session_id: int, payload: bytes) -> None:
+        if ftype == REGISTER:
+            self.service._register(pickle.loads(payload), len(payload))
+            self.send(REGISTERED, session_id)
+        elif ftype == OPEN:
+            relation_id, _, blob = payload.partition(b"\x00")
+            entry = self.service._registration(relation_id.decode("utf-8"))
+            if entry is None:
+                self.send_error(session_id, UNKNOWN_RELATION, relation_id.decode())
+                return
+            if session_id in self._sessions:
+                self.send_error(session_id, "duplicate-session", str(session_id))
+                return
+            keypair, dj = entry
+            cloud = CryptoCloud(
+                keypair,
+                dj,
+                rng=pickle.loads(blob),
+                leakage=LeakageLog(),
+                compute=self.service.compute,
+            )
+            self._sessions[session_id] = _Session(self, session_id, cloud)
+            self.service._session_opened()
+            self.send(OPENED, session_id)
+        elif ftype == REQUEST:
+            session = self._sessions.get(session_id)
+            if session is None:
+                self.send_error(session_id, "unknown-session", str(session_id))
+                return
+            self.service._request_received()
+            session.requests.put(payload)
+        elif ftype == CLOSE:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                session.stop()
+                self.service._session_closed()
+            self.send(CLOSED, session_id)
+        else:
+            self.send_error(session_id, "unknown-frame", str(ftype))
+
+    def _teardown(self) -> None:
+        for session in self._sessions.values():
+            session.stop()
+            self.service._session_closed()
+        self._sessions.clear()
+        with contextlib.suppress(OSError):
+            self.sock.close()
+        self.service._connection_closed(self)
+
+
+class S2Service:
+    """The S2 daemon: listener, registry, and live session bookkeeping.
+
+    Parameters
+    ----------
+    listen:
+        ``tcp://host:port`` (port 0 picks a free one) or
+        ``unix:///path`` (a stale socket file is replaced).
+    s2_workers:
+        When positive, one shared :class:`ComputePool` of that many
+        processes chunks every session's large decrypt batches.
+    """
+
+    def __init__(self, listen: str = "tcp://127.0.0.1:0", s2_workers: int = 0):
+        self.listen_spec = listen
+        self.s2_workers = s2_workers
+        self.address: str | None = None
+        self.compute: ComputePool | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._unix_path: str | None = None
+        self._lock = threading.Lock()
+        self._pool_started = False
+        self._connections: set[_Connection] = set()
+        self._registry: dict[str, tuple] = {}
+        self._stats = {
+            "registrations": 0,
+            "registration_uploads": 0,
+            "registration_bytes": 0,
+            "connections_total": 0,
+            "connections_active": 0,
+            "sessions_opened": 0,
+            "sessions_active": 0,
+            "requests_served": 0,
+        }
+        self._closed = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> str:
+        """Bind, listen, and start accepting; returns the bound address."""
+        family, target = parse_address(self.listen_spec)
+        if family == "tcp":
+            host, port = target
+            listener = socket.create_server((host, port))
+            bound_port = listener.getsockname()[1]
+            self.address = f"tcp://{host}:{bound_port}"
+        else:
+            if not hasattr(socket, "AF_UNIX"):
+                raise TransportError("Unix-domain sockets unavailable here")
+            with contextlib.suppress(OSError):
+                os.unlink(target)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(target)
+            listener.listen()
+            self._unix_path = target
+            self.address = f"unix://{target}"
+        # A blocking accept() does not reliably wake when another thread
+        # closes the listener; a short timeout lets the loop observe the
+        # shutdown flag, so close() can join deterministically.
+        listener.settimeout(0.1)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="s2-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed
+            sock.settimeout(None)
+            if isinstance(sock.getsockname(), tuple):
+                with contextlib.suppress(OSError):
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(self, sock)
+            with self._lock:
+                self._connections.add(connection)
+                self._stats["connections_total"] += 1
+                self._stats["connections_active"] += 1
+            threading.Thread(
+                target=connection.run, name="s2-connection", daemon=True
+            ).start()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` (or the process) ends the service."""
+        self._closed.wait()
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, release the pool."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            with contextlib.suppress(OSError):
+                connection.sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                connection.sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+        if self._unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self._unix_path)
+        if self.compute is not None:
+            self.compute.close()
+            self.compute = None
+
+    def __enter__(self) -> "S2Service":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- registry and bookkeeping (called by connections) ---------------
+
+    def _register(self, blob: dict, nbytes: int) -> None:
+        relation_id = blob["relation_id"]
+        build_pool = False
+        with self._lock:
+            self._stats["registration_uploads"] += 1
+            self._stats["registration_bytes"] += nbytes
+            if relation_id not in self._registry:
+                self._registry[relation_id] = (blob["keypair"], blob["dj"])
+                self._stats["registrations"] += 1
+                # The pool workers hold key material, so the first
+                # registration is the earliest the pool can fork.  The
+                # multi-second fork+warmup happens *outside* the lock —
+                # other connections keep registering and opening sessions
+                # meanwhile (their clouds just run pool-less until the
+                # pool lands, which is transcript-invisible).
+                if self.s2_workers > 0 and not self._pool_started:
+                    self._pool_started = True
+                    build_pool = True
+        if build_pool:
+            pool = ComputePool(
+                blob["keypair"], blob["dj"], workers=self.s2_workers
+            )
+            with self._lock:
+                closed = self._closed.is_set()
+                if not closed:
+                    self.compute = pool
+            if closed:
+                pool.close()
+
+    def _registration(self, relation_id: str) -> tuple | None:
+        with self._lock:
+            return self._registry.get(relation_id)
+
+    def _session_opened(self) -> None:
+        with self._lock:
+            self._stats["sessions_opened"] += 1
+            self._stats["sessions_active"] += 1
+
+    def _session_closed(self) -> None:
+        with self._lock:
+            self._stats["sessions_active"] -= 1
+
+    def _request_received(self) -> None:
+        with self._lock:
+            self._stats["requests_served"] += 1
+
+    def _connection_closed(self, connection: _Connection) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.discard(connection)
+                self._stats["connections_active"] -= 1
+
+    def stats(self) -> dict:
+        """A snapshot of the service counters (tests and operations)."""
+        with self._lock:
+            return dict(self._stats)
+
+
+def launch_daemon(
+    listen: str = "tcp://127.0.0.1:0",
+    extra_args: tuple[str, ...] = (),
+    quiet: bool = False,
+    timeout: float = 30.0,
+):
+    """Start the daemon as a separate OS process; returns (process, address).
+
+    The real deployment shape for examples, benchmarks, and smoke
+    scripts: ``python -m repro.server.s2_service`` is spawned with this
+    package on its path, the bound address is read from a ready file,
+    and the caller owns the returned :class:`subprocess.Popen`
+    (terminate it when done).
+    """
+    import pathlib
+    import subprocess
+    import sys
+    import tempfile
+    import time
+
+    src_root = str(pathlib.Path(__file__).resolve().parent.parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.NamedTemporaryFile(suffix=".addr", delete=False) as handle:
+        ready_file = handle.name
+    os.unlink(ready_file)
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.s2_service",
+            "--listen",
+            listen,
+            "--ready-file",
+            ready_file,
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL if quiet else None,
+    )
+    try:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(ready_file):
+                address = pathlib.Path(ready_file).read_text().strip()
+                os.unlink(ready_file)
+                return process, address
+            if process.poll() is not None:
+                raise RuntimeError("S2 daemon exited before becoming ready")
+            time.sleep(0.05)
+        raise RuntimeError("S2 daemon did not become ready in time")
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(ready_file)
+        process.terminate()
+        raise
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``python -m repro.server.s2_service``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.server.s2_service", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument(
+        "--listen",
+        default="tcp://127.0.0.1:0",
+        help="tcp://host:port (port 0 = ephemeral) or unix:///path",
+    )
+    parser.add_argument(
+        "--s2-workers",
+        type=int,
+        default=0,
+        help="compute-pool processes for large decrypt batches",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="big-int backend (pure / gmpy2 / auto; default: REPRO_BACKEND)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        help="write the bound address here once listening (CI/scripts)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.backend:
+        backend.set_backend(args.backend)
+    service = S2Service(args.listen, s2_workers=args.s2_workers)
+    address = service.start()
+    print(f"repro-s2: listening on {address}", flush=True)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(address)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

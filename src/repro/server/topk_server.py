@@ -31,6 +31,7 @@ makes concurrency wins measurable on few-core machines.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -40,20 +41,78 @@ from repro.core.results import QueryConfig, QueryResult
 from repro.core.scheme import SecTopK
 from repro.core.token import Token
 from repro.crypto import backend
-from repro.crypto.parallel import ComputePool, make_pool_executor
+from repro.crypto.parallel import ComputePool, make_pool_executor, pool_start_method
 from repro.net.channel import ChannelStats
+from repro.net.socket_transport import is_socket_address
 from repro.protocols.base import LeakageLog, S1Context
 
-# Worker-process state for process-mode execute_many, installed once per
-# worker by the pool initializer (the scheme — including key material —
-# and the relation are pickled to each worker exactly once).
+# The relation store: (scheme, relation) pairs keyed by relation id, with
+# the blob each spawn-started worker needs pickled at most once.  In the
+# parent it is refcounted by the servers that exported into it; in a
+# worker it is either *inherited whole* (fork — entries travel with the
+# address space, no pickling, no transfer) or filled from the
+# initializer's one-time payload (spawn).  Either way repeated batches,
+# grown/rebuilt pools, and sibling servers over the same relation all
+# reuse the cached entry instead of re-shipping megabytes of ciphertexts.
+_RELATION_STORE: dict[str, tuple[SecTopK, EncryptedRelation]] = {}
+_RELATION_REFS: dict[str, int] = {}
+_RELATION_BLOBS: dict[str, bytes] = {}
+_STORE_LOCK = threading.Lock()
+
+# Worker-process query state, installed by the pool initializer.
 _QUERY_WORKER: dict = {}
 
 
-def _init_query_worker(scheme, relation, transport, rtt_ms, backend_name) -> None:
+def _export_relation(scheme: SecTopK, relation: EncryptedRelation) -> str:
+    """Pin (scheme, relation) in the parent-side store; returns its key."""
+    key = relation.relation_id()
+    with _STORE_LOCK:
+        if key in _RELATION_STORE:
+            # A second server over the same relation (possibly holding a
+            # pickled copy of the same objects — interchangeable: the id
+            # pins identical ciphertexts and key material) shares the
+            # existing export.
+            _RELATION_REFS[key] += 1
+        else:
+            _RELATION_STORE[key] = (scheme, relation)
+            _RELATION_REFS[key] = 1
+    return key
+
+
+def _release_relation(key: str) -> None:
+    with _STORE_LOCK:
+        refs = _RELATION_REFS.get(key)
+        if refs is None:
+            return
+        if refs <= 1:
+            del _RELATION_REFS[key]
+            _RELATION_STORE.pop(key, None)
+            _RELATION_BLOBS.pop(key, None)
+        else:
+            _RELATION_REFS[key] = refs - 1
+
+
+def _relation_blob(key: str) -> bytes:
+    """The pickled (scheme, relation) payload, serialized at most once."""
+    with _STORE_LOCK:
+        blob = _RELATION_BLOBS.get(key)
+        if blob is None:
+            blob = pickle.dumps(
+                _RELATION_STORE[key], protocol=pickle.HIGHEST_PROTOCOL
+            )
+            _RELATION_BLOBS[key] = blob
+    return blob
+
+
+def _init_query_worker(relation_key, payload, transport, rtt_ms, backend_name) -> None:
     backend.set_backend(backend_name)
-    _QUERY_WORKER["scheme"] = scheme
-    _QUERY_WORKER["relation"] = relation
+    entry = _RELATION_STORE.get(relation_key)
+    if entry is None:
+        # Spawn-started worker: install the shipped blob; later pool
+        # rebuilds over the same relation find it cached here.
+        entry = pickle.loads(payload)
+        _RELATION_STORE[relation_key] = entry
+    _QUERY_WORKER["scheme"], _QUERY_WORKER["relation"] = entry
     _QUERY_WORKER["transport"] = transport
     _QUERY_WORKER["rtt_ms"] = rtt_ms
 
@@ -73,7 +132,8 @@ def _run_salted_query(
     drift apart (process-mode replay identity depends on them matching).
     """
     ctx = scheme.make_clouds(
-        transport=transport, salt=salt, compute=compute, rtt_ms=rtt_ms
+        transport=transport, salt=salt, compute=compute, rtt_ms=rtt_ms,
+        relation=relation,
     )
     try:
         result = scheme.query(relation, token, config, ctx=ctx)
@@ -159,13 +219,20 @@ class TopKServer:
     Parameters
     ----------
     transport:
-        Per-session transport backend (``"inprocess"`` or ``"threaded"``).
+        Per-session transport backend (``"inprocess"`` or
+        ``"threaded"``) or the address of a standalone S2 daemon
+        (``"tcp://host:port"`` / ``"unix:///path"``).  Remote sessions
+        multiplex over one shared connection per process; the first
+        session registers the relation's key material with the daemon
+        and every later one — including process-mode worker sessions —
+        opens by relation id alone.
     rtt_ms:
         Simulated link round-trip latency added to every exchange.
     s2_workers:
         When positive, one shared :class:`ComputePool` of that many
         worker processes serves every session's crypto cloud, chunking
-        large decrypt batches across cores.
+        large decrypt batches across cores.  Local transports only: a
+        remote daemon configures its own pool (``--s2-workers``).
     """
 
     def __init__(
@@ -184,11 +251,21 @@ class TopKServer:
         # servers sharing one scheme must never collide (a collision
         # would replay blinding/permutation streams across queries).
         self._salt_namespace = scheme.context_namespace()
+        if s2_workers > 0 and is_socket_address(transport):
+            raise ValueError(
+                "s2_workers configures a local compute pool; a remote S2 "
+                "daemon owns its own (start it with --s2-workers)"
+            )
         self._compute = (
             ComputePool(scheme.keypair, scheme.dj, workers=s2_workers)
             if s2_workers > 0
             else None
         )
+        # Pin the relation in the process-wide store: forked query
+        # workers inherit it outright, spawn-started ones receive its
+        # cached pickle — either way repeated batches and rebuilt pools
+        # never re-ship the ciphertexts.
+        self._relation_key = _export_relation(scheme, relation)
         self._session_lock = threading.Lock()
         self._session_counter = 0
         self._sessions: list[QuerySession] = []
@@ -224,6 +301,7 @@ class TopKServer:
                 label=f":session-{session_id}",
                 compute=self._compute,
                 rtt_ms=self.rtt_ms,
+                relation=self.relation,
             )
             session = QuerySession(self, ctx, session_id)
             self._sessions.append(session)
@@ -339,12 +417,20 @@ class TopKServer:
                 # Idle and smaller than requested: retire, rebuild below.
                 self._query_pool.shutdown(wait=False)
                 self._query_pool = None
+        # Fork-started workers inherit the relation store with the
+        # address space — the initializer payload stays empty; only a
+        # spawn platform ships the (cached, pickled-once) blob.
+        payload = (
+            None
+            if pool_start_method() == "fork"
+            else _relation_blob(self._relation_key)
+        )
         new_pool = make_pool_executor(
             workers,
             _init_query_worker,
             (
-                self.scheme,
-                self.relation,
+                self._relation_key,
+                payload,
                 self.transport,
                 self.rtt_ms,
                 backend.get_backend().name,
@@ -422,6 +508,8 @@ class TopKServer:
         shutdown outranks in-flight work.
         """
         with self._session_lock:
+            if self._closed:
+                return
             self._closed = True
             sessions = list(self._sessions)
             self._sessions.clear()
@@ -434,6 +522,7 @@ class TopKServer:
             pool.shutdown(wait=False, cancel_futures=True)
         if compute is not None:
             compute.close()
+        _release_relation(self._relation_key)
 
     def __enter__(self) -> "TopKServer":
         return self

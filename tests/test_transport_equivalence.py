@@ -1,13 +1,19 @@
 """Equivalence of the transport backends (and the coalescing layer).
 
 The threaded transport genuinely serializes every message to bytes and
-services it on an S2 thread; these tests pin down that, on a fixed seed,
-it produces *identical* results, leakage event multisets, and S1 <-> S2
+services it on an S2 thread, and the socket transport carries the same
+byte streams to a standalone S2 daemon over TCP or a Unix-domain
+socket; these tests pin down that, on a fixed seed, every backend
+produces *identical* results, leakage event multisets, and S1 <-> S2
 byte totals as the in-process path — i.e. the wire layer is a faithful
-carrier, not a reinterpretation of the protocol.
+carrier, not a reinterpretation of the protocol, whether the crypto
+cloud lives in-process, on a thread, or behind a real socket.
 """
 
 from __future__ import annotations
+
+import socket as socket_module
+import threading
 
 import pytest
 
@@ -15,6 +21,8 @@ from repro.core.params import SystemParams
 from repro.core.results import QueryConfig
 from repro.core.scheme import SecTopK
 from repro.crypto.rng import SecureRandom
+from repro.net.socket_transport import disconnect_all
+from repro.server import S2Service
 
 
 def _rows(seed: int, n: int, m: int) -> list[list[int]]:
@@ -27,7 +35,7 @@ def _run(transport: str, config: QueryConfig, rows, attrs, k=2):
     scheme = SecTopK(SystemParams.tiny(), seed=97)
     encrypted = scheme.encrypt(rows)
     token = scheme.token(attrs, k=k)
-    ctx = scheme.make_clouds(transport=transport)
+    ctx = scheme.make_clouds(transport=transport, relation=encrypted)
     try:
         result = scheme.query(encrypted, token, config, ctx=ctx)
         revealed = scheme.reveal(result)
@@ -75,6 +83,35 @@ class TestThreadedMatchesInProcess:
         assert wired[3].bytes_s2_to_s1 == base[3].bytes_s2_to_s1
         assert wired[3].rounds == base[3].rounds
 
+    def test_close_retires_service_thread(self):
+        """ThreadedTransport.close joins its worker and drains the
+        queues — no S2 service thread may outlive its context."""
+        rows = _rows(5, n=6, m=2)
+        before = {t for t in threading.enumerate()}
+        _run("threaded", QueryConfig(variant="elim", engine="eager"), rows, [0, 1])
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before and t.name == "s2-transport"
+        ]
+        assert leaked == [], f"leaked S2 service threads: {leaked}"
+
+    def test_exchange_after_close_raises(self):
+        from repro.exceptions import ProtocolError
+        from repro.net import messages
+        from repro.protocols.base import make_parties
+
+        scheme = SecTopK(SystemParams.tiny(), seed=3)
+        ctx = make_parties(scheme.keypair, transport="threaded")
+        ctx.close()
+        assert ctx.transport.closed
+        with pytest.raises(ProtocolError):
+            ctx.call(
+                messages.ZeroTestBatch(
+                    protocol="probe", cts=[scheme.public_key.encrypt(0)]
+                )
+            )
+
     def test_matches_plaintext_oracle(self):
         """Both transports agree with plain NRA on the winning set."""
         from repro.nra import SortedLists, nra_topk
@@ -85,6 +122,68 @@ class TestThreadedMatchesInProcess:
             revealed, _, _, _ = _run(transport, config, rows, [0, 1], k=2)
             expected = nra_topk(SortedLists(rows, [0, 1]), 2, halting="strict")
             assert {o for o, _ in revealed} == {o for o, _ in expected.topk}
+
+
+@pytest.fixture(scope="module")
+def tcp_daemon():
+    service = S2Service("tcp://127.0.0.1:0")
+    address = service.start()
+    yield address
+    disconnect_all()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def unix_daemon(tmp_path_factory):
+    if not hasattr(socket_module, "AF_UNIX"):
+        pytest.skip("no Unix-domain sockets on this platform")
+    path = tmp_path_factory.mktemp("s2") / "s2.sock"
+    service = S2Service(f"unix://{path}")
+    address = service.start()
+    yield address
+    disconnect_all()
+    service.close()
+
+
+class TestSocketMatchesInProcess:
+    """The remote deployment is transport-equivalent: a query against
+    the standalone S2 daemon — over TCP or a Unix-domain socket —
+    returns bit-identical results with identical round counts, byte
+    totals, and leakage profiles (the tentpole acceptance criterion)."""
+
+    ENGINE_CONFIGS = [
+        pytest.param(QueryConfig(variant="elim", engine="eager"), id="eager"),
+        pytest.param(QueryConfig(variant="elim", engine="literal"), id="literal"),
+    ]
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    @pytest.mark.parametrize("family", ["tcp", "unix"])
+    def test_identical_runs(self, config, family, request):
+        address = request.getfixturevalue(f"{family}_daemon")
+        rows = _rows(5, n=8, m=3)
+        base = _run("inprocess", config, rows, [0, 1, 2])
+        remote = _run(address, config, rows, [0, 1, 2])
+
+        assert remote[0] == base[0], "top-k results differ across the socket"
+        assert remote[1] == base[1], "halting depth differs"
+        assert remote[2] == base[2], "leakage event multisets differ"
+        assert remote[3].bytes_s1_to_s2 == base[3].bytes_s1_to_s2
+        assert remote[3].bytes_s2_to_s1 == base[3].bytes_s2_to_s1
+        assert remote[3].rounds == base[3].rounds
+
+    def test_remaining_message_types_over_tcp(self, tcp_daemon):
+        """DGK comparison + sorting-network gates cross the socket too."""
+        config = QueryConfig(
+            variant="elim",
+            engine="eager",
+            compare_method="dgk",
+            sort_method="network",
+            max_depth=4,
+        )
+        rows = _rows(5, n=8, m=3)
+        base = _run("inprocess", config, rows, [0, 1, 2])
+        remote = _run(tcp_daemon, config, rows, [0, 1, 2])
+        assert remote == base
 
 
 class TestOtherSchemesOverTheWire:
