@@ -17,20 +17,32 @@ Two series, emitted to ``benchmarks/results/throughput.txt``:
   rounds/depth stays flat in ``m`` — the per-depth round complexity of
   the paper's Table 3.
 
+A third, machine-readable series lands in
+``benchmarks/results/client.json``: the **submit pipeline** — the
+client API's overlapped ``submit``/``result`` jobs against sequential
+and thread-windowed ``execute_many`` on a simulated-latency link (the
+regime where overlapping rounds is what throughput is made of).
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``)
 or via pytest.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
 import time
 
+import repro
 from repro.bench.harness import SeriesReport
 from repro.core.params import SystemParams
 from repro.core.results import QueryConfig
 from repro.core.scheme import SecTopK
 from repro.crypto.rng import SecureRandom
 from repro.server import TopKServer
+
+CLIENT_RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "client.json"
 
 N_ROWS = 16
 N_ATTRS = 4
@@ -131,12 +143,91 @@ def run_coalescing() -> SeriesReport:
     return report
 
 
+def run_submit_pipeline(rtt_ms: float = 10.0, out: pathlib.Path | None = None) -> dict:
+    """The client API's overlapped-jobs leg: submit pipeline vs
+    ``execute_many`` on a simulated-latency link.
+
+    Every mode runs the identical workload on a fresh identically-seeded
+    deployment (transcripts are salt-determined, so the comparison is
+    pure scheduling).  Writes ``benchmarks/results/client.json``.
+    """
+    rows = []
+
+    def _measure(mode: str, run) -> None:
+        scheme, relation, _ = _deployment()
+        requests = _workload(scheme, N_QUERIES)
+        with repro.connect(
+            scheme, relation, rtt_ms=rtt_ms, scheduler_workers=4
+        ) as client:
+            started = time.perf_counter()
+            results = run(client, requests)
+            elapsed = time.perf_counter() - started
+        assert all(len(r.items) == 2 for r in results)
+        rows.append(
+            {
+                "mode": mode,
+                "rtt_ms": rtt_ms,
+                "queries": N_QUERIES,
+                "seconds": round(elapsed, 4),
+                "qps": round(N_QUERIES / elapsed, 3),
+                "rounds": results[0].stats.rounds,
+            }
+        )
+
+    _measure(
+        "execute_many-sequential",
+        lambda c, reqs: c.server.execute_many(reqs, concurrency=1),
+    )
+    _measure(
+        "execute_many-thread-4",
+        lambda c, reqs: c.server.execute_many(reqs, concurrency=4),
+    )
+    _measure(
+        "submit-pipeline-4",
+        lambda c, reqs: [job.result() for job in c.submit_many(reqs)],
+    )
+
+    by_mode = {r["mode"]: r["qps"] for r in rows}
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_rows": N_ROWS,
+            "n_attrs": N_ATTRS,
+            "params": "tiny",
+            "note": "submit pipeline overlaps link latency across jobs; "
+            "identical transcripts across modes (salt-determined)",
+        },
+        "rows": rows,
+        "speedups": {
+            "submit_vs_sequential": round(
+                by_mode["submit-pipeline-4"] / by_mode["execute_many-sequential"], 3
+            ),
+            "submit_vs_thread": round(
+                by_mode["submit-pipeline-4"] / by_mode["execute_many-thread-4"], 3
+            ),
+        },
+    }
+    out = out or CLIENT_RESULTS
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(report["speedups"], indent=2))
+    return report
+
+
 def test_throughput_series():
     """Pytest entry point: emit both series."""
     run_throughput().emit("throughput.txt")
     run_coalescing().emit("throughput.txt")
 
 
+def test_submit_pipeline_series():
+    """Pytest entry point: emit the client-API pipeline series."""
+    run_submit_pipeline()
+
+
 if __name__ == "__main__":
     run_throughput().emit("throughput.txt")
     run_coalescing().emit("throughput.txt")
+    run_submit_pipeline()

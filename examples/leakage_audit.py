@@ -10,10 +10,12 @@ falls outside the declared profile.
 Run:  python examples/leakage_audit.py
 """
 
+import repro
 from repro import SecTopK, SystemParams
 from repro.core.leakage import ALLOWED_KINDS, audit
 from repro.core.results import QueryConfig
 from repro.crypto.rng import SecureRandom
+from repro.protocols.base import LeakageLog
 
 
 def main() -> None:
@@ -22,14 +24,16 @@ def main() -> None:
     scheme = SecTopK(SystemParams.insecure_demo(), seed=8)
     encrypted = scheme.encrypt(rows)
 
-    ctx = scheme.make_clouds()
-    token = scheme.token([0, 1, 2], k=3)
-    result = scheme.query(
-        encrypted, token, QueryConfig(variant="elim", engine="eager"), ctx=ctx
-    )
+    # The client API attaches every query's leakage slice to the result,
+    # so the audit needs no access to the context at all.
+    client = repro.connect(scheme, encrypted)
+    token = client.token([0, 1, 2], k=3)
+    result = client.query(token, QueryConfig(variant="elim", engine="eager"))
     print(f"query done: halting depth {result.halting_depth}\n")
 
-    report = audit(ctx.leakage)
+    log = LeakageLog()
+    log.events = list(result.leakage_events)
+    report = audit(log)
     print("observations by kind (count -> licensed by):")
     for kind, count in sorted(report.counts.items()):
         print(f"  {kind:18s} x{count:5d} -> {ALLOWED_KINDS[kind]}")
@@ -39,13 +43,19 @@ def main() -> None:
     print("leakage profile (L_Setup, L1_Query, L2_Query of Section 9)")
 
     # Show one equality-pattern batch: what S2 actually saw at one depth.
-    eq = ctx.leakage.by_kind("eq_bits")
+    eq = log.by_kind("eq_bits")
     if eq:
         print(f"\nexample EP_d batch S2 saw (bits of a permuted batch): {eq[-1].payload}")
 
     # Repeat the query: S1's query-pattern leakage flips to "repeated".
-    scheme.query(encrypted, token, QueryConfig(variant="elim"), ctx=ctx)
-    qp = [e.payload for e in ctx.leakage.by_kind("query_pattern")]
+    repeat = client.query(token, QueryConfig(variant="elim"))
+    client.close()
+    qp = [
+        e.payload
+        for r in (result, repeat)
+        for e in r.leakage_events
+        if e.kind == "query_pattern"
+    ]
     print(f"query-pattern observations across the two runs: {qp}")
     assert qp == [False, True]
 

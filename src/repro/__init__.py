@@ -13,6 +13,10 @@ The package implements the complete system described in the paper:
   :mod:`repro.nra`;
 * the top-level ``SecTopK = (Enc, Token, SecQuery)`` scheme in
   :mod:`repro.core`;
+* the job-oriented client API — :func:`connect` / :class:`TopKClient`,
+  asynchronous :class:`QueryJob` handles with streaming progress events
+  — in :mod:`repro.client`, in front of the scheduling server of
+  :mod:`repro.server` and the deployable S2 daemon;
 * the secure top-k join operator of Section 12 in :mod:`repro.join`;
 * the secure-kNN comparator of Section 11.3 in :mod:`repro.baselines`;
 * dataset generators mirroring the paper's evaluation data in
@@ -23,13 +27,14 @@ The package implements the complete system described in the paper:
 Quickstart
 ----------
 
->>> from repro import SecTopK, SystemParams
+>>> import repro
 >>> from repro.data import gaussian_relation
 >>> relation = gaussian_relation(n_objects=40, n_attributes=4, seed=7)
->>> scheme = SecTopK(SystemParams.insecure_demo())
->>> encrypted = scheme.encrypt(relation)
->>> token = scheme.token(attributes=[0, 1, 2], k=3)
->>> result = scheme.query(encrypted, token)
+>>> scheme = repro.SecTopK(repro.SystemParams.insecure_demo())
+>>> encrypted = scheme.encrypt(relation.rows)
+>>> with repro.connect(scheme, encrypted) as client:
+...     job = client.submit(client.token([0, 1, 2], k=3))
+...     result = job.result()
 >>> len(scheme.reveal(result))
 3
 """
@@ -37,6 +42,9 @@ Quickstart
 from repro._version import __version__
 from repro.exceptions import (
     ReproError,
+    JobCancelled,
+    JobError,
+    JobTimeout,
     KeyMismatchError,
     EncodingRangeError,
     PeerDisconnected,
@@ -46,11 +54,29 @@ from repro.exceptions import (
     TransportError,
 )
 
+#: Curated public surface, client façade first: ``repro.connect`` is the
+#: supported entry point; the scheme types follow for the data-owner
+#: role; the exception hierarchy closes the list.
 __all__ = [
-    "__version__",
+    # client façade
+    "connect",
+    "TopKClient",
+    "QueryJob",
+    "JobStatus",
+    # data-owner scheme and query types
     "SecTopK",
     "SystemParams",
+    "Token",
+    "QueryConfig",
+    "QueryResult",
+    "QueryStats",
+    # metadata
+    "__version__",
+    # exceptions
     "ReproError",
+    "JobError",
+    "JobCancelled",
+    "JobTimeout",
     "KeyMismatchError",
     "EncodingRangeError",
     "PeerDisconnected",
@@ -61,8 +87,16 @@ __all__ = [
 ]
 
 _LAZY = {
+    "connect": ("repro.client", "connect"),
+    "TopKClient": ("repro.client", "TopKClient"),
+    "QueryJob": ("repro.server.jobs", "QueryJob"),
+    "JobStatus": ("repro.server.jobs", "JobStatus"),
     "SecTopK": ("repro.core.scheme", "SecTopK"),
     "SystemParams": ("repro.core.params", "SystemParams"),
+    "Token": ("repro.core.token", "Token"),
+    "QueryConfig": ("repro.core.results", "QueryConfig"),
+    "QueryResult": ("repro.core.results", "QueryResult"),
+    "QueryStats": ("repro.core.results", "QueryStats"),
 }
 
 
@@ -80,3 +114,7 @@ def __getattr__(name):
         globals()[name] = value
         return value
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

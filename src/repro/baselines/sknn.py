@@ -39,7 +39,7 @@ from repro.crypto.paillier import Ciphertext, PaillierKeypair
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError
 from repro.net.messages import RecordShipment, SquareBlinded
-from repro.protocols.base import S1Context, wire_clouds
+from repro.protocols.base import S1Context, _wire_clouds
 from repro.protocols.enc_compare import enc_compare
 from repro.core.params import SystemParams
 
@@ -114,7 +114,7 @@ class SknnScheme:
     def make_clouds(self, transport: str = "inprocess") -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud."""
         salt = f"#{next(self._ctx_counter)}"
-        return wire_clouds(
+        return _wire_clouds(
             self.keypair,
             self.dj,
             self.encoder,

@@ -1,0 +1,15 @@
+"""The unified, job-oriented client API (see ARCHITECTURE.md, "Client
+API" layer).
+
+:func:`repro.connect` / :class:`TopKClient` are the single public entry
+point to the query stack: one façade over every deployment mode
+(in-process, threaded, remote TCP/Unix daemon) and every execution mode
+(sequential, thread-windowed, worker-process pools), with asynchronous
+job submission, streaming progress events and uniform
+:class:`~repro.core.results.QueryStats` cost blocks.
+"""
+
+from repro.client.topk_client import TopKClient, connect
+from repro.server.jobs import JobStatus, QueryJob
+
+__all__ = ["TopKClient", "connect", "QueryJob", "JobStatus"]

@@ -1,0 +1,175 @@
+"""``TopKClient`` — the façade in front of the whole query stack.
+
+One object, one mental model::
+
+    import repro
+
+    client = repro.connect(scheme, encrypted, "tcp://s2.example:9317")
+    job = client.submit(client.token([0, 1, 2], k=3))
+    for event in job.events():          # DepthAdvanced, RoundTrip, ...
+        print(event)
+    result = job.result(timeout=30.0)
+    print(client.reveal(result), result.stats.rounds, result.stats.total_bytes)
+
+Everything the pre-redesign surface required the caller to stitch
+together — ``make_clouds`` wiring, ``TopKServer`` sessions,
+``execute``/``execute_many`` modes, channel snapshots, leakage logs —
+sits behind :meth:`TopKClient.submit`: queries are *jobs* with
+``result(timeout)`` / ``cancel()`` / ``done()`` and a typed
+``events()`` stream, and every result carries its full cost profile in
+``result.stats`` (:class:`~repro.core.results.QueryStats`), identically
+across all transports and execution modes.
+"""
+
+from __future__ import annotations
+
+from repro.core.relation import EncryptedRelation
+from repro.core.results import QueryConfig, QueryResult
+from repro.core.scheme import SecTopK
+from repro.core.token import Token
+from repro.server.jobs import QueryJob
+from repro.server.topk_server import TopKServer
+
+
+def connect(
+    scheme: SecTopK,
+    relation: EncryptedRelation,
+    address: str = "inprocess",
+    *,
+    rtt_ms: float = 0.0,
+    s2_workers: int = 0,
+    max_pending: int = 128,
+    scheduler_workers: int = 8,
+) -> "TopKClient":
+    """Connect a client to a relation at ``address``.
+
+    ``address`` is a local backend name (``"inprocess"`` /
+    ``"threaded"``) or the address of a standalone S2 daemon
+    (``"tcp://host:port"`` / ``"unix:///path"``).  The returned
+    :class:`TopKClient` owns its server: closing the client (or using
+    it as a context manager) tears the whole deployment down.
+    """
+    server = TopKServer(
+        scheme,
+        relation,
+        transport=address,
+        rtt_ms=rtt_ms,
+        s2_workers=s2_workers,
+        max_pending=max_pending,
+        scheduler_workers=scheduler_workers,
+    )
+    return TopKClient(server, owns_server=True)
+
+
+class TopKClient:
+    """Job-oriented client for secure top-k queries.
+
+    Construct via :func:`connect` (owns a fresh server) or wrap an
+    existing :class:`~repro.server.topk_server.TopKServer` to share its
+    queue, pools and query-pattern history.
+    """
+
+    def __init__(self, server: TopKServer, owns_server: bool = False):
+        self._server = server
+        self._owns_server = owns_server
+        self._closed = False
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def for_server(cls, server: TopKServer) -> "TopKClient":
+        """A client view over an existing server (not owned)."""
+        return cls(server, owns_server=False)
+
+    @property
+    def server(self) -> TopKServer:
+        """The underlying scheduler (sessions, pools, bookkeeping)."""
+        return self._server
+
+    @property
+    def scheme(self) -> SecTopK:
+        """The data owner's scheme (keys, token minting, reveal)."""
+        return self._server.scheme
+
+    @property
+    def address(self) -> str:
+        """The transport/backend this client's jobs run against."""
+        return self._server.transport
+
+    # -- the job surface --------------------------------------------------
+
+    def submit(
+        self,
+        token: Token,
+        config: QueryConfig | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryJob:
+        """Submit one query; returns its :class:`QueryJob` handle.
+
+        ``timeout`` is the per-job deadline (seconds from submission),
+        enforced cooperatively at round boundaries.  The job's
+        transcript is bit-identical to the legacy ``execute`` path.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        return self._server.submit(token, config, timeout=timeout)
+
+    def query(
+        self,
+        token: Token,
+        config: QueryConfig | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Submit and block for the result (``submit(...).result()``)."""
+        return self.submit(token, config, timeout=timeout).result()
+
+    def submit_many(
+        self,
+        requests: list[tuple[Token, QueryConfig | None]],
+        *,
+        timeout: float | None = None,
+    ) -> list[QueryJob]:
+        """Submit a pipeline of jobs without waiting for any of them.
+
+        The jobs overlap up to the server's scheduler capacity; collect
+        them with ``[job.result() for job in jobs]`` (request order).
+        """
+        return [self.submit(token, config, timeout=timeout) for token, config in requests]
+
+    # -- data-owner conveniences ------------------------------------------
+
+    def token(
+        self, attributes: list[int], k: int, weights: list[int] | None = None
+    ) -> Token:
+        """Mint a query token (delegates to the scheme)."""
+        return self.scheme.token(attributes, k, weights)
+
+    def reveal(self, result: QueryResult) -> list[tuple[int, int]]:
+        """Decrypt a result's winners into ``(object_id, score)`` pairs."""
+        return self.scheme.reveal(result)
+
+    @staticmethod
+    def engines() -> tuple[str, ...]:
+        """Engine names selectable through ``QueryConfig(engine=...)``."""
+        from repro.core.engine import engine_names
+
+        return engine_names()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the client (and its server, when owned).  Idempotent,
+        and safe when the daemon connection already died."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_server:
+            self._server.close()
+
+    def __enter__(self) -> "TopKClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

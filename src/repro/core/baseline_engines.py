@@ -1,0 +1,127 @@
+"""Baseline engines for the registry: the paper's comparison points.
+
+Section 11 measures ``SecTopK`` against two reference strategies; the
+engine registry makes both selectable through the ordinary
+``QueryConfig(engine=...)`` so benchmarks and the client API can run
+them over the same relations, transports and accounting channel:
+
+* ``"plaintext"`` (:class:`NaiveShipEngine`) — the full-shipment
+  strawman: every ``(Enc(score), Enc(record))`` pair of the queried
+  lists crosses the link in ONE round, S2 decrypts everything,
+  aggregates per object and returns the top-k re-encrypted.  O(n·m)
+  communication, no oblivious machinery, wholesale reveal to S2
+  (recorded as ``full_reveal`` leakage).
+
+* ``"sknn"`` (:class:`SknnScanEngine`) — the cost structure of the
+  secure-kNN adaptation [21] (Section 11.3) mapped onto the sorted-list
+  storage: phase 1 ships the whole relation for per-object aggregation;
+  phase 2 runs ``k`` secure-maximum scan rounds of ``n - 1`` interactive
+  ``EncCompare`` invocations each, re-shipping the surviving candidates
+  every round ("[21] needs to send all of the encrypted records for
+  each query execution").  Computation and communication are O(n)
+  per selection round — no early termination, ever.
+
+Both engines reproduce *cost structure and results*, not security: they
+are insecure reference points by design, and their leakage logs say so
+explicitly.  Results match the plaintext oracle (ties broken by record
+id), so the parity and transport-equivalence machinery applies to them
+unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import _EngineBase
+from repro.net.messages import AggregateByRecord, NaiveTopKQuery, RecordShipment
+from repro.protocols.enc_compare import enc_compare
+from repro.structures.items import ScoredItem
+
+
+class NaiveShipEngine(_EngineBase):
+    """``engine="plaintext"``: ship everything, let S2 do the top-k."""
+
+    PROTOCOL = "NaiveTopK"
+
+    def run(self) -> tuple[list[ScoredItem], int]:
+        started = time.perf_counter()
+        ctx = self.ctx
+        scores = [item.score for lst in self.lists for item in lst]
+        records = [item.record for lst in self.lists for item in lst]
+        pairs = ctx.call(
+            NaiveTopKQuery(
+                protocol=self.PROTOCOL, scores=scores, records=records, k=self.k
+            )
+        )
+        items = [
+            ScoredItem(ehl=None, worst=total, best=total, record=record)
+            for record, total in pairs
+        ]
+        self.depth_seconds.append(time.perf_counter() - started)
+        self._notify_depth(self.n, len(items))
+        self._notify_final(items, self.n)
+        return items, self.n
+
+
+class SknnScanEngine(_EngineBase):
+    """``engine="sknn"``: [21]-shaped full scan + k secure-max rounds."""
+
+    PROTOCOL = "SkNNScan"
+
+    def run(self) -> tuple[list[ScoredItem], int]:
+        started = time.perf_counter()
+        ctx = self.ctx
+
+        # Phase 1 — the whole relation crosses the link once; S2 returns
+        # per-object aggregate totals (record ids in clear: the
+        # baseline's declared reveal).
+        scores = [item.score for lst in self.lists for item in lst]
+        records = [item.record for lst in self.lists for item in lst]
+        rids, totals = ctx.call(
+            AggregateByRecord(protocol=self.PROTOCOL, scores=scores, records=records)
+        )
+        by_rid = dict(zip(rids, totals))
+
+        # Phase 2 — k rounds of a SMIN_n-style scan: n-1 interactive
+        # comparisons each, with the surviving candidates re-shipped
+        # every round as [21] does.  Candidates are visited in
+        # descending record id so the ``a <= b`` comparison hands ties
+        # to the smaller id — the plaintext oracle's tie-break.
+        winners: list[ScoredItem] = []
+        excluded: set[int] = set()
+        for _ in range(self.k):
+            ctx.checkpoint()
+            candidates = [rid for rid in rids if rid not in excluded]
+            ctx.call(
+                RecordShipment(
+                    protocol=self.PROTOCOL,
+                    objects=[
+                        ctx.public_key.rerandomize(by_rid[rid], ctx.rng)
+                        for rid in candidates
+                    ],
+                )
+            )
+            best = candidates[-1]
+            for rid in reversed(candidates[:-1]):
+                if enc_compare(
+                    ctx,
+                    by_rid[best],
+                    by_rid[rid],
+                    method=self.compare_method,
+                    protocol=self.PROTOCOL,
+                ):
+                    best = rid
+            excluded.add(best)
+            winners.append(
+                ScoredItem(
+                    ehl=None,
+                    worst=by_rid[best],
+                    best=by_rid[best],
+                    record=ctx.public_key.encrypt(best, ctx.rng),
+                )
+            )
+
+        self.depth_seconds.append(time.perf_counter() - started)
+        self._notify_depth(self.n, len(winners))
+        self._notify_final(winners, self.n)
+        return winners, self.n

@@ -40,11 +40,14 @@ from __future__ import annotations
 
 import time
 
+import importlib
+
 from repro.crypto.damgard_jurik import (
     layered_one_hot_select,
     layered_select,
 )
 from repro.crypto.paillier import Ciphertext, PaillierKeypair
+from repro.events import CandidateFinalized, DepthAdvanced
 from repro.exceptions import QueryError
 from repro.protocols.base import S1Context
 from repro.net.messages import ZeroTestBatch
@@ -181,6 +184,17 @@ class _EngineBase:
             return self.n
         return min(self.n, self.config.max_depth)
 
+    # -- progress streaming ----------------------------------------------
+
+    def _notify_depth(self, depth: int, candidates: int) -> None:
+        """One depth scanned (1-based); pure observation, no protocol."""
+        self.ctx.notify(DepthAdvanced(depth=depth, candidates=candidates))
+
+    def _notify_final(self, winners: list[ScoredItem], depth: int) -> None:
+        """The halting rule fixed the top-k: one event per rank."""
+        for rank in range(len(winners)):
+            self.ctx.notify(CandidateFinalized(rank=rank + 1, depth=depth))
+
 
 class EagerEngine(_EngineBase):
     """Stateful engine: exact NRA bounds for every candidate."""
@@ -190,6 +204,7 @@ class EagerEngine(_EngineBase):
         t_list: list[ScoredItem] = []
         for depth in range(self._max_depth()):
             started = time.perf_counter()
+            self.ctx.checkpoint()
             check = self._is_check_depth(depth)
             # At check depths the bound refresh rides the absorption's
             # recover round (one coalesced flow batch) instead of paying
@@ -201,12 +216,16 @@ class EagerEngine(_EngineBase):
                     t_list = self._sort(t_list)
                     if self._halting_check(t_list, depth):
                         self.depth_seconds.append(time.perf_counter() - started)
+                        self._notify_depth(depth + 1, len(t_list))
+                        self._notify_final(t_list[: self.k], depth + 1)
                         return t_list[: self.k], depth + 1
             self.depth_seconds.append(time.perf_counter() - started)
+            self._notify_depth(depth + 1, len(t_list))
         # Budget exhausted (max_depth cap): best-effort answer.
         self._refresh_bounds(t_list, self._max_depth() - 1)
         t_list = self._dedup(t_list, list(range(len(t_list))))
         t_list = self._sort(t_list)
+        self._notify_final(t_list[: self.k], self._max_depth())
         return t_list[: self.k], self._max_depth()
 
     # -- coalesced per-depth absorption ----------------------------------
@@ -398,6 +417,7 @@ class LiteralEngine(_EngineBase):
         t_list: list[ScoredItem] = []
         for depth in range(self._max_depth()):
             started = time.perf_counter()
+            ctx.checkpoint()
             depth_items = [self.lists[j][depth] for j in range(self.m)]
             # Zero-copy prefix views (the bottom item is prefix[-1]).
             prefixes = [ListPrefix(self.lists[j], depth + 1) for j in range(self.m)]
@@ -446,11 +466,62 @@ class LiteralEngine(_EngineBase):
                 t_list = self._sort(t_list)
                 if self._halting_check(t_list, depth):
                     self.depth_seconds.append(time.perf_counter() - started)
+                    self._notify_depth(depth + 1, len(t_list))
+                    self._notify_final(t_list[: self.k], depth + 1)
                     return t_list[: self.k], depth + 1
             self.depth_seconds.append(time.perf_counter() - started)
+            self._notify_depth(depth + 1, len(t_list))
 
         t_list = self._sort(t_list)
+        self._notify_final(t_list[: self.k], self._max_depth())
         return t_list[: self.k], self._max_depth()
+
+
+# ---------------------------------------------------------------------------
+# Engine registry: every execution strategy the scheme can run, selectable
+# by name through ``QueryConfig(engine=...)``.
+# ---------------------------------------------------------------------------
+
+#: name -> engine class, or a lazy ``"module:attr"`` reference (resolved on
+#: first use, so listing engine names never imports the baseline modules).
+_ENGINE_REGISTRY: dict[str, object] = {}
+
+
+def register_engine(name: str, factory) -> None:
+    """Register an engine under ``name``.
+
+    ``factory`` is either an engine class with the :class:`_EngineBase`
+    constructor signature — ``(ctx, own_keypair, enc_lists, k, config,
+    compare_method, sort_method)``, exposing ``run() -> (items, depth)``
+    and ``depth_seconds`` — or a ``"module:attr"`` string resolved
+    lazily.  Re-registering a name replaces the previous entry.
+    """
+    _ENGINE_REGISTRY[name] = factory
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, sorted (for errors, docs and clients)."""
+    return tuple(sorted(_ENGINE_REGISTRY))
+
+
+def is_registered_engine(name: str) -> bool:
+    """Whether ``name`` is selectable through ``QueryConfig(engine=...)``."""
+    return name in _ENGINE_REGISTRY
+
+
+def resolve_engine(name: str):
+    """The engine class registered under ``name`` (lazy refs resolved)."""
+    try:
+        factory = _ENGINE_REGISTRY[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown engine: {name!r} (registered: {', '.join(engine_names())})"
+        ) from None
+    if isinstance(factory, str):
+        module_name, _, attr = factory.partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        _ENGINE_REGISTRY[name] = factory
+    return factory
 
 
 def build_engine(
@@ -463,5 +534,13 @@ def build_engine(
     sort_method: str,
 ):
     """Instantiate the engine the config asks for."""
-    cls = EagerEngine if config.engine == "eager" else LiteralEngine
+    cls = resolve_engine(config.engine)
     return cls(ctx, own_keypair, enc_lists, k, config, compare_method, sort_method)
+
+
+register_engine("eager", EagerEngine)
+register_engine("literal", LiteralEngine)
+# Cost-model baselines (Section 11): selectable through the same config,
+# implemented in their own module so the secure path never imports them.
+register_engine("plaintext", "repro.core.baseline_engines:NaiveShipEngine")
+register_engine("sknn", "repro.core.baseline_engines:SknnScanEngine")

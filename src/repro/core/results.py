@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError
@@ -53,10 +54,17 @@ class QueryConfig:
     max_depth: int | None = None
 
     def __post_init__(self):
+        # Lazy import: the registry lives with the engines, which import
+        # this module for the config type.
+        from repro.core.engine import engine_names, is_registered_engine
+
         if self.variant not in ("full", "elim", "batch"):
             raise QueryError(f"unknown query variant: {self.variant!r}")
-        if self.engine not in ("eager", "literal"):
-            raise QueryError(f"unknown engine: {self.engine!r}")
+        if not is_registered_engine(self.engine):
+            raise QueryError(
+                f"unknown engine: {self.engine!r} "
+                f"(registered: {', '.join(engine_names())})"
+            )
         if self.halting not in ("strict", "paper"):
             raise QueryError(f"unknown halting rule: {self.halting!r}")
         if self.variant == "batch" and self.batch_p < 1:
@@ -65,6 +73,42 @@ class QueryConfig:
     def check_every(self) -> int:
         """How many depths between check points (dedup + sort + halt)."""
         return self.batch_p if self.variant == "batch" else 1
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """The uniform cost profile of one query, across every execution
+    mode and transport.
+
+    Clients read this block instead of reaching into transports,
+    channels or leakage logs: the same fields are populated whether the
+    query ran in-process, on a thread, against a TCP daemon, or inside
+    an ``execute_many`` worker process.
+    """
+
+    engine: str
+    variant: str
+    halting_depth: int
+    depths_scanned: int
+    rounds: int
+    bytes_s1_to_s2: int
+    bytes_s2_to_s1: int
+    elapsed_seconds: float
+    leakage: tuple = ()
+    """``(observer, protocol, kind, repr(payload))`` tuples, in event
+    order — the query's full declared-leakage profile."""
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_s1_to_s2 + self.bytes_s2_to_s1
+
+    @property
+    def time_per_depth(self) -> float:
+        """Average seconds per scanned depth."""
+        if not self.depths_scanned:
+            return 0.0
+        return self.elapsed_seconds / self.depths_scanned
 
 
 @dataclass
@@ -86,9 +130,9 @@ class QueryResult:
     config: QueryConfig | None = None
 
     leakage_events: list | None = None
-    """Populated by the server's ``execute_many`` paths: the session's
-    leakage log, riding along so callers (and the process-mode parity
-    tests) can audit queries whose sessions live in worker processes."""
+    """This query's slice of the session leakage log (S1 and S2 events
+    at their protocol positions), attached by the scheme on every path —
+    including queries whose sessions live in worker processes."""
 
     @property
     def time_per_depth(self) -> float:
@@ -96,3 +140,27 @@ class QueryResult:
         if not self.depth_seconds:
             return 0.0
         return sum(self.depth_seconds) / len(self.depth_seconds)
+
+    @functools.cached_property
+    def stats(self) -> QueryStats:
+        """The uniform :class:`QueryStats` cost block for this query.
+
+        Computed once on first access (the leakage tuple reprs every
+        event payload) from fields that are final by the time a result
+        reaches the caller.
+        """
+        config = self.config or QueryConfig()
+        return QueryStats(
+            engine=config.engine,
+            variant=config.variant,
+            halting_depth=self.halting_depth,
+            depths_scanned=len(self.depth_seconds),
+            rounds=self.channel_stats.rounds,
+            bytes_s1_to_s2=self.channel_stats.bytes_s1_to_s2,
+            bytes_s2_to_s1=self.channel_stats.bytes_s2_to_s1,
+            elapsed_seconds=sum(self.depth_seconds),
+            leakage=tuple(
+                (e.observer, e.protocol, e.kind, repr(e.payload))
+                for e in (self.leakage_events or ())
+            ),
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import warnings
 
 from repro.crypto.damgard_jurik import DamgardJurik
 from repro.crypto.encoding import SignedEncoder
@@ -30,7 +31,7 @@ from repro.crypto.prf import random_key
 from repro.crypto.prp import Prp
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError, QueryError
-from repro.protocols.base import S1Context, wire_clouds
+from repro.protocols.base import S1Context, _wire_clouds, owned_context
 from repro.core.engine import build_engine
 from repro.core.params import SystemParams
 from repro.core.relation import EncryptedRelation
@@ -220,6 +221,39 @@ class SecTopK:
         rtt_ms: float = 0.0,
         relation: EncryptedRelation | None = None,
     ) -> S1Context:
+        """Deprecated public spelling of the context wiring.
+
+        Prefer :func:`repro.connect` — the :class:`~repro.client.TopKClient`
+        façade owns context lifecycles, job scheduling and progress
+        streaming.  This method remains for existing callers and tests.
+        """
+        warnings.warn(
+            "SecTopK.make_clouds() is a legacy entry point; use "
+            "repro.connect(...) / TopKClient for the supported client surface",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._make_context(
+            transport=transport,
+            label=label,
+            salt=salt,
+            compute=compute,
+            rtt_ms=rtt_ms,
+            relation=relation,
+        )
+
+    def _make_context(
+        self,
+        transport: str = "inprocess",
+        label: str = "",
+        salt: str | None = None,
+        compute=None,
+        rtt_ms: float = 0.0,
+        relation: EncryptedRelation | None = None,
+        on_event=None,
+        control=None,
+        session_label: str | None = None,
+    ) -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud.
 
         ``transport`` selects the backend (``"inprocess"`` or
@@ -247,10 +281,13 @@ class SecTopK:
 
         ``compute`` attaches a :class:`~repro.crypto.parallel.ComputePool`
         to the crypto cloud; ``rtt_ms`` adds simulated link latency.
+        ``on_event`` / ``control`` become the context's progress and
+        job-control hooks (observations only — a context with hooks is
+        transcript-identical to one without).
         """
         if salt is None:
             salt = f"{label}#{next(self._ctx_counter)}"
-        return wire_clouds(
+        return _wire_clouds(
             self.keypair,
             self.dj,
             self.encoder,
@@ -260,6 +297,9 @@ class SecTopK:
             compute=compute,
             rtt_ms=rtt_ms,
             relation_id=relation.relation_id() if relation is not None else None,
+            session_label=session_label if session_label is not None else salt,
+            on_event=on_event,
+            control=control,
         )
 
     def query(
@@ -272,16 +312,15 @@ class SecTopK:
         """Process a top-k query on the encrypted relation.
 
         A caller-provided ``ctx`` stays open (the caller owns its
-        transport); a default one is closed before returning.
+        transport); a default one is closed before returning.  When the
+        query itself fails, a dead transport's secondary close error is
+        suppressed so the original failure surfaces undisturbed.
         """
         config = config or QueryConfig()
-        owns_ctx = ctx is None
-        ctx = ctx or self.make_clouds()
-        try:
+        if ctx is not None:
             return self._query(relation, token, config, ctx)
-        finally:
-            if owns_ctx:
-                ctx.close()
+        with owned_context(self._make_context()) as ctx:
+            return self._query(relation, token, config, ctx)
 
     def _query(
         self,
@@ -290,6 +329,13 @@ class SecTopK:
         config: QueryConfig,
         ctx: S1Context,
     ) -> QueryResult:
+        # This query's slice of the (possibly shared, session-long)
+        # leakage log and channel accounting starts here; S2 events land
+        # in-position during the engine run on every transport, and the
+        # result's channel_stats is the per-query delta so a session's
+        # second query does not report cumulative traffic.
+        events_start = len(ctx.leakage.events)
+        stats_start = ctx.channel.snapshot()
         # L1 leakage: query pattern + (later) halting depth.
         fingerprint = token.fingerprint()
         with self._history_lock:
@@ -327,9 +373,10 @@ class SecTopK:
         return QueryResult(
             items=items,
             halting_depth=halting_depth,
-            channel_stats=ctx.channel.snapshot(),
+            channel_stats=ctx.channel.snapshot().delta(stats_start),
             depth_seconds=engine.depth_seconds,
             config=config,
+            leakage_events=list(ctx.leakage.events[events_start:]),
         )
 
     # ------------------------------------------------------------------

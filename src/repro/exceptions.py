@@ -60,5 +60,18 @@ class QueryError(ReproError):
     """A top-k query was malformed (bad attributes, k out of range, ...)."""
 
 
+class JobError(ReproError):
+    """A submitted query job ended without producing a result."""
+
+
+class JobCancelled(JobError):
+    """The job was cancelled (cooperatively, at a round boundary)."""
+
+
+class JobTimeout(JobError):
+    """The job exceeded its per-job deadline and was abandoned at a
+    round boundary (or while still queued)."""
+
+
 class DataError(ReproError):
     """A relation or dataset violates the shape the scheme requires."""

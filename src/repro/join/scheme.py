@@ -30,7 +30,7 @@ from repro.crypto.prf import random_key
 from repro.crypto.prp import Prp
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError, QueryError
-from repro.protocols.base import S1Context, wire_clouds
+from repro.protocols.base import S1Context, _wire_clouds
 from repro.protocols.enc_sort import enc_sort
 from repro.protocols.sec_filter import JoinedTuple, sec_filter
 from repro.protocols.sec_join import SCORE_OFFSET, sec_join
@@ -167,7 +167,7 @@ class SecTopKJoin:
     def make_clouds(self, transport: str = "inprocess") -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud."""
         salt = f"#{next(self._ctx_counter)}"
-        return wire_clouds(
+        return _wire_clouds(
             self.keypair,
             self.dj,
             self.encoder,

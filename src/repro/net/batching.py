@@ -35,11 +35,26 @@ def single_message_flow(msg):
 
 
 class RoundBatcher:
-    """Drives protocol flows over a transport with channel accounting."""
+    """Drives protocol flows over a transport with channel accounting.
 
-    def __init__(self, channel: Channel, transport: Transport):
+    ``before_round`` / ``after_round`` are the job-control hooks of the
+    client API: the first runs ahead of every flush (cooperative
+    cancellation and per-job deadlines trigger here — *the* round
+    boundary), the second after the replies land (progress streaming).
+    Both are observations only; they never touch the message stream.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        transport: Transport,
+        before_round=None,
+        after_round=None,
+    ):
         self.channel = channel
         self.transport = transport
+        self._before_round = before_round
+        self._after_round = after_round
 
     # -- public API ------------------------------------------------------
 
@@ -90,6 +105,8 @@ class RoundBatcher:
 
     def _flush(self, messages: list) -> list:
         """Ship ``messages`` in one round-trip, with byte/round accounting."""
+        if self._before_round is not None:
+            self._before_round()
         channel = self.channel
         with channel.coalesced_round([msg.protocol for msg in messages]):
             for msg in messages:
@@ -99,4 +116,6 @@ class RoundBatcher:
             for msg, reply in zip(messages, replies):
                 with channel.protocol(msg.protocol):
                     channel.receive(reply)
+        if self._after_round is not None:
+            self._after_round()
         return replies

@@ -148,6 +148,29 @@ class DedupBatch(Message):
 
 
 @dataclass(frozen=True)
+class NaiveTopKQuery(Message):
+    """Full-shipment baseline ("plaintext" engine): every (score, record)
+    ciphertext crosses the link; S2 decrypts, aggregates per object and
+    returns the top-k as fresh ``(Enc(record), Enc(total))`` pairs."""
+
+    scores: list
+    records: list
+    k: int
+
+    _unmeasured = ("k",)
+
+
+@dataclass(frozen=True)
+class AggregateByRecord(Message):
+    """SkNN-scan baseline phase 1: ship all (score, record) ciphertexts;
+    S2 replies with per-object aggregate totals (record ids in clear —
+    the baseline's declared wholesale reveal)."""
+
+    scores: list
+    records: list
+
+
+@dataclass(frozen=True)
 class FilterBatch(Message):
     """Algorithm 12 (``SecFilter``): drop zero-score tuples, re-blind rest."""
 
@@ -172,6 +195,8 @@ MESSAGE_TYPES: list[type] = [
     SortGateBatch,
     DedupBatch,
     FilterBatch,
+    NaiveTopKQuery,
+    AggregateByRecord,
 ]
 
 _TYPE_IDS = {cls: idx for idx, cls in enumerate(MESSAGE_TYPES)}

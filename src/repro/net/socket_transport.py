@@ -14,7 +14,11 @@ Wire format (everything big-endian)::
     frame   := u32 payload_len | u8 type | u32 session_id | payload
     HELLO / HELLO_OK      version banner, once per connection
     REGISTER / REGISTERED relation registration (key/param upload)
-    OPEN / OPENED         open one protocol session (rng hand-off)
+    OPEN / OPENED         open one protocol session; the payload is
+                          ``relation_id NUL label NUL rng-blob`` — the
+                          label names the job/session that opened it,
+                          so daemon-side observability can attribute
+                          sessions to client jobs
     REQUEST / REPLY       one coalesced protocol round
     CLOSE / CLOSED        end one session
     ERROR                 failure report (session_id 0 = connection)
@@ -62,7 +66,8 @@ from repro.net.wire import WireCodec, _Reader
 
 # -- frame protocol --------------------------------------------------------
 
-PROTOCOL_BANNER = b"repro-s2/1"
+#: Bumped to /2 when the OPEN payload grew its session-label segment.
+PROTOCOL_BANNER = b"repro-s2/2"
 
 HELLO = 0x01
 HELLO_OK = 0x02
@@ -325,14 +330,30 @@ class S2Client:
 
     # -- handshake / session lifecycle -----------------------------------
 
-    def open_session(self, relation_id: str, payload_factory, session_blob: bytes) -> int:
+    def open_session(
+        self,
+        relation_id: str,
+        payload_factory,
+        session_blob: bytes,
+        label: str = "",
+    ) -> int:
         """Open a session for a registered relation, registering on demand.
 
         ``payload_factory`` builds the registration blob lazily: it is
         only invoked when the daemon does not yet know ``relation_id``,
         so the steady state ships nothing but the tiny OPEN frame.
+        ``label`` rides the OPEN frame (NUL-free, truncated) so the
+        daemon can attribute the session to the client job that opened
+        it.
         """
-        open_payload = relation_id.encode("utf-8") + b"\x00" + session_blob
+        label_bytes = label.replace("\x00", "").encode("utf-8", "replace")[:128]
+        open_payload = (
+            relation_id.encode("utf-8")
+            + b"\x00"
+            + label_bytes
+            + b"\x00"
+            + session_blob
+        )
         with self._control_lock:
             session_id = next(self._session_ids)
             try:
@@ -470,6 +491,7 @@ def open_remote_session(
     s2_rng,
     leakage,
     relation_id: str | None = None,
+    label: str = "",
 ) -> SocketTransport:
     """Open one protocol session against the S2 daemon at ``address``.
 
@@ -492,5 +514,6 @@ def open_remote_session(
         rid,
         registration_payload,
         pickle.dumps(s2_rng, protocol=pickle.HIGHEST_PROTOCOL),
+        label=label,
     )
     return SocketTransport(client, session_id, leakage)

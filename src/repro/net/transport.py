@@ -43,7 +43,12 @@ class Transport(ABC):
         """Deliver ``messages`` in one round-trip; return their replies."""
 
     def close(self) -> None:
-        """Release transport resources (idempotent)."""
+        """Release transport resources (idempotent).
+
+        Implementations must tolerate a dead peer: closing a link whose
+        other side already vanished reports nothing — the client API's
+        idempotent teardown depends on close never masking the error
+        that killed the link."""
 
 
 class LatencyTransport(Transport):
@@ -70,6 +75,11 @@ class LatencyTransport(Transport):
 
     def close(self) -> None:
         self.inner.close()
+
+    def __getattr__(self, name):
+        # Transparent wrapper: backend-specific surface (``closed``,
+        # ``session_id``, ...) stays reachable through the latency shim.
+        return getattr(self.inner, name)
 
 
 class InProcessTransport(Transport):

@@ -20,6 +20,8 @@ S1 never holds the secret key; tests enforce this by auditing that no
 
 from __future__ import annotations
 
+import contextlib
+import warnings
 from dataclasses import dataclass, field
 
 from repro.crypto.damgard_jurik import DamgardJurik, LayeredCiphertext
@@ -31,11 +33,12 @@ from repro.crypto.paillier import (
     to_signed,
 )
 from repro.crypto.rng import SecureRandom
+from repro.events import RoundTrip
 from repro.net.batching import RoundBatcher
 from repro.net.channel import Channel
 from repro.net.dispatch import S2Dispatcher
 from repro.net.transport import Transport, make_transport
-from repro.exceptions import KeyMismatchError, ProtocolError
+from repro.exceptions import KeyMismatchError, ProtocolError, TransportError
 
 
 @dataclass
@@ -276,6 +279,64 @@ class CryptoCloud:
         """A fresh Paillier encryption (S2 re-encrypting after a bulk op)."""
         return self.public_key.encrypt(value, self.rng)
 
+    # ------------------------------------------------------------------
+    # Baseline engines (engine registry: "plaintext" / "sknn").  These
+    # reproduce the *cost structure* of the paper's comparison points —
+    # full-relation shipment, no oblivious machinery — so S2 legitimately
+    # learns everything it decrypts; the leakage log records that
+    # wholesale reveal explicitly.
+    # ------------------------------------------------------------------
+
+    def _aggregate_records(
+        self, scores: list[Ciphertext], records: list[Ciphertext]
+    ) -> dict[int, int]:
+        """Decrypt all (score, record-id) pairs and sum scores per object."""
+        values = to_signed(self.public_key.n, self._decrypt_values(scores))
+        rids = self._decrypt_values(records)
+        totals: dict[int, int] = {}
+        for rid, value in zip(rids, values):
+            totals[rid] = totals.get(rid, 0) + value
+        return totals
+
+    def naive_topk(
+        self, scores: list[Ciphertext], records: list[Ciphertext], k: int, protocol: str
+    ) -> list[tuple[Ciphertext, Ciphertext]]:
+        """Full-shipment strawman: decrypt everything, return the top-k.
+
+        The reply is ``k`` fresh ``(Enc(record_id), Enc(total))`` pairs,
+        best first (ties by record id, matching the plaintext oracle).
+        """
+        totals = self._aggregate_records(scores, records)
+        ranked = sorted(totals.items(), key=lambda t: (-t[1], t[0]))[:k]
+        self.leakage.record(
+            "S2", protocol, "full_reveal", (len(scores), len(totals))
+        )
+        self.leakage.record(
+            "S2", protocol, "naive_topk_ids", tuple(rid for rid, _ in ranked)
+        )
+        return [
+            (self.fresh_encrypt(rid), self.fresh_encrypt(total % self.public_key.n))
+            for rid, total in ranked
+        ]
+
+    def aggregate_by_record(
+        self, scores: list[Ciphertext], records: list[Ciphertext], protocol: str
+    ) -> tuple[list[int], list[Ciphertext]]:
+        """SkNN-style phase 1: per-object aggregate scores, re-encrypted.
+
+        Returns the (plaintext) record ids in ascending order alongside
+        fresh encryptions of each object's total — the input to the
+        baseline's secure-maximum selection scan.
+        """
+        totals = self._aggregate_records(scores, records)
+        self.leakage.record(
+            "S2", protocol, "full_reveal", (len(scores), len(totals))
+        )
+        rids = sorted(totals)
+        return rids, [
+            self.fresh_encrypt(totals[rid] % self.public_key.n) for rid in rids
+        ]
+
 
 @dataclass
 class S1Context:
@@ -295,9 +356,49 @@ class S1Context:
     transport: Transport
     rng: SecureRandom = field(default_factory=SecureRandom)
     leakage: LeakageLog = field(default_factory=LeakageLog)
+    on_event: object = None
+    """Optional callable receiving :mod:`repro.events` progress events
+    (one :class:`~repro.events.RoundTrip` per coalesced round, plus
+    whatever the engine loop emits).  Pure observation — never consulted
+    by protocol code."""
+    control: object = None
+    """Optional job control (anything with a ``check()`` method raising
+    to abort).  Checked at every round boundary, which is what makes
+    cooperative cancellation and per-job deadlines possible without a
+    single mid-round interruption point."""
 
     def __post_init__(self):
-        self._batcher = RoundBatcher(self.channel, self.transport)
+        self._batcher = RoundBatcher(
+            self.channel,
+            self.transport,
+            before_round=self.checkpoint,
+            after_round=self._emit_round,
+        )
+
+    # -- job control and progress hooks ----------------------------------
+
+    def checkpoint(self) -> None:
+        """Honour a cancellation/deadline request at a safe boundary."""
+        control = self.control
+        if control is not None:
+            control.check()
+
+    def notify(self, event) -> None:
+        """Deliver one progress event to the listener, if any."""
+        on_event = self.on_event
+        if on_event is not None:
+            on_event(event)
+
+    def _emit_round(self) -> None:
+        if self.on_event is not None:
+            stats = self.channel.stats
+            self.on_event(
+                RoundTrip(
+                    rounds=stats.rounds,
+                    bytes_s1_to_s2=stats.bytes_s1_to_s2,
+                    bytes_s2_to_s1=stats.bytes_s2_to_s1,
+                )
+            )
 
     # -- S2 interaction --------------------------------------------------
 
@@ -325,6 +426,26 @@ class S1Context:
         return self.public_key.encrypt(0, self.rng)
 
 
+@contextlib.contextmanager
+def owned_context(ctx: S1Context):
+    """Run a block that owns ``ctx``, then close it.
+
+    The single home of the dead-link teardown rule: when the block
+    *fails*, a secondary transport-close error is suppressed so the
+    original exception surfaces undisturbed; on success the close runs
+    normally (and may raise).  Used by every path that creates a
+    throwaway context (``SecTopK.query``, the server's job runner).
+    """
+    try:
+        yield ctx
+    except BaseException:
+        with contextlib.suppress(TransportError):
+            ctx.close()
+        raise
+    else:
+        ctx.close()
+
+
 def wire_clouds(
     keypair: PaillierKeypair,
     dj: DamgardJurik,
@@ -336,6 +457,47 @@ def wire_clouds(
     compute=None,
     rtt_ms: float = 0.0,
     relation_id: str | None = None,
+) -> S1Context:
+    """Deprecated public spelling of the two-cloud wiring.
+
+    Prefer :func:`repro.connect` (the :class:`~repro.client.TopKClient`
+    façade) — it owns context lifecycles, job scheduling and progress
+    streaming; this low-level constructor remains for existing callers.
+    """
+    warnings.warn(
+        "wire_clouds() is a legacy entry point; use repro.connect(...) / "
+        "TopKClient for the supported client surface",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _wire_clouds(
+        keypair,
+        dj,
+        encoder,
+        transport,
+        s1_rng,
+        s2_rng,
+        leakage=leakage,
+        compute=compute,
+        rtt_ms=rtt_ms,
+        relation_id=relation_id,
+    )
+
+
+def _wire_clouds(
+    keypair: PaillierKeypair,
+    dj: DamgardJurik,
+    encoder: SignedEncoder,
+    transport: str,
+    s1_rng: SecureRandom,
+    s2_rng: SecureRandom,
+    leakage: LeakageLog | None = None,
+    compute=None,
+    rtt_ms: float = 0.0,
+    relation_id: str | None = None,
+    session_label: str = "",
+    on_event=None,
+    control=None,
 ) -> S1Context:
     """Assemble the two-cloud wiring: crypto cloud behind a dispatcher
     behind a ``transport``, and an S1 context in front of it.
@@ -355,6 +517,11 @@ def wire_clouds(
     adds a simulated round-trip latency to the link.  Single point of
     truth for context construction — every scheme's ``make_clouds`` and
     :func:`make_parties` delegate here.
+
+    ``session_label`` rides the remote OPEN frame so the daemon can
+    attribute sessions to the jobs that opened them; ``on_event`` /
+    ``control`` are the context's progress and job-control hooks (see
+    :class:`S1Context`).
     """
     from repro.net.socket_transport import is_socket_address, open_remote_session
     from repro.net.transport import LatencyTransport
@@ -367,7 +534,13 @@ def wire_clouds(
                 "start the daemon with --s2-workers instead"
             )
         link: Transport = open_remote_session(
-            transport, keypair, dj, s2_rng, leakage, relation_id=relation_id
+            transport,
+            keypair,
+            dj,
+            s2_rng,
+            leakage,
+            relation_id=relation_id,
+            label=session_label,
         )
         if rtt_ms > 0:
             link = LatencyTransport(link, rtt_ms)
@@ -382,6 +555,8 @@ def wire_clouds(
         transport=link,
         rng=s1_rng,
         leakage=leakage,
+        on_event=on_event,
+        control=control,
     )
 
 
@@ -400,6 +575,6 @@ def make_parties(
     rng = rng or SecureRandom()
     dj = DamgardJurik(keypair.public_key, s=2)
     encoder = encoder or SignedEncoder(keypair.public_key.n)
-    return wire_clouds(
+    return _wire_clouds(
         keypair, dj, encoder, transport, rng.spawn("s1"), rng.spawn("s2")
     )

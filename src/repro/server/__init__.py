@@ -1,16 +1,19 @@
 """The multi-query server front-end (see ARCHITECTURE.md, layer 3).
 
 :class:`~repro.server.topk_server.TopKServer` holds one encrypted
-relation plus the S2 connection recipe and serves many isolated
-:class:`~repro.server.topk_server.QuerySession`\\ s, sequentially or
-concurrently — against an in-process S2 or a standalone
+relation plus the S2 connection recipe and schedules
+:class:`~repro.server.jobs.QueryJob`\\ s from a bounded queue —
+submitted directly or through the :mod:`repro.client` façade — next to
+long-lived isolated :class:`~repro.server.topk_server.QuerySession`\\ s,
+against an in-process S2 or a standalone
 :class:`~repro.server.s2_service.S2Service` daemon reached by socket
 address (see ARCHITECTURE.md, deployment layer).
 """
 
+from repro.server.jobs import JobStatus, QueryJob
 from repro.server.topk_server import QuerySession, TopKServer
 
-__all__ = ["QuerySession", "S2Service", "TopKServer"]
+__all__ = ["JobStatus", "QueryJob", "QuerySession", "S2Service", "TopKServer"]
 
 
 def __getattr__(name: str):

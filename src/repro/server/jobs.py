@@ -1,0 +1,238 @@
+"""Query jobs: the asynchronous unit of work of the client API.
+
+A :class:`QueryJob` is the future-like handle :meth:`TopKServer.submit
+<repro.server.topk_server.TopKServer.submit>` returns: it resolves to a
+:class:`~repro.core.results.QueryResult` (:meth:`QueryJob.result`),
+supports cooperative cancellation (:meth:`QueryJob.cancel`) and per-job
+deadlines, and streams typed :mod:`repro.events` progress events
+(:meth:`QueryJob.events`) while the query runs.
+
+Cancellation and deadlines are *cooperative*: the job's
+:class:`JobControl` is checked at every communication round boundary
+(see :class:`~repro.net.batching.RoundBatcher`) and at every engine
+depth, so an abort never interrupts a round mid-flight — the transport
+and the S2 side stay consistent, and the server keeps serving
+subsequent jobs.  A job executed on a worker *process*
+(``execute_many(mode="process")``) honours cancellation only while it
+is still queued; its deadline, if any, travels with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import JobCancelled, JobTimeout
+from repro.events import JobFinished, JobQueued, JobStarted, ProgressEvent
+
+
+class JobStatus:
+    """Lifecycle states of a :class:`QueryJob`."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    #: States from which the job will never move again.
+    TERMINAL = frozenset({DONE, CANCELLED, FAILED})
+
+
+class JobControl:
+    """Cancellation flag + absolute deadline, checked at round boundaries.
+
+    The S1 context holds a reference and calls :meth:`check` before
+    every round flush; raising here is what aborts the query at the
+    next safe point.
+    """
+
+    __slots__ = ("_cancelled", "_deadline")
+
+    def __init__(self, timeout: float | None = None):
+        self._cancelled = threading.Event()
+        self._deadline = None if timeout is None else time.monotonic() + timeout
+
+    def cancel(self) -> None:
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def deadline_expired(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    @property
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (``None`` = no deadline)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    def check(self) -> None:
+        """Raise if the job should stop at this boundary."""
+        if self._cancelled.is_set():
+            raise JobCancelled("job cancelled at a round boundary")
+        if self.deadline_expired:
+            raise JobTimeout("job deadline exceeded at a round boundary")
+
+
+class QueryJob:
+    """Future-like handle for one submitted top-k query."""
+
+    def __init__(self, job_id: int, token, config, timeout: float | None = None):
+        self.job_id = job_id
+        self.token = token
+        self.config = config
+        self._control = JobControl(timeout)
+        self._status = JobStatus.PENDING
+        self._result = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+        self._events: list[ProgressEvent] = []
+        self._events_cond = threading.Condition()
+        self._callbacks: list = []
+        # Whether a scheduler worker actually began executing the job
+        # (batch history accounting distinguishes attempted from
+        # never-started jobs).
+        self._attempted = False
+        # Installed by the scheduler: how this job actually executes.
+        self._runner = None
+
+    # -- observation ------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """Current :class:`JobStatus` value."""
+        return self._status
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the :class:`~repro.core.results.QueryResult`.
+
+        ``timeout`` bounds the *wait* only (the job keeps running; a
+        ``TimeoutError`` here is not a job failure).  A cancelled job
+        raises :class:`~repro.exceptions.JobCancelled`, a deadline-hit
+        job :class:`~repro.exceptions.JobTimeout`, and a failed job its
+        original error.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout}s (still "
+                f"{self._status})"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block for the job's error (``None`` when it succeeded)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not finished within {timeout}s")
+        return self._error
+
+    # -- cancellation -----------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation.
+
+        Returns ``False`` when the job already reached a terminal state
+        (too late), ``True`` otherwise — the job will stop at the next
+        round boundary (or before it ever starts, if still queued).
+        """
+        if self._done.is_set():
+            return False
+        self._control.cancel()
+        return True
+
+    # -- event stream -----------------------------------------------------
+
+    def events(self):
+        """Iterate the job's progress events, live.
+
+        Yields every recorded event in order, blocking for new ones
+        while the job runs; the stream ends after the terminal
+        :class:`~repro.events.JobFinished` event.  Multiple independent
+        iterations are allowed (each replays from the start).
+        """
+        index = 0
+        while True:
+            with self._events_cond:
+                while index >= len(self._events) and not self._done.is_set():
+                    self._events_cond.wait()
+                if index >= len(self._events):
+                    return
+                event = self._events[index]
+            index += 1
+            yield event
+
+    # -- scheduler-side hooks ---------------------------------------------
+
+    def _record_event(self, event: ProgressEvent) -> None:
+        with self._events_cond:
+            self._events.append(event)
+            self._events_cond.notify_all()
+
+    def _mark_queued(self) -> None:
+        self._record_event(JobQueued(job_id=self.job_id))
+
+    def _start(self) -> bool:
+        """Transition to RUNNING; ``False`` when the job must not run
+        (cancelled or expired while queued — finished here instead)."""
+        if self._control.cancelled:
+            self._finish_error(
+                JobCancelled("job cancelled before it started"),
+                JobStatus.CANCELLED,
+            )
+            return False
+        if self._control.deadline_expired:
+            self._finish_error(
+                JobTimeout("job deadline expired while queued"), JobStatus.FAILED
+            )
+            return False
+        self._status = JobStatus.RUNNING
+        self._attempted = True
+        self._record_event(JobStarted(job_id=self.job_id))
+        return True
+
+    def _finish_result(self, result) -> None:
+        self._result = result
+        self._finish(JobStatus.DONE)
+
+    def _finish_error(self, error: BaseException, status: str | None = None) -> None:
+        self._error = error
+        if status is None:
+            if isinstance(error, JobCancelled):
+                status = JobStatus.CANCELLED
+            else:
+                status = JobStatus.FAILED
+        self._finish(status)
+
+    def _finish(self, status: str) -> None:
+        if status not in JobStatus.TERMINAL:
+            raise ValueError(f"not a terminal job status: {status!r}")
+        self._status = status
+        with self._events_cond:
+            self._events.append(JobFinished(job_id=self.job_id, status=status))
+            self._done.set()
+            self._events_cond.notify_all()
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _add_done_callback(self, callback) -> None:
+        """Internal: run ``callback(job)`` once terminal (immediately if
+        already done).  Used by the server's windowed batch execution."""
+        run_now = False
+        with self._events_cond:
+            if self._done.is_set():
+                run_now = True
+            else:
+                self._callbacks.append(callback)
+        if run_now:
+            callback(self)

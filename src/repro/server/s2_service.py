@@ -4,7 +4,8 @@ Runs the S2 half of the two-cloud protocol as its own process (or
 host)::
 
     PYTHONPATH=src python -m repro.server.s2_service \\
-        --listen tcp://127.0.0.1:9317 [--s2-workers 4] [--backend auto]
+        --listen tcp://127.0.0.1:9317 [--s2-workers 4] [--backend auto] \\
+        [--state-dir /var/lib/repro-s2]
 
 The daemon owns nothing at start — no keys, no relations.  A client
 (the S1 side: :class:`~repro.server.topk_server.TopKServer` or any
@@ -41,6 +42,13 @@ A dropped client connection tears down all of its sessions; a dispatch
 failure is reported as an ERROR frame (typed
 :class:`~repro.exceptions.RemoteS2Error` on the client) and leaves the
 connection usable.
+
+``--state-dir`` makes registrations *persistent*: each REGISTER payload
+is spilled (atomically) to ``<state_dir>/<relation_id>.reg`` and
+reloaded on restart, so a bounced daemon keeps serving its registered
+relation ids without any client re-upload.  The spill holds the secret
+key material the client provisioned — protect the directory like the
+key itself.
 """
 
 from __future__ import annotations
@@ -81,17 +89,30 @@ from repro.protocols.base import CryptoCloud, LeakageLog
 
 
 class _Session:
-    """One protocol session: crypto cloud + codec + service thread."""
+    """One protocol session: crypto cloud + codec + service thread.
 
-    def __init__(self, connection: "_Connection", session_id: int, cloud: CryptoCloud):
+    ``label`` is the client-supplied session label from the OPEN frame
+    (a job id like ``job-17``, a server session tag, ...): it names the
+    service thread and feeds the daemon's per-job observability.
+    """
+
+    def __init__(
+        self,
+        connection: "_Connection",
+        session_id: int,
+        cloud: CryptoCloud,
+        label: str = "",
+    ):
         self.connection = connection
         self.session_id = session_id
         self.cloud = cloud
+        self.label = label
         self.dispatcher = S2Dispatcher(cloud)
         self.codec = WireCodec()
         self.requests: queue.SimpleQueue = queue.SimpleQueue()
+        suffix = f":{label}" if label else ""
         self.thread = threading.Thread(
-            target=self._serve, name=f"s2-session-{session_id}", daemon=True
+            target=self._serve, name=f"s2-session-{session_id}{suffix}", daemon=True
         )
         self.thread.start()
 
@@ -175,10 +196,12 @@ class _Connection:
 
     def _handle(self, ftype: int, session_id: int, payload: bytes) -> None:
         if ftype == REGISTER:
-            self.service._register(pickle.loads(payload), len(payload))
+            self.service._register(pickle.loads(payload), payload)
             self.send(REGISTERED, session_id)
         elif ftype == OPEN:
-            relation_id, _, blob = payload.partition(b"\x00")
+            relation_id, _, rest = payload.partition(b"\x00")
+            label_bytes, _, blob = rest.partition(b"\x00")
+            label = label_bytes.decode("utf-8", "replace")
             entry = self.service._registration(relation_id.decode("utf-8"))
             if entry is None:
                 self.send_error(session_id, UNKNOWN_RELATION, relation_id.decode())
@@ -194,8 +217,8 @@ class _Connection:
                 leakage=LeakageLog(),
                 compute=self.service.compute,
             )
-            self._sessions[session_id] = _Session(self, session_id, cloud)
-            self.service._session_opened()
+            self._sessions[session_id] = _Session(self, session_id, cloud, label)
+            self.service._session_opened(label)
             self.send(OPENED, session_id)
         elif ftype == REQUEST:
             session = self._sessions.get(session_id)
@@ -234,11 +257,24 @@ class S2Service:
     s2_workers:
         When positive, one shared :class:`ComputePool` of that many
         processes chunks every session's large decrypt batches.
+    state_dir:
+        When set, every relation registration is spilled to
+        ``<state_dir>/<relation_id>.reg`` (the raw REGISTER payload,
+        written atomically) and reloaded on :meth:`start` — a restarted
+        daemon serves its registered relation ids without any client
+        re-upload.  The files hold secret key material: protect the
+        directory like the key itself.
     """
 
-    def __init__(self, listen: str = "tcp://127.0.0.1:0", s2_workers: int = 0):
+    def __init__(
+        self,
+        listen: str = "tcp://127.0.0.1:0",
+        s2_workers: int = 0,
+        state_dir: str | None = None,
+    ):
         self.listen_spec = listen
         self.s2_workers = s2_workers
+        self.state_dir = state_dir
         self.address: str | None = None
         self.compute: ComputePool | None = None
         self._listener: socket.socket | None = None
@@ -250,12 +286,14 @@ class S2Service:
         self._registry: dict[str, tuple] = {}
         self._stats = {
             "registrations": 0,
+            "registrations_restored": 0,
             "registration_uploads": 0,
             "registration_bytes": 0,
             "connections_total": 0,
             "connections_active": 0,
             "sessions_opened": 0,
             "sessions_active": 0,
+            "job_sessions": 0,
             "requests_served": 0,
         }
         self._closed = threading.Event()
@@ -263,7 +301,14 @@ class S2Service:
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> str:
-        """Bind, listen, and start accepting; returns the bound address."""
+        """Bind, listen, and start accepting; returns the bound address.
+
+        With a ``state_dir``, previously spilled registrations are
+        reloaded first, so clients of the restarted daemon open
+        sessions by relation id without re-uploading key material.
+        """
+        if self.state_dir is not None:
+            self._restore_registry()
         family, target = parse_address(self.listen_spec)
         if family == "tcp":
             host, port = target
@@ -349,15 +394,27 @@ class S2Service:
 
     # -- registry and bookkeeping (called by connections) ---------------
 
-    def _register(self, blob: dict, nbytes: int) -> None:
+    def _register(self, blob: dict, payload: bytes | None) -> None:
+        """Install one registration.
+
+        ``payload`` is the raw REGISTER frame body (``None`` when
+        restoring from disk) — persisted verbatim so a restart replays
+        exactly what the client uploaded.
+        """
         relation_id = blob["relation_id"]
         build_pool = False
+        persist = False
         with self._lock:
-            self._stats["registration_uploads"] += 1
-            self._stats["registration_bytes"] += nbytes
+            if payload is not None:
+                self._stats["registration_uploads"] += 1
+                self._stats["registration_bytes"] += len(payload)
             if relation_id not in self._registry:
                 self._registry[relation_id] = (blob["keypair"], blob["dj"])
-                self._stats["registrations"] += 1
+                if payload is None:
+                    self._stats["registrations_restored"] += 1
+                else:
+                    self._stats["registrations"] += 1
+                    persist = self.state_dir is not None
                 # The pool workers hold key material, so the first
                 # registration is the earliest the pool can fork.  The
                 # multi-second fork+warmup happens *outside* the lock —
@@ -367,6 +424,8 @@ class S2Service:
                 if self.s2_workers > 0 and not self._pool_started:
                     self._pool_started = True
                     build_pool = True
+        if persist:
+            self._persist_registration(relation_id, payload)
         if build_pool:
             pool = ComputePool(
                 blob["keypair"], blob["dj"], workers=self.s2_workers
@@ -378,14 +437,64 @@ class S2Service:
             if closed:
                 pool.close()
 
+    def _registration_path(self, relation_id: str) -> str:
+        # Relation ids are hex digests (filesystem-safe by construction);
+        # reject anything else rather than risk a traversal.
+        if not relation_id or not all(c.isalnum() for c in relation_id):
+            raise TransportError(f"unsafe relation id: {relation_id!r}")
+        return os.path.join(self.state_dir, f"{relation_id}.reg")
+
+    def _persist_registration(self, relation_id: str, payload: bytes) -> None:
+        """Atomically spill one registration payload to the state dir.
+
+        The payload holds the provisioned secret key, so the directory
+        is created owner-only (0700) and the spill owner-read/write
+        (0600) regardless of the process umask.
+        """
+        os.makedirs(self.state_dir, mode=0o700, exist_ok=True)
+        path = self._registration_path(relation_id)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    def _restore_registry(self) -> None:
+        """Reload spilled registrations (corrupt files are skipped, not
+        fatal — the client re-registers on demand)."""
+        if not os.path.isdir(self.state_dir):
+            return
+        for name in sorted(os.listdir(self.state_dir)):
+            if not name.endswith(".reg"):
+                continue
+            path = os.path.join(self.state_dir, name)
+            try:
+                with open(path, "rb") as handle:
+                    payload = handle.read()
+                blob = pickle.loads(payload)
+                # A valid spill is a registration dict for this file's
+                # relation id with complete key material; anything else
+                # (truncated write, foreign pickle) is skipped whole.
+                if (
+                    isinstance(blob, dict)
+                    and blob.get("relation_id") == name[: -len(".reg")]
+                    and "keypair" in blob
+                    and "dj" in blob
+                ):
+                    self._register(blob, None)
+            except Exception:  # noqa: BLE001 — a bad spill must not kill boot
+                continue
+
     def _registration(self, relation_id: str) -> tuple | None:
         with self._lock:
             return self._registry.get(relation_id)
 
-    def _session_opened(self) -> None:
+    def _session_opened(self, label: str = "") -> None:
         with self._lock:
             self._stats["sessions_opened"] += 1
             self._stats["sessions_active"] += 1
+            if label.startswith("job-"):
+                self._stats["job_sessions"] += 1
 
     def _session_closed(self) -> None:
         with self._lock:
@@ -487,6 +596,12 @@ def main(argv: list[str] | None = None) -> None:
         help="big-int backend (pure / gmpy2 / auto; default: REPRO_BACKEND)",
     )
     parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="spill relation registrations here and reload them on "
+        "restart (holds secret key material — protect accordingly)",
+    )
+    parser.add_argument(
         "--ready-file",
         default=None,
         help="write the bound address here once listening (CI/scripts)",
@@ -495,7 +610,9 @@ def main(argv: list[str] | None = None) -> None:
 
     if args.backend:
         backend.set_backend(args.backend)
-    service = S2Service(args.listen, s2_workers=args.s2_workers)
+    service = S2Service(
+        args.listen, s2_workers=args.s2_workers, state_dir=args.state_dir
+    )
     address = service.start()
     print(f"repro-s2: listening on {address}", flush=True)
     if args.ready_file:

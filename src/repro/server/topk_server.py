@@ -1,27 +1,39 @@
 """Multi-query server front-end for one encrypted relation.
 
 A :class:`TopKServer` owns one :class:`~repro.core.relation.EncryptedRelation`
-plus the S2 connection recipe, and serves many sequential or concurrent
-:class:`QuerySession`\\ s.  Each session gets its own accounting channel,
-leakage log, randomness streams and transport — so per-query channel
-statistics and leakage records never bleed across queries — while the
-relation, key material and the (deliberately cross-query) query-pattern
-history stay shared.
+plus the S2 connection recipe.  Since the client-API redesign it is a
+*job scheduler*: :meth:`TopKServer.submit` places a
+:class:`~repro.server.jobs.QueryJob` on a bounded queue serviced by a
+small pool of scheduler workers, each job resolving asynchronously with
+per-job deadline and cooperative cancellation at round boundaries.
+:meth:`TopKServer.execute` and :meth:`TopKServer.execute_many` are thin
+compatibility wrappers over the same queue, so within this release
+every execution mode — one-shot, submitted, thread-windowed batch,
+worker-process batch — produces bit-identical transcripts for the same
+request position (request salts are a pure function of the request id;
+one-shot ``execute`` previously drew a session-counter salt, so its
+randomness stream — not its results — differs from pre-scheduler
+releases).
+
+Long-lived interactive callers can still open an isolated
+:class:`QuerySession`; sessions bypass the job queue (they hold their
+own transport) but share the relation, key material and the
+deliberately cross-query query-pattern history.
 
 Two axes of parallelism:
 
-* ``execute_many(..., mode="process")`` fans whole sessions across a
+* ``execute_many(..., mode="process")`` fans whole jobs across a
   persistent worker-process pool, so independent queries use multiple
   cores despite the GIL (thread mode only overlaps link latency).  A
   request's randomness streams are salted by its *request id*, not by
   which worker serves it, so a process-mode batch is replay-identical
   to the same batch run sequentially.
 * ``s2_workers > 0`` attaches a :class:`~repro.crypto.parallel.ComputePool`
-  to every session's crypto cloud, so a *single* query's coalesced
+  to every job's crypto cloud, so a *single* query's coalesced
   per-depth decrypt batches are chunked across processes too.  Pick the
   axis that matches the workload shape (many small queries → process
   mode; few large queries → ``s2_workers``): process-mode worker
-  sessions deliberately run without the S2 pool, so the two never
+  jobs deliberately run without the S2 pool, so the two never
   oversubscribe cores with nested pools.
 
 ``rtt_ms`` adds a simulated per-round link latency (the two clouds live
@@ -31,9 +43,11 @@ makes concurrency wins measurable on few-core machines.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
+import queue
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.relation import EncryptedRelation
@@ -42,9 +56,11 @@ from repro.core.scheme import SecTopK
 from repro.core.token import Token
 from repro.crypto import backend
 from repro.crypto.parallel import ComputePool, make_pool_executor, pool_start_method
+from repro.exceptions import JobCancelled, JobTimeout, TransportError
 from repro.net.channel import ChannelStats
 from repro.net.socket_transport import is_socket_address
-from repro.protocols.base import LeakageLog, S1Context
+from repro.protocols.base import LeakageLog, S1Context, owned_context
+from repro.server.jobs import JobStatus, QueryJob
 
 # The relation store: (scheme, relation) pairs keyed by relation id, with
 # the blob each spawn-started worker needs pickled at most once.  In the
@@ -126,21 +142,29 @@ def _run_salted_query(
     salt: str,
     token: Token,
     config: QueryConfig | None,
+    on_event=None,
+    control=None,
+    session_label: str | None = None,
 ) -> QueryResult:
     """One salted query with leakage attached — the single body behind
     both the in-process path and the worker path, so the two can never
     drift apart (process-mode replay identity depends on them matching).
+
+    ``on_event`` / ``control`` are the job hooks (progress streaming,
+    cooperative cancellation); they are observations only, so a hooked
+    run is transcript-identical to a bare one.  When the query fails, a
+    dead transport's secondary close error is suppressed so the
+    original failure surfaces undisturbed.
     """
-    ctx = scheme.make_clouds(
+    ctx = scheme._make_context(
         transport=transport, salt=salt, compute=compute, rtt_ms=rtt_ms,
-        relation=relation,
+        relation=relation, on_event=on_event, control=control,
+        session_label=session_label,
     )
-    try:
-        result = scheme.query(relation, token, config, ctx=ctx)
-        result.leakage_events = list(ctx.leakage.events)
-        return result
-    finally:
-        ctx.close()
+    with owned_context(ctx):
+        # scheme._query attaches the per-query leakage slice itself; on
+        # this fresh context that slice is the whole session log.
+        return scheme.query(relation, token, config, ctx=ctx)
 
 
 def _run_query(
@@ -200,10 +224,21 @@ class QuerySession:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Release the session's transport (idempotent)."""
-        if not self.closed:
-            self.closed = True
-            self._ctx.close()
+        """Release the session's transport.
+
+        Idempotent, and safe when the daemon connection already died: a
+        dead link's secondary :class:`~repro.exceptions.PeerDisconnected`
+        is swallowed here so it can never mask the error that killed the
+        connection in the first place.  The session is forgotten by the
+        server either way.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            with contextlib.suppress(TransportError):
+                self._ctx.close()
+        finally:
             self._server._forget(self)
 
     def __enter__(self) -> "QuerySession":
@@ -219,21 +254,30 @@ class TopKServer:
     Parameters
     ----------
     transport:
-        Per-session transport backend (``"inprocess"`` or
-        ``"threaded"``) or the address of a standalone S2 daemon
-        (``"tcp://host:port"`` / ``"unix:///path"``).  Remote sessions
-        multiplex over one shared connection per process; the first
-        session registers the relation's key material with the daemon
-        and every later one — including process-mode worker sessions —
-        opens by relation id alone.
+        Per-job transport backend (``"inprocess"`` or ``"threaded"``)
+        or the address of a standalone S2 daemon (``"tcp://host:port"``
+        / ``"unix:///path"``).  Remote sessions multiplex over one
+        shared connection per process; the first one registers the
+        relation's key material with the daemon and every later one —
+        including process-mode worker jobs — opens by relation id alone.
     rtt_ms:
         Simulated link round-trip latency added to every exchange.
     s2_workers:
         When positive, one shared :class:`ComputePool` of that many
-        worker processes serves every session's crypto cloud, chunking
+        worker processes serves every job's crypto cloud, chunking
         large decrypt batches across cores.  Local transports only: a
         remote daemon configures its own pool (``--s2-workers``).
+    max_pending:
+        Bound of the job queue.  A full queue applies backpressure:
+        :meth:`submit` blocks until a scheduler worker frees a slot.
+    scheduler_workers:
+        Cap on concurrently running scheduler threads.  Workers spawn
+        on demand up to this cap and retire when the queue drains;
+        ``execute_many`` raises the effective cap to its requested
+        concurrency for the duration of a batch.
     """
+
+    _IDLE_TTL = 0.5  # seconds a scheduler worker waits before retiring
 
     def __init__(
         self,
@@ -242,20 +286,29 @@ class TopKServer:
         transport: str = "inprocess",
         rtt_ms: float = 0.0,
         s2_workers: int = 0,
+        max_pending: int = 128,
+        scheduler_workers: int = 8,
     ):
         self.scheme = scheme
         self.relation = relation
         self.transport = transport
         self.rtt_ms = rtt_ms
-        # Scheme-wide unique namespace: request salts from different
-        # servers sharing one scheme must never collide (a collision
-        # would replay blinding/permutation streams across queries).
-        self._salt_namespace = scheme.context_namespace()
+        # Validate the cheap parameters before acquiring any resource
+        # (compute pool, relation-store pin) — a half-constructed server
+        # has no reachable close().
         if s2_workers > 0 and is_socket_address(transport):
             raise ValueError(
                 "s2_workers configures a local compute pool; a remote S2 "
                 "daemon owns its own (start it with --s2-workers)"
             )
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if scheduler_workers < 1:
+            raise ValueError("scheduler_workers must be >= 1")
+        # Scheme-wide unique namespace: request salts from different
+        # servers sharing one scheme must never collide (a collision
+        # would replay blinding/permutation streams across queries).
+        self._salt_namespace = scheme.context_namespace()
         self._compute = (
             ComputePool(scheme.keypair, scheme.dj, workers=s2_workers)
             if s2_workers > 0
@@ -273,6 +326,14 @@ class TopKServer:
         self._query_pool_workers = 0
         self._query_pool_active = 0  # in-flight process batches
         self._closed = False
+        # -- job scheduler state --
+        self._job_queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._scheduler_cap = scheduler_workers
+        self._scheduler_lock = threading.Lock()
+        self._scheduler_threads = 0
+        self._scheduler_thread_objs: set[threading.Thread] = set()
+        self._jobs_active = 0
+        self._running_jobs: set[QueryJob] = set()
 
     # -- sessions --------------------------------------------------------
 
@@ -296,7 +357,7 @@ class TopKServer:
                 raise RuntimeError("server is closed")
             session_id = self._session_counter
             self._session_counter += 1
-            ctx = self.scheme.make_clouds(
+            ctx = self.scheme._make_context(
                 transport=self.transport,
                 label=f":session-{session_id}",
                 compute=self._compute,
@@ -315,33 +376,186 @@ class TopKServer:
             except ValueError:
                 pass
 
-    # -- one-shot and bulk execution -------------------------------------
+    # -- job submission (the scheduler's front door) ---------------------
 
-    def execute(self, token: Token, config: QueryConfig | None = None) -> QueryResult:
-        """Run one query in a throwaway session."""
-        with self.session() as session:
-            return session.query(token, config)
+    def submit(
+        self,
+        token: Token,
+        config: QueryConfig | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryJob:
+        """Submit one query as an asynchronous :class:`QueryJob`.
 
-    def _request_salt(self, request_id: int) -> str:
-        # The salt is a pure function of (server namespace, request id),
-        # so the same batch produces the same randomness streams in every
-        # execution mode (sequential, thread pool, process pool) while
-        # distinct servers on one scheme draw disjoint streams.
-        return f":{self._salt_namespace}-request-{request_id}#"
+        The job enters the bounded queue immediately (blocking for a
+        slot when the queue is full) and runs on a scheduler worker;
+        ``timeout`` sets a per-job deadline measured from submission,
+        enforced cooperatively at round boundaries.  The returned
+        handle resolves via ``result()``, cancels via ``cancel()``, and
+        streams progress via ``events()``.
 
-    def _execute_salted(
-        self, token: Token, config: QueryConfig | None, salt: str
-    ) -> QueryResult:
+        A submitted job's transcript (results, rounds, bytes, leakage)
+        is bit-identical to the same query through :meth:`execute` or a
+        sequential :meth:`execute_many` at the same request position —
+        request salts are a pure function of the request id.
+        """
+        job_id = self._reserve_ids(1)[0]
+        job = self._make_job(job_id, token, config, self._run_inline, timeout)
+        self._dispatch(job)
+        return job
+
+    def _make_job(self, job_id, token, config, runner, timeout=None) -> QueryJob:
+        job = QueryJob(job_id, token, config, timeout=timeout)
+        job._runner = runner
+        return job
+
+    def _dispatch(self, job: QueryJob, cap_hint: int = 0) -> None:
+        """Queue a job and make sure a worker exists to serve it.
+
+        The spawn decision is taken *after* the put, under the same lock
+        the worker-retire check holds: a worker that retired before our
+        put is already reflected in ``_scheduler_threads`` when we
+        decide (so we spawn a replacement), and one that checks after
+        our put sees a non-empty queue and stays — a queued job can
+        never be stranded without a worker.
+        """
+        cap = max(self._scheduler_cap, cap_hint)
+        with self._scheduler_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self._jobs_active += 1
+        job._mark_queued()
+        self._job_queue.put(job)
+        spawn = False
+        with self._scheduler_lock:
+            if not self._closed and (
+                self._scheduler_threads < cap
+                and self._scheduler_threads < self._jobs_active
+            ):
+                self._scheduler_threads += 1
+                spawn = True
+        if spawn:
+            thread = threading.Thread(
+                target=self._scheduler_loop,
+                name=f"topk-scheduler-{self._salt_namespace}",
+                daemon=True,
+            )
+            with self._scheduler_lock:
+                self._scheduler_thread_objs.add(thread)
+            thread.start()
+        if self._closed:
+            # close() may have drained the queue before our put landed;
+            # sweep again so no job is ever stranded.
+            self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        """Fail every queued job as cancelled (server shutdown path)."""
+        while True:
+            try:
+                item = self._job_queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None and not item.done():
+                with self._scheduler_lock:
+                    self._jobs_active -= 1
+                item._finish_error(
+                    JobCancelled("server closed before the job started"),
+                    JobStatus.CANCELLED,
+                )
+
+    def _scheduler_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    item = self._job_queue.get(timeout=self._IDLE_TTL)
+                except queue.Empty:
+                    with self._scheduler_lock:
+                        if self._job_queue.empty():
+                            self._scheduler_threads -= 1
+                            return
+                    continue
+                if item is None:  # shutdown sentinel
+                    with self._scheduler_lock:
+                        self._scheduler_threads -= 1
+                    return
+                self._run_job(item)
+        finally:
+            with self._scheduler_lock:
+                self._scheduler_thread_objs.discard(threading.current_thread())
+
+    def _run_job(self, job: QueryJob) -> None:
+        try:
+            if self._closed:
+                # Popped during shutdown (missed by the close-time queue
+                # drain): an explicit shutdown outranks the job.
+                job._control.cancel()
+            if not job._start():
+                return
+            with self._scheduler_lock:
+                self._running_jobs.add(job)
+            if self._closed:
+                # close() set the flag before snapshotting _running_jobs;
+                # if we were added after that snapshot, this re-check —
+                # ordered after the add — guarantees the cancel still
+                # lands (at the next round boundary).
+                job.cancel()
+            try:
+                result = job._runner(job)
+            except BaseException as exc:  # noqa: BLE001 — resolve the job
+                job._finish_error(exc)
+            else:
+                job._finish_result(result)
+        finally:
+            with self._scheduler_lock:
+                self._running_jobs.discard(job)
+                self._jobs_active -= 1
+
+    def _run_inline(self, job: QueryJob) -> QueryResult:
+        """Default runner: the job's query in this scheduler thread."""
         return _run_salted_query(
             self.scheme,
             self.relation,
             self.transport,
             self.rtt_ms,
             self._compute,
-            salt,
-            token,
-            config,
+            self._request_salt(job.job_id),
+            job.token,
+            job.config,
+            on_event=job._record_event,
+            control=job._control,
+            session_label=f"job-{job.job_id}",
         )
+
+    def _make_process_runner(self, executor, salt: str, prior: frozenset):
+        """Runner for one ``execute_many(mode="process")`` job: hand the
+        query to the persistent worker pool and wait.  Cancellation is
+        honoured only while the job is queued (the flag cannot reach the
+        child); a deadline abandons the wait (the worker's result is
+        dropped)."""
+
+        def run(job: QueryJob) -> QueryResult:
+            future = executor.submit(_run_query, salt, job.token, job.config, prior)
+            try:
+                return future.result(timeout=job._control.remaining)
+            except TimeoutError:
+                raise JobTimeout(
+                    "process-mode job deadline exceeded (worker result dropped)"
+                ) from None
+
+        return run
+
+    # -- one-shot and bulk execution -------------------------------------
+
+    def execute(self, token: Token, config: QueryConfig | None = None) -> QueryResult:
+        """Run one query to completion (thin wrapper over :meth:`submit`)."""
+        return self.submit(token, config).result()
+
+    def _request_salt(self, request_id: int) -> str:
+        # The salt is a pure function of (server namespace, request id),
+        # so the same batch produces the same randomness streams in every
+        # execution mode (sequential, thread window, process pool) while
+        # distinct servers on one scheme draw disjoint streams.
+        return f":{self._salt_namespace}-request-{request_id}#"
 
     def execute_many(
         self,
@@ -349,50 +563,72 @@ class TopKServer:
         concurrency: int = 1,
         mode: str = "thread",
     ) -> list[QueryResult]:
-        """Run many queries, ``concurrency`` workers at a time.
+        """Run many queries, ``concurrency`` at a time (wrapper over
+        :meth:`submit`: every request rides the job queue).
 
-        ``mode="thread"`` fans sessions over a thread pool: big-int
-        crypto holds the GIL, so threads overlap link latency only.
-        ``mode="process"`` fans them over a persistent worker-process
-        pool — real multi-core execution.  Results come back in request
-        order either way, each carrying its session's
-        ``leakage_events``; randomness streams are salted per request
-        id, so sequential and process modes produce identical results
-        and leakage (each worker receives the exact query-pattern
-        history a sequential run would see at its request; the parent's
-        history is re-synced after the batch).  Thread mode matches on
-        results too, but for a batch that *repeats* a token the
-        query-pattern bit lands on whichever duplicate the scheduler
+        ``mode="thread"`` windows inline jobs over the scheduler's
+        thread pool: big-int crypto holds the GIL, so threads overlap
+        link latency only.  ``mode="process"`` feeds the jobs to a
+        persistent worker-process pool — real multi-core execution.
+        Results come back in request order either way, each carrying its
+        session's ``leakage_events``; randomness streams are salted per
+        request id, so sequential and process modes produce identical
+        results and leakage (each worker receives the exact
+        query-pattern history a sequential run would see at its request;
+        the parent's history is re-synced after the batch).  Thread mode
+        matches on results too, but for a batch that *repeats* a token
+        the query-pattern bit lands on whichever duplicate the scheduler
         runs first — threads share the live history.
 
-        ``concurrency <= 1`` always runs sequentially in this process
-        (no worker pool, the S2 compute pool still applies) — with one
-        request at a time there is no parallelism for a worker process
-        to add, and the execution is replay-identical by construction.
+        ``concurrency <= 1`` always runs strictly sequentially (one job
+        at a time through the queue; the S2 compute pool still applies)
+        — with one request at a time there is no parallelism for a
+        worker process to add, and the execution is replay-identical by
+        construction.
         """
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown execute_many mode: {mode!r}")
         if not requests:
             return []
-        salts = [self._request_salt(i) for i in self._reserve_ids(len(requests))]
+        ids = list(self._reserve_ids(len(requests)))
         if mode == "process" and concurrency > 1 and len(requests) > 1:
             # Never build a wider pool than there is work to fill it.
             return self._execute_many_process(
-                requests, salts, min(concurrency, len(requests))
+                requests, ids, min(concurrency, len(requests))
             )
         if concurrency <= 1 or mode == "process":
             # Sequential (also where a process batch is too small for a
             # pool — never silently downgrade process mode to threads).
-            return [
-                self._execute_salted(token, config, salt)
-                for (token, config), salt in zip(requests, salts)
-            ]
-        with ThreadPoolExecutor(max_workers=concurrency) as pool:
-            futures = [
-                pool.submit(self._execute_salted, token, config, salt)
-                for (token, config), salt in zip(requests, salts)
-            ]
-            return [future.result() for future in futures]
+            results = []
+            for (token, config), job_id in zip(requests, ids):
+                job = self._make_job(job_id, token, config, self._run_inline)
+                self._dispatch(job)
+                results.append(job.result())
+            return results
+        return self._collect_windowed(requests, ids, concurrency, self._run_inline)
+
+    def _collect_windowed(
+        self, requests, ids, concurrency, runner, jobs_out: list | None = None
+    ) -> list:
+        """Dispatch jobs with at most ``concurrency`` in flight; gather
+        results in request order.  ``runner`` is one callable for the
+        batch or a per-request list.  Every dispatched job is waited on
+        before returning, even when an early job failed — no stragglers
+        outlive the call."""
+        slots = threading.Semaphore(concurrency)
+        jobs: list[QueryJob] = [] if jobs_out is None else jobs_out
+        try:
+            for (token, config), job_id in zip(requests, ids):
+                slots.acquire()
+                job_runner = runner[len(jobs)] if isinstance(runner, list) else runner
+                job = self._make_job(job_id, token, config, job_runner)
+                job._add_done_callback(lambda _job: slots.release())
+                self._dispatch(job, cap_hint=concurrency)
+                jobs.append(job)
+            return [job.result() for job in jobs]
+        finally:
+            for job in jobs:
+                job._done.wait()
 
     def _acquire_query_executor(self, workers: int) -> ProcessPoolExecutor:
         """The persistent query-worker pool, grown to ``workers`` when idle.
@@ -400,10 +636,10 @@ class TopKServer:
         Growth replaces the pool, which is only safe with no in-flight
         batch (a shutdown would cancel another thread's futures); while
         batches are active the existing — possibly smaller — pool is
-        reused, and the per-batch submission semaphore still enforces the
+        reused, and the per-batch window semaphore still enforces the
         caller's concurrency cap either way.  Pool construction (forking
         and warming N workers, pickling the scheme and relation to each)
-        happens *outside* the lock so sessions and other batches never
+        happens *outside* the lock so jobs and other batches never
         block on a multi-second spin-up; a racing builder's spare pool is
         discarded.  Callers must pair with :meth:`_release_query_executor`.
         """
@@ -452,60 +688,62 @@ class TopKServer:
         with self._session_lock:
             self._query_pool_active -= 1
 
-    def _execute_many_process(self, requests, salts, concurrency) -> list[QueryResult]:
+    def _execute_many_process(self, requests, ids, concurrency) -> list[QueryResult]:
         executor = self._acquire_query_executor(concurrency)
+        jobs: list[QueryJob] = []
         try:
             # Sequential repeat semantics, precomputed: request i's history
             # is the server history plus the fingerprints of requests
             # 0..i-1.
             seen = set(self.scheme.query_pattern_snapshot())
-            priors = []
-            for token, _ in requests:
-                priors.append(frozenset(seen))
+            runners = []
+            for (token, _), job_id in zip(requests, ids):
+                runners.append(
+                    self._make_process_runner(
+                        executor, self._request_salt(job_id), frozenset(seen)
+                    )
+                )
                 seen.add(token.fingerprint())
-            # The semaphore caps *this batch's* parallelism at the
-            # requested concurrency even when the shared pool is wider.
-            slots = threading.Semaphore(concurrency)
-            futures = []
             try:
-                for (token, config), salt, prior in zip(requests, salts, priors):
-                    slots.acquire()
-                    future = executor.submit(_run_query, salt, token, config, prior)
-                    future.add_done_callback(lambda _f: slots.release())
-                    futures.append(future)
-                return [future.result() for future in futures]
+                return self._collect_windowed(
+                    requests, ids, concurrency, runners, jobs_out=jobs
+                )
             finally:
                 # Worker history copies are per-task scratch; fold the
                 # batch into the parent's authoritative query-pattern
                 # history even when a request fails — sequential execution
-                # records each fingerprint at query start, and a submitted
-                # task runs to completion in its worker regardless of
-                # siblings.  zip() truncates to what was actually
-                # submitted (a mid-batch submit failure leaves the rest
-                # unsent); cancelled futures (server closed mid-batch)
-                # and broken-pool casualties (worker process died — its
-                # query may never have started) stay out.  wait() settles
-                # stragglers first so exception() never blocks.
-                wait(futures)
-                self.scheme.record_query_patterns(
-                    [
-                        token
-                        for (token, _), future in zip(requests, futures)
-                        if not future.cancelled()
-                        and not isinstance(future.exception(), BrokenProcessPool)
-                    ]
-                )
+                # records each fingerprint at query start, and a handed-off
+                # query runs to completion in its worker regardless of
+                # siblings.  Jobs that never started (server closed while
+                # queued) and broken-pool/cancelled casualties (their
+                # worker query may never have run) stay out.
+                # (_collect_windowed settled every dispatched job.)
+                self._record_batch_patterns(jobs)
         finally:
             self._release_query_executor()
+
+    def _record_batch_patterns(self, jobs: list[QueryJob]) -> None:
+        self.scheme.record_query_patterns(
+            [
+                job.token
+                for job in jobs
+                if job._attempted
+                and not isinstance(job._error, (BrokenProcessPool, CancelledError))
+            ]
+        )
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Close every session and worker pool this server opened.
+        """Close every job, session and worker pool this server opened.
 
-        Closing while a process batch is in flight cancels its pending
-        futures (that batch's ``execute_many`` raises) — an explicit
-        shutdown outranks in-flight work.
+        Idempotent, and safe when the S2 daemon connection already died
+        (dead links are swallowed — they can never mask the error that
+        killed them).  Queued jobs are cancelled; running jobs are asked
+        to stop at their next round boundary and waited for; a process
+        batch in flight has its pending pool futures cancelled (that
+        batch's ``execute_many`` raises) — an explicit shutdown outranks
+        in-flight work.
         """
         with self._session_lock:
             if self._closed:
@@ -516,10 +754,33 @@ class TopKServer:
             pool, self._query_pool = self._query_pool, None
             self._query_pool_workers = 0
             compute, self._compute = self._compute, None
-        for session in sessions:
-            session.close()
+        # Scheduler teardown: cancel queued jobs, stop running ones at
+        # the next round boundary, retire the workers.
+        with self._scheduler_lock:
+            running = list(self._running_jobs)
+            workers = self._scheduler_threads
+            threads = list(self._scheduler_thread_objs)
+        for job in running:
+            job.cancel()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        self._drain_queue()
+        # Shutdown sentinels wake workers parked in get(); best-effort
+        # only — a worker that misses its sentinel (retired meanwhile, or
+        # the bounded queue filled) still exits via the idle-TTL retire
+        # path, since the queue is drained and _closed is set.  Never
+        # block here: with max_pending < workers a blocking put could
+        # wait on consumers that no longer exist.
+        for _ in range(workers):
+            try:
+                self._job_queue.put_nowait(None)
+            except queue.Full:
+                break
+        for thread in threads:
+            thread.join()
+        self._drain_queue()  # anything that slipped in during teardown
+        for session in sessions:
+            session.close()
         if compute is not None:
             compute.close()
         _release_relation(self._relation_key)

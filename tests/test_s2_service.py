@@ -257,6 +257,77 @@ class TestUnixSocket:
         assert not os.path.exists(f"{tmp_path}/s2.sock")
 
 
+class TestPersistentRegistry:
+    """``--state-dir``: registrations survive a daemon restart."""
+
+    def test_restarted_daemon_serves_registered_relations(self, tmp_path):
+        state_dir = str(tmp_path / "registry")
+        scheme, relation, rows = _fresh_deployment()
+
+        first = S2Service("tcp://127.0.0.1:0", state_dir=state_dir)
+        address = first.start()
+        try:
+            with TopKServer(scheme, relation, transport=address) as server:
+                baseline = server.execute(scheme.token([0, 1], k=2))
+            stats = first.stats()
+            assert stats["registrations"] == 1
+            assert stats["registration_uploads"] == 1
+        finally:
+            disconnect_all()
+            first.close()
+        spills = os.listdir(state_dir)
+        assert spills == [f"{relation.relation_id()}.reg"]
+
+        # Restart: a fresh service over the same state dir serves the
+        # relation id without any client re-upload.
+        second = S2Service("tcp://127.0.0.1:0", state_dir=state_dir)
+        address = second.start()
+        try:
+            assert second.stats()["registrations_restored"] == 1
+            with TopKServer(scheme, relation, transport=address) as server:
+                revived = server.execute(scheme.token([0, 1], k=2))
+            assert second.stats()["registration_uploads"] == 0
+            assert scheme.reveal(revived) == scheme.reveal(baseline)
+        finally:
+            disconnect_all()
+            second.close()
+
+    def test_corrupt_spill_is_skipped_not_fatal(self, tmp_path):
+        import pickle
+
+        state_dir = tmp_path / "registry"
+        state_dir.mkdir()
+        (state_dir / "deadbeef.reg").write_bytes(b"not a pickle")
+        # Valid pickles of the wrong shape must be skipped too.
+        (state_dir / "cafe.reg").write_bytes(pickle.dumps([1, 2, 3]))
+        (state_dir / "f00d.reg").write_bytes(
+            pickle.dumps({"relation_id": "f00d"})  # missing key material
+        )
+        service = S2Service("tcp://127.0.0.1:0", state_dir=str(state_dir))
+        address = service.start()
+        try:
+            assert service.stats()["registrations_restored"] == 0
+            scheme, relation, _ = _fresh_deployment()
+            with TopKServer(scheme, relation, transport=address) as server:
+                result = server.execute(scheme.token([0, 1], k=2))
+            assert len(result.items) == 2
+        finally:
+            disconnect_all()
+            service.close()
+
+
+class TestJobSessionsOverTheWire:
+    def test_submitted_jobs_are_attributed_daemon_side(self, daemon):
+        service, address = daemon
+        scheme, relation, _ = _fresh_deployment()
+        import repro
+
+        with repro.connect(scheme, relation, address) as client:
+            job = client.submit(client.token([0, 1], k=2))
+            assert len(job.result(timeout=120).items) == 2
+        assert service.stats()["job_sessions"] >= 1
+
+
 @pytest.mark.skipif(
     not os.environ.get("REPRO_REMOTE_S2"),
     reason="REPRO_REMOTE_S2 not set (CI socket-smoke leg launches the daemon)",
