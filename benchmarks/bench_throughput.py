@@ -23,6 +23,12 @@ client API's overlapped ``submit``/``result`` jobs against sequential
 and thread-windowed ``execute_many`` on a simulated-latency link (the
 regime where overlapping rounds is what throughput is made of).
 
+A fourth series lands in ``benchmarks/results/sharding.json``: the
+**shard sweep** — weighted queries (per-item modexp weighting is the
+shard workers' parallel slice work) across ``TopKServer(shards=N)``,
+recording throughput, the per-shard ``QueryStats`` slice, and an
+explicit transcript-parity check against the unsharded run.
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``)
 or via pytest.
 """
@@ -43,6 +49,7 @@ from repro.crypto.rng import SecureRandom
 from repro.server import TopKServer
 
 CLIENT_RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "client.json"
+SHARD_RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "sharding.json"
 
 N_ROWS = 16
 N_ATTRS = 4
@@ -216,10 +223,96 @@ def run_submit_pipeline(rtt_ms: float = 10.0, out: pathlib.Path | None = None) -
     return report
 
 
+def run_shard_sweep(out: pathlib.Path | None = None) -> dict:
+    """The sharding leg: ``TopKServer(shards=N)`` across shard counts.
+
+    Every leg runs the identical weighted workload on a fresh
+    identically-seeded deployment and the report carries an explicit
+    parity check (reveal/rounds/bytes vs the unsharded leg) alongside
+    throughput and the per-shard stats slice.  On a single-core box with
+    the GIL-bound pure backend the sweep measures the sharding layer's
+    *overhead* honestly; the shard workers' parallel slice weighting
+    pays off with multiple cores or a GIL-releasing big-int backend.
+    Writes ``benchmarks/results/sharding.json``.
+    """
+    queries = 4
+    legs = []
+    signatures = {}
+    for shards in (0, 2, 4):
+        scheme, relation, _ = _deployment()
+        token = scheme.token([0, 1, 2, 3], k=2, weights=[3, 2, 2, 3])
+        config = QueryConfig(variant="elim", engine="eager", halting="paper")
+        with TopKServer(scheme, relation, shards=shards) as server:
+            started = time.perf_counter()
+            results = [server.execute(token, config) for _ in range(queries)]
+            elapsed = time.perf_counter() - started
+        last = results[-1]
+        signatures[shards] = [
+            (
+                scheme.reveal(r),
+                r.stats.rounds,
+                r.stats.total_bytes,
+                r.stats.leakage,
+            )
+            for r in results
+        ]
+        legs.append(
+            {
+                "shards": shards,
+                "queries": queries,
+                "seconds": round(elapsed, 4),
+                "qps": round(queries / elapsed, 3),
+                "rounds": last.stats.rounds,
+                "shard_stats": [
+                    {
+                        "shard": s.shard_id,
+                        "depths": [s.depth_lo, s.depth_hi],
+                        "records_scanned": s.records_scanned,
+                        "depth_reached": s.depth_reached,
+                        "elapsed_seconds": round(s.elapsed_seconds, 6),
+                    }
+                    for s in last.stats.shards
+                ],
+            }
+        )
+    parity = all(signatures[s] == signatures[0] for s in (2, 4))
+    assert parity, "sharded transcripts diverged from the unsharded leg"
+    by_shards = {leg["shards"]: leg["qps"] for leg in legs}
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_rows": N_ROWS,
+            "n_attrs": N_ATTRS,
+            "params": "tiny",
+            "note": "weighted workload; identical transcripts across shard "
+            "counts (parity-checked); single-core boxes measure the "
+            "sharding layer's overhead, not a speedup",
+        },
+        "rows": legs,
+        "transcript_parity": parity,
+        "relative_qps": {
+            "shards2_vs_unsharded": round(by_shards[2] / by_shards[0], 3),
+            "shards4_vs_unsharded": round(by_shards[4] / by_shards[0], 3),
+        },
+    }
+    out = out or SHARD_RESULTS
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(report["relative_qps"], indent=2))
+    return report
+
+
 def test_throughput_series():
     """Pytest entry point: emit both series."""
     run_throughput().emit("throughput.txt")
     run_coalescing().emit("throughput.txt")
+
+
+def test_shard_sweep_series():
+    """Pytest entry point: emit the shard-sweep series."""
+    run_shard_sweep()
 
 
 def test_submit_pipeline_series():
@@ -231,3 +324,4 @@ if __name__ == "__main__":
     run_throughput().emit("throughput.txt")
     run_coalescing().emit("throughput.txt")
     run_submit_pipeline()
+    run_shard_sweep()

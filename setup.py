@@ -30,5 +30,10 @@ setup(
     extras_require={
         # Optional GMP-backed big-int acceleration for the compute layer.
         "accel": ["gmpy2>=2.1"],
+        # Test harness: the property-based sharding-equivalence suite
+        # needs Hypothesis; pytest-cov powers the CI coverage floor.
+        # The plain tier-1 suite still runs with pytest alone (the
+        # property module skips itself when Hypothesis is absent).
+        "test": ["pytest>=7", "hypothesis>=6", "pytest-cov>=4"],
     },
 )

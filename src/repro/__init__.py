@@ -70,6 +70,7 @@ __all__ = [
     "QueryConfig",
     "QueryResult",
     "QueryStats",
+    "ShardStats",
     # metadata
     "__version__",
     # exceptions
@@ -97,6 +98,7 @@ _LAZY = {
     "QueryConfig": ("repro.core.results", "QueryConfig"),
     "QueryResult": ("repro.core.results", "QueryResult"),
     "QueryStats": ("repro.core.results", "QueryStats"),
+    "ShardStats": ("repro.core.results", "ShardStats"),
 }
 
 

@@ -40,6 +40,7 @@ def connect(
     s2_workers: int = 0,
     max_pending: int = 128,
     scheduler_workers: int = 8,
+    shards: int = 0,
 ) -> "TopKClient":
     """Connect a client to a relation at ``address``.
 
@@ -48,6 +49,13 @@ def connect(
     (``"tcp://host:port"`` / ``"unix:///path"``).  The returned
     :class:`TopKClient` owns its server: closing the client (or using
     it as a context manager) tears the whole deployment down.
+
+    ``shards`` sets the server's default S1 shard-worker count:
+    ``shards >= 2`` splits every query's sorted lists into contiguous
+    depth slices scanned by shard workers and merged by the fan-in
+    stage — transcripts (results, rounds, bytes, leakage) stay
+    bit-identical to unsharded runs, and each result's
+    ``stats.shards`` carries the per-shard cost slice.
     """
     server = TopKServer(
         scheme,
@@ -57,6 +65,7 @@ def connect(
         s2_workers=s2_workers,
         max_pending=max_pending,
         scheduler_workers=scheduler_workers,
+        shards=shards,
     )
     return TopKClient(server, owns_server=True)
 

@@ -95,6 +95,16 @@ class _EngineBase:
         self.compare_method = compare_method
         self.sort_method = sort_method
         self.depth_seconds: list[float] = []
+        # Sharded relations (repro.server.sharding) expose a prefetch
+        # hook: announcing each depth boundary lets the shard workers
+        # assemble and fan-in the check window before its rounds are
+        # built.  Plain lists have no hook and cost nothing.
+        self._prefetch_window = getattr(enc_lists, "prefetch", None)
+
+    def _begin_depth(self, depth: int) -> None:
+        """Make ``depth``'s items servable (shard-window fan-in point)."""
+        if self._prefetch_window is not None:
+            self._prefetch_window(depth)
 
     # -- unseen-object bound ---------------------------------------------
 
@@ -205,6 +215,7 @@ class EagerEngine(_EngineBase):
         for depth in range(self._max_depth()):
             started = time.perf_counter()
             self.ctx.checkpoint()
+            self._begin_depth(depth)
             check = self._is_check_depth(depth)
             # At check depths the bound refresh rides the absorption's
             # recover round (one coalesced flow batch) instead of paying
@@ -418,6 +429,7 @@ class LiteralEngine(_EngineBase):
         for depth in range(self._max_depth()):
             started = time.perf_counter()
             ctx.checkpoint()
+            self._begin_depth(depth)
             depth_items = [self.lists[j][depth] for j in range(self.m)]
             # Zero-copy prefix views (the bottom item is prefix[-1]).
             prefixes = [ListPrefix(self.lists[j], depth + 1) for j in range(self.m)]

@@ -43,6 +43,15 @@ class QueryConfig:
     max_depth:
         Optional scan cap (benchmarks use it to bound run time; results
         are then best-effort as in a budgeted NRA run).
+    shards:
+        How many S1 shard workers hold the query lists.  ``None`` means
+        "the server's default" (``TopKServer(shards=N)``); ``0``/``1``
+        is the single-worker scan.  ``N >= 2`` splits every query list
+        into ``N`` contiguous depth slices served by shard workers and
+        merged by the fan-in stage — transcript-invisible: a sharded
+        run is bit-identical (results, rounds, bytes, leakage) to the
+        unsharded one (see :mod:`repro.server.sharding`).  Clamped to
+        the relation size for tiny relations.
     """
 
     variant: str = "elim"
@@ -52,6 +61,7 @@ class QueryConfig:
     compare_method: str | None = None
     sort_method: str | None = None
     max_depth: int | None = None
+    shards: int | None = None
 
     def __post_init__(self):
         # Lazy import: the registry lives with the engines, which import
@@ -69,10 +79,42 @@ class QueryConfig:
             raise QueryError(f"unknown halting rule: {self.halting!r}")
         if self.variant == "batch" and self.batch_p < 1:
             raise QueryError("batch_p must be >= 1")
+        if self.shards is not None and self.shards < 0:
+            raise QueryError("shards must be >= 0")
 
     def check_every(self) -> int:
         """How many depths between check points (dedup + sort + halt)."""
         return self.batch_p if self.variant == "batch" else 1
+
+    def effective_shards(self) -> int:
+        """Shard-worker count this config asks for (0/1 = unsharded)."""
+        return self.shards or 0
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard worker's slice of a sharded query's cost profile."""
+
+    shard_id: int
+    """Shard index, 0-based, in depth order."""
+
+    depth_lo: int
+    """First (0-based) global depth this shard's slice holds."""
+
+    depth_hi: int
+    """One past the last global depth of the slice."""
+
+    records_scanned: int
+    """Encrypted items this shard served to the engine (window
+    granularity: a fetched depth counts all its list entries)."""
+
+    depth_reached: int
+    """Deepest (1-based) global depth the shard served; 0 when the query
+    halted before the scan reached this shard's slice."""
+
+    elapsed_seconds: float
+    """Wall-clock seconds this shard's worker spent preparing and
+    serving its slice (weighting + window assembly)."""
 
 
 @dataclass(frozen=True)
@@ -97,6 +139,10 @@ class QueryStats:
     leakage: tuple = ()
     """``(observer, protocol, kind, repr(payload))`` tuples, in event
     order — the query's full declared-leakage profile."""
+
+    shards: tuple = ()
+    """Per-shard :class:`ShardStats`, in depth order — empty for
+    unsharded runs."""
 
     @property
     def total_bytes(self) -> int:
@@ -134,6 +180,10 @@ class QueryResult:
     at their protocol positions), attached by the scheme on every path —
     including queries whose sessions live in worker processes."""
 
+    shard_stats: list | None = None
+    """Per-shard :class:`ShardStats` of a sharded run (depth order);
+    ``None`` for single-worker scans."""
+
     @property
     def time_per_depth(self) -> float:
         """Average seconds per depth — the paper's main query metric."""
@@ -163,4 +213,5 @@ class QueryResult:
                 (e.observer, e.protocol, e.kind, repr(e.payload))
                 for e in (self.leakage_events or ())
             ),
+            shards=tuple(self.shard_stats or ()),
         )

@@ -39,7 +39,7 @@ from repro.core.results import QueryConfig, QueryResult
 from repro.core.token import Token
 from repro.structures.ehl import EhlFactory
 from repro.structures.ehl_plus import EhlPlusFactory
-from repro.structures.items import EncryptedItem
+from repro.structures.items import EncryptedItem, weight_entries
 
 
 class SecTopK:
@@ -308,6 +308,7 @@ class SecTopK:
         token: Token,
         config: QueryConfig | None = None,
         ctx: S1Context | None = None,
+        shard_executor=None,
     ) -> QueryResult:
         """Process a top-k query on the encrypted relation.
 
@@ -315,12 +316,19 @@ class SecTopK:
         transport); a default one is closed before returning.  When the
         query itself fails, a dead transport's secondary close error is
         suppressed so the original failure surfaces undisturbed.
+
+        ``shard_executor`` (optional) is where a sharded query
+        (``config.shards >= 2``) runs its shard workers' slice
+        preparation and window assembly; without one the shard fan-out
+        runs inline — same transcript, no overlap.  The
+        :class:`~repro.server.topk_server.TopKServer` scheduler passes
+        its shard-worker pool here.
         """
         config = config or QueryConfig()
         if ctx is not None:
-            return self._query(relation, token, config, ctx)
+            return self._query(relation, token, config, ctx, shard_executor)
         with owned_context(self._make_context()) as ctx:
-            return self._query(relation, token, config, ctx)
+            return self._query(relation, token, config, ctx, shard_executor)
 
     def _query(
         self,
@@ -328,6 +336,7 @@ class SecTopK:
         token: Token,
         config: QueryConfig,
         ctx: S1Context,
+        shard_executor=None,
     ) -> QueryResult:
         # This query's slice of the (possibly shared, session-long)
         # leakage log and channel accounting starts here; S2 events land
@@ -343,21 +352,33 @@ class SecTopK:
             self._query_history.add(fingerprint)
         ctx.leakage.record("S1", "SecQuery", "query_pattern", repeated)
 
-        weights = token.effective_weights()
-        enc_lists = []
-        for name, weight in zip(token.permuted_lists, weights):
-            entries = relation.list_for(name)
-            if weight == 1:
-                enc_lists.append(entries)
-            else:
-                enc_lists.append(
-                    [
-                        EncryptedItem(
-                            ehl=e.ehl, score=e.score * weight, record=e.record
-                        )
-                        for e in entries
-                    ]
+        shard_view = None
+        if config.effective_shards() >= 2:
+            # Sharded scan: the query lists live as contiguous depth
+            # slices on shard workers; the engine consumes the fan-in
+            # merged windows.  Value-identical items in scan order keep
+            # the S2-visible transcript bit-identical to the unsharded
+            # path below.  (Function-level import: the sharding layer
+            # lives with the server, which imports this module.)
+            from repro.server.sharding import ShardedQueryLists
+
+            shard_view = ShardedQueryLists(
+                relation,
+                token,
+                config.effective_shards(),
+                window=config.check_every(),
+                executor=shard_executor,
+            )
+            enc_lists = shard_view
+        else:
+            # weight_entries is shared with the shard workers, so the
+            # two paths can never drift apart on the weighting.
+            enc_lists = [
+                weight_entries(relation.list_for(name), weight)
+                for name, weight in zip(
+                    token.permuted_lists, token.effective_weights()
                 )
+            ]
 
         engine = build_engine(
             ctx,
@@ -377,6 +398,7 @@ class SecTopK:
             depth_seconds=engine.depth_seconds,
             config=config,
             leakage_events=list(ctx.leakage.events[events_start:]),
+            shard_stats=shard_view.shard_stats() if shard_view is not None else None,
         )
 
     # ------------------------------------------------------------------

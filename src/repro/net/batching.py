@@ -24,6 +24,7 @@ in", the global counter "how many round-trips crossed the link".
 
 from __future__ import annotations
 
+from repro.exceptions import ProtocolError
 from repro.net.channel import Channel
 from repro.net.transport import Transport
 
@@ -34,6 +35,36 @@ def single_message_flow(msg):
     return reply
 
 
+def fan_in_batches(per_shard_batches: list, lo: int | None = None, hi: int | None = None) -> list:
+    """Fan-in stage of the sharded scan: merge per-shard depth batches.
+
+    Each shard worker contributes a batch of ``(depth, payload)`` pairs
+    for the depths of one check window that fall inside its slice; this
+    stage merges them into a single depth-ordered batch — the stream the
+    engine consumes — *before* the window's rounds are built, so the
+    messages that reach the round batcher are exactly the ones an
+    unsharded scan would send.  Validates that the shards' contributions
+    tile the window: a duplicated or missing depth means the shard plan
+    and the workers disagree, and silently proceeding would desynchronize
+    the transcript from the unsharded run.  Pass the window bounds
+    ``[lo, hi)`` to catch depths missing at the window *edges* too —
+    without them only interior gaps are detectable.
+    """
+    merged = [pair for batch in per_shard_batches for pair in batch]
+    merged.sort(key=lambda pair: pair[0])
+    depths = [depth for depth, _ in merged]
+    if len(set(depths)) != len(depths):
+        raise ProtocolError("shard fan-in: overlapping depth batches")
+    if lo is not None and hi is not None:
+        if depths != list(range(lo, hi)):
+            raise ProtocolError(
+                f"shard fan-in: batches do not tile the window [{lo}, {hi})"
+            )
+    elif depths and depths != list(range(depths[0], depths[0] + len(depths))):
+        raise ProtocolError("shard fan-in: depth batches leave a gap")
+    return merged
+
+
 class RoundBatcher:
     """Drives protocol flows over a transport with channel accounting.
 
@@ -42,6 +73,13 @@ class RoundBatcher:
     cancellation and per-job deadlines trigger here — *the* round
     boundary), the second after the replies land (progress streaming).
     Both are observations only; they never touch the message stream.
+
+    ``before_round`` exceptions are the abort mechanism (job control
+    raises :class:`~repro.exceptions.JobCancelled` / ``JobTimeout``
+    there on purpose), so they propagate.  ``after_round`` only streams
+    progress: an exception out of it — a broken user listener — must
+    never corrupt a query mid-round, so it is swallowed and recorded in
+    :attr:`hook_errors` instead.
     """
 
     def __init__(
@@ -55,6 +93,20 @@ class RoundBatcher:
         self.transport = transport
         self._before_round = before_round
         self._after_round = after_round
+        #: Exceptions raised by observation-only hooks, in occurrence
+        #: order (first :data:`MAX_RECORDED_HOOK_ERRORS` retained — a
+        #: persistently broken hook fails every round, and keeping every
+        #: traceback alive would grow with the scan); the round loop
+        #: keeps going either way.
+        self.hook_errors: list[BaseException] = []
+
+    #: Retention cap for :attr:`hook_errors`.
+    MAX_RECORDED_HOOK_ERRORS = 32
+
+    def record_hook_error(self, exc: BaseException) -> None:
+        """Keep a swallowed observation-hook exception (bounded)."""
+        if len(self.hook_errors) < self.MAX_RECORDED_HOOK_ERRORS:
+            self.hook_errors.append(exc)
 
     # -- public API ------------------------------------------------------
 
@@ -117,5 +169,8 @@ class RoundBatcher:
                 with channel.protocol(msg.protocol):
                     channel.receive(reply)
         if self._after_round is not None:
-            self._after_round()
+            try:
+                self._after_round()
+            except Exception as exc:  # observation hook: never abort the round loop
+                self.record_hook_error(exc)
         return replies

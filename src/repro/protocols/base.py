@@ -374,6 +374,11 @@ class S1Context:
             before_round=self.checkpoint,
             after_round=self._emit_round,
         )
+        # One shared record of broken observation hooks: the batcher
+        # guards its after-round hook, notify() guards the engine-loop
+        # events — either way the query keeps running and the error is
+        # kept for inspection instead of corrupting the round loop.
+        self.hook_errors = self._batcher.hook_errors
 
     # -- job control and progress hooks ----------------------------------
 
@@ -384,10 +389,19 @@ class S1Context:
             control.check()
 
     def notify(self, event) -> None:
-        """Deliver one progress event to the listener, if any."""
+        """Deliver one progress event to the listener, if any.
+
+        Listener exceptions are swallowed and recorded in
+        :attr:`hook_errors` — progress delivery is observation only, so
+        a broken listener must never abort the protocol run it watches.
+        """
         on_event = self.on_event
-        if on_event is not None:
+        if on_event is None:
+            return
+        try:
             on_event(event)
+        except Exception as exc:
+            self._batcher.record_hook_error(exc)
 
     def _emit_round(self) -> None:
         if self.on_event is not None:

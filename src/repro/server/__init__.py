@@ -8,12 +8,25 @@ long-lived isolated :class:`~repro.server.topk_server.QuerySession`\\ s,
 against an in-process S2 or a standalone
 :class:`~repro.server.s2_service.S2Service` daemon reached by socket
 address (see ARCHITECTURE.md, deployment layer).
+
+:mod:`repro.server.sharding` splits a relation's sorted lists into
+contiguous depth slices scanned by shard workers behind
+``TopKServer(shards=N)`` — transcript-identical to the single-worker
+scan (see ARCHITECTURE.md, sharding).
 """
 
 from repro.server.jobs import JobStatus, QueryJob
+from repro.server.sharding import ShardPlan
 from repro.server.topk_server import QuerySession, TopKServer
 
-__all__ = ["JobStatus", "QueryJob", "QuerySession", "S2Service", "TopKServer"]
+__all__ = [
+    "JobStatus",
+    "QueryJob",
+    "QuerySession",
+    "S2Service",
+    "ShardPlan",
+    "TopKServer",
+]
 
 
 def __getattr__(name: str):

@@ -25,6 +25,11 @@ import time
 from repro.exceptions import JobCancelled, JobTimeout
 from repro.events import JobFinished, JobQueued, JobStarted, ProgressEvent
 
+#: How many swallowed listener exceptions a job retains (the first N; a
+#: persistently broken listener fails once per event, and keeping every
+#: traceback alive would grow memory with the length of the scan).
+MAX_RECORDED_LISTENER_ERRORS = 32
+
 
 class JobStatus:
     """Lifecycle states of a :class:`QueryJob`."""
@@ -94,6 +99,8 @@ class QueryJob:
         self._events: list[ProgressEvent] = []
         self._events_cond = threading.Condition()
         self._callbacks: list = []
+        self._listeners: list = []
+        self._listener_errors: list[BaseException] = []
         # Whether a scheduler worker actually began executing the job
         # (batch history accounting distinguishes attempted from
         # never-started jobs).
@@ -171,12 +178,46 @@ class QueryJob:
             index += 1
             yield event
 
+    def add_listener(self, callback) -> None:
+        """Register a push listener: ``callback(event)`` runs for every
+        subsequent progress event, on the thread that produced it (the
+        scheduler worker, inside the round loop).
+
+        Listener exceptions are swallowed and recorded in
+        :attr:`listener_errors` (the first
+        :data:`MAX_RECORDED_LISTENER_ERRORS`) — a broken listener can
+        observe a query, never corrupt it.  Prefer :meth:`events` for
+        consumption at your own pace; listeners are for low-latency
+        taps (metrics, logs).
+        """
+        with self._events_cond:
+            self._listeners.append(callback)
+
+    @property
+    def listener_errors(self) -> list[BaseException]:
+        """Exceptions raised by push listeners, in occurrence order."""
+        with self._events_cond:
+            return list(self._listener_errors)
+
     # -- scheduler-side hooks ---------------------------------------------
 
     def _record_event(self, event: ProgressEvent) -> None:
         with self._events_cond:
             self._events.append(event)
             self._events_cond.notify_all()
+            listeners = list(self._listeners)
+        self._deliver(listeners, event)
+
+    def _deliver(self, listeners: list, event: ProgressEvent) -> None:
+        """Push one event to listeners; swallow-and-record failures (the
+        caller may be the round loop, which must never see them)."""
+        for callback in listeners:
+            try:
+                callback(event)
+            except Exception as exc:
+                with self._events_cond:
+                    if len(self._listener_errors) < MAX_RECORDED_LISTENER_ERRORS:
+                        self._listener_errors.append(exc)
 
     def _mark_queued(self) -> None:
         self._record_event(JobQueued(job_id=self.job_id))
@@ -217,10 +258,13 @@ class QueryJob:
         if status not in JobStatus.TERMINAL:
             raise ValueError(f"not a terminal job status: {status!r}")
         self._status = status
+        event = JobFinished(job_id=self.job_id, status=status)
         with self._events_cond:
-            self._events.append(JobFinished(job_id=self.job_id, status=status))
+            self._events.append(event)
             self._done.set()
             self._events_cond.notify_all()
+            listeners = list(self._listeners)
+        self._deliver(listeners, event)
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)

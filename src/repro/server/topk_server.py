@@ -47,8 +47,9 @@ import contextlib
 import pickle
 import queue
 import threading
-from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 
 from repro.core.relation import EncryptedRelation
 from repro.core.results import QueryConfig, QueryResult
@@ -145,6 +146,7 @@ def _run_salted_query(
     on_event=None,
     control=None,
     session_label: str | None = None,
+    shard_executor=None,
 ) -> QueryResult:
     """One salted query with leakage attached — the single body behind
     both the in-process path and the worker path, so the two can never
@@ -164,7 +166,9 @@ def _run_salted_query(
     with owned_context(ctx):
         # scheme._query attaches the per-query leakage slice itself; on
         # this fresh context that slice is the whole session log.
-        return scheme.query(relation, token, config, ctx=ctx)
+        return scheme.query(
+            relation, token, config, ctx=ctx, shard_executor=shard_executor
+        )
 
 
 def _run_query(
@@ -205,8 +209,13 @@ class QuerySession:
         """Run one secure top-k query inside this session."""
         if self.closed:
             raise RuntimeError("session is closed")
+        config = self._server._effective_config(config)
         return self._server.scheme.query(
-            self._server.relation, token, config, ctx=self._ctx
+            self._server.relation,
+            token,
+            config,
+            ctx=self._ctx,
+            shard_executor=self._server._shard_executor(config),
         )
 
     # -- per-session observability ---------------------------------------
@@ -275,6 +284,15 @@ class TopKServer:
         on demand up to this cap and retire when the queue drains;
         ``execute_many`` raises the effective cap to its requested
         concurrency for the duration of a batch.
+    shards:
+        Default S1 shard-worker count for every query this server runs
+        (``QueryConfig(shards=...)`` overrides per query; ``0`` keeps
+        the single-worker scan).  With ``shards >= 2`` each query's
+        sorted lists are split into contiguous depth slices served by
+        shard workers whose slice preparation and window assembly the
+        scheduler places on its shard-worker pool; the fan-in merge
+        keeps the S2-visible transcript bit-identical to unsharded
+        execution (see :mod:`repro.server.sharding`).
     """
 
     _IDLE_TTL = 0.5  # seconds a scheduler worker waits before retiring
@@ -288,6 +306,7 @@ class TopKServer:
         s2_workers: int = 0,
         max_pending: int = 128,
         scheduler_workers: int = 8,
+        shards: int = 0,
     ):
         self.scheme = scheme
         self.relation = relation
@@ -305,6 +324,14 @@ class TopKServer:
             raise ValueError("max_pending must be >= 1")
         if scheduler_workers < 1:
             raise ValueError("scheduler_workers must be >= 1")
+        if shards < 0:
+            raise ValueError("shards must be >= 0")
+        self.shards = shards
+        # Shard-worker thread pool, created on the first sharded job and
+        # shared by every job/session of this server (the scheduler's
+        # placement target for shard slice preparation and window
+        # assembly).
+        self._shard_pool = None
         # Scheme-wide unique namespace: request salts from different
         # servers sharing one scheme must never collide (a collision
         # would replay blinding/permutation streams across queries).
@@ -376,6 +403,50 @@ class TopKServer:
             except ValueError:
                 pass
 
+    # -- sharding --------------------------------------------------------
+
+    def _effective_config(self, config: QueryConfig | None) -> QueryConfig | None:
+        """Fill the server's default shard count into an unset config.
+
+        ``QueryConfig(shards=...)`` always wins; a config that leaves
+        ``shards`` at ``None`` inherits ``TopKServer(shards=N)``.  The
+        resolution happens once, at job creation, so every execution
+        path — inline, windowed, worker process — sees the same
+        effective config.
+        """
+        if self.shards and (config is None or config.shards is None):
+            return replace(config or QueryConfig(), shards=self.shards)
+        return config
+
+    #: Thread cap of the lazily-created shard-worker pool.  Sized from
+    #: the cap alone — not from whichever sharded job arrives first —
+    #: so a later, wider job is never silently squeezed; idle
+    #: ThreadPoolExecutor threads are spawned on demand, so an
+    #: over-provisioned cap costs nothing.
+    _SHARD_POOL_MAX = 8
+
+    def _shard_executor(self, config: QueryConfig | None):
+        """The shard-worker pool for a sharded job (``None`` otherwise).
+
+        Created lazily on the first sharded job and shared server-wide
+        afterwards — shard tasks are short and window-granular, so one
+        modest pool serves concurrent jobs without oversubscribing.
+        """
+        if config is None or config.effective_shards() < 2:
+            return None
+        with self._session_lock:
+            if self._closed:
+                # A job caught mid-shutdown falls back to inline shard
+                # fan-out (same transcript); its cooperative cancel then
+                # lands at the first round boundary.
+                return None
+            if self._shard_pool is None:
+                self._shard_pool = ThreadPoolExecutor(
+                    max_workers=self._SHARD_POOL_MAX,
+                    thread_name_prefix=f"topk-shard-{self._salt_namespace}",
+                )
+            return self._shard_pool
+
     # -- job submission (the scheduler's front door) ---------------------
 
     def submit(
@@ -400,7 +471,9 @@ class TopKServer:
         request salts are a pure function of the request id.
         """
         job_id = self._reserve_ids(1)[0]
-        job = self._make_job(job_id, token, config, self._run_inline, timeout)
+        job = self._make_job(
+            job_id, token, self._effective_config(config), self._run_inline, timeout
+        )
         self._dispatch(job)
         return job
 
@@ -511,7 +584,8 @@ class TopKServer:
                 self._jobs_active -= 1
 
     def _run_inline(self, job: QueryJob) -> QueryResult:
-        """Default runner: the job's query in this scheduler thread."""
+        """Default runner: the job's query in this scheduler thread
+        (shard work, if any, placed on the server's shard-worker pool)."""
         return _run_salted_query(
             self.scheme,
             self.relation,
@@ -524,6 +598,7 @@ class TopKServer:
             on_event=job._record_event,
             control=job._control,
             session_label=f"job-{job.job_id}",
+            shard_executor=self._shard_executor(job.config),
         )
 
     def _make_process_runner(self, executor, salt: str, prior: frozenset):
@@ -590,6 +665,12 @@ class TopKServer:
             raise ValueError(f"unknown execute_many mode: {mode!r}")
         if not requests:
             return []
+        # Resolve the server's default shard count once, up front: the
+        # jobs (and the pickled configs process-mode workers receive)
+        # then all carry the same effective config.
+        requests = [
+            (token, self._effective_config(config)) for token, config in requests
+        ]
         ids = list(self._reserve_ids(len(requests)))
         if mode == "process" and concurrency > 1 and len(requests) > 1:
             # Never build a wider pool than there is work to fill it.
@@ -754,6 +835,7 @@ class TopKServer:
             pool, self._query_pool = self._query_pool, None
             self._query_pool_workers = 0
             compute, self._compute = self._compute, None
+            shard_pool, self._shard_pool = self._shard_pool, None
         # Scheduler teardown: cancel queued jobs, stop running ones at
         # the next round boundary, retire the workers.
         with self._scheduler_lock:
@@ -783,6 +865,10 @@ class TopKServer:
             session.close()
         if compute is not None:
             compute.close()
+        if shard_pool is not None:
+            # Running jobs were already stopped/waited above, so no
+            # shard task can still be queued behind this shutdown.
+            shard_pool.shutdown(wait=True)
         _release_relation(self._relation_key)
 
     def __enter__(self) -> "TopKServer":

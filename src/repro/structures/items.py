@@ -43,6 +43,23 @@ class EncryptedItem:
         return size
 
 
+def weight_entries(entries: list["EncryptedItem"], weight: int) -> list["EncryptedItem"]:
+    """Apply a query weight to a sorted list's entries.
+
+    The single home of the weighting construction: the unsharded query
+    path and the shard workers both call it, and the sharded-vs-unsharded
+    bit-parity invariant depends on the two producing identical
+    ciphertexts (scalar multiplication is deterministic, and ``weight ==
+    1`` keeps the original objects on both paths).
+    """
+    if weight == 1:
+        return entries
+    return [
+        EncryptedItem(ehl=e.ehl, score=e.score * weight, record=e.record)
+        for e in entries
+    ]
+
+
 @dataclass
 class JoinedTuple:
     """One combined join tuple ``E(o) = (Enc(s), [Enc(x_1) ... Enc(x_m)])``.

@@ -18,6 +18,7 @@ Covers the PR-4 acceptance criteria:
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -358,6 +359,134 @@ class TestQueryStats:
             session.channel_stats.total_bytes
             == first.stats.total_bytes + second.stats.total_bytes
         )
+
+
+class TestSchedulerRaces:
+    """The untested edge windows: cancel vs completion, close vs queued
+    submit, and a deadline landing exactly on a round boundary."""
+
+    def test_cancel_racing_completion_never_corrupts_state(self):
+        scheme, relation, _ = _fresh_deployment()
+        with repro.connect(scheme, relation, rtt_ms=1.0) as client:
+            # A cancel that definitively lost the race is a clean no-op.
+            done_job = client.submit(client.token([0, 1], k=2))
+            events = list(done_job.events())  # drains to JobFinished
+            assert isinstance(events[-1], JobFinished)
+            assert done_job.cancel() is False
+            assert done_job.status == JobStatus.DONE
+            assert len(done_job.result(timeout=1).items) == 2
+
+            # Cancels fired at staggered offsets race the job's own
+            # completion; whatever side wins, the job must settle in a
+            # coherent terminal state (DONE with a result, or CANCELLED
+            # raising JobCancelled) and the server must keep serving.
+            for attempt in range(4):
+                job = client.submit(client.token([0, 1, 2], k=2))
+                canceller = threading.Timer(0.05 * attempt, job.cancel)
+                canceller.start()
+                try:
+                    result = job.result(timeout=120)
+                except JobCancelled:
+                    assert job.status == JobStatus.CANCELLED
+                else:
+                    assert job.status == JobStatus.DONE
+                    assert len(result.items) == 2
+                finally:
+                    canceller.cancel()
+                assert job.done()
+            follow_up = client.query(client.token([0, 1], k=2))
+            assert len(follow_up.items) == 2
+
+    def test_close_racing_queued_submits(self):
+        scheme, relation, _ = _fresh_deployment()
+        client = repro.connect(scheme, relation, rtt_ms=10.0, scheduler_workers=1)
+        jobs: list = []
+        rejected = threading.Event()
+
+        def submitter():
+            try:
+                for _ in range(32):
+                    jobs.append(client.submit(client.token([0, 1], k=2)))
+            except RuntimeError:
+                rejected.set()  # close won the race mid-stream
+
+        feeder = threading.Thread(target=submitter)
+        feeder.start()
+        while not jobs and feeder.is_alive():
+            time.sleep(0.001)
+        client.close()
+        feeder.join(timeout=120)
+        assert not feeder.is_alive()
+        # Every job that made it through submit() must settle: finished
+        # normally or cancelled by the shutdown — never stranded.
+        for job in jobs:
+            assert job._done.wait(timeout=120), "job stranded by close()"
+            assert job.status in (JobStatus.DONE, JobStatus.CANCELLED)
+        # And the post-close surface is consistently closed.
+        with pytest.raises(RuntimeError):
+            client.submit(client.token([0], k=1))
+
+    def test_deadline_expiry_on_a_round_boundary(self):
+        scheme, relation, rows = _fresh_deployment()
+        with repro.connect(scheme, relation, rtt_ms=20.0) as client:
+            job = client.submit(client.token([0, 1, 2], k=2), timeout=3600.0)
+            for event in job.events():
+                if isinstance(event, RoundTrip):
+                    # Land the deadline exactly on the boundary the next
+                    # before-round check observes (the event fires from
+                    # the after-round hook of the previous boundary).
+                    job._control._deadline = time.monotonic()
+                    break
+            with pytest.raises(JobTimeout):
+                job.result(timeout=120)
+            assert job.status == JobStatus.FAILED
+            finished = [e for e in job.events() if isinstance(e, JobFinished)]
+            assert finished and finished[0].status == JobStatus.FAILED
+            # The boundary abort left the server fully serviceable.
+            after = client.query(client.token([0, 1], k=2))
+            winners = {o for o, _ in client.reveal(after)}
+            assert winners == {o for o, _ in _oracle_topk(rows, [0, 1], 2)}
+
+
+class TestListenerRobustness:
+    """A broken ``events`` listener must observe, never corrupt."""
+
+    def test_raising_listener_swallowed_and_recorded(self):
+        scheme_a, relation_a, _ = _fresh_deployment()
+        with repro.connect(scheme_a, relation_a) as client:
+            clean = client.submit(client.token([0, 1], k=2)).result()
+
+        scheme_b, relation_b, _ = _fresh_deployment()
+        with repro.connect(scheme_b, relation_b) as client:
+            job = client.submit(client.token([0, 1], k=2))
+            job.add_listener(self._explode)
+            watched = job.result(timeout=120)
+        assert job.status == JobStatus.DONE
+        assert job.listener_errors, "listener exceptions were not recorded"
+        assert all(isinstance(e, RuntimeError) for e in job.listener_errors)
+        # Bit-parity with the listener-free run: the round loop never
+        # saw the exceptions.
+        assert scheme_a.reveal(clean) == scheme_b.reveal(watched)
+        assert clean.channel_stats.rounds == watched.channel_stats.rounds
+        assert clean.channel_stats.total_bytes == watched.channel_stats.total_bytes
+        assert _leakage_tuples(clean) == _leakage_tuples(watched)
+
+    def test_context_on_event_hook_guarded(self):
+        """The low-level hook path: a raising ``on_event`` on the S1
+        context is swallowed into ``ctx.hook_errors`` mid-round."""
+        scheme, relation, _ = _fresh_deployment()
+        ctx = scheme._make_context(on_event=self._explode)
+        try:
+            result = scheme.query(relation, scheme.token([0, 1], k=2), ctx=ctx)
+        finally:
+            ctx.close()
+        assert len(result.items) == 2
+        assert ctx.hook_errors
+        assert all(isinstance(e, RuntimeError) for e in ctx.hook_errors)
+
+    @staticmethod
+    def _explode(event):
+        raise RuntimeError(f"broken listener saw {type(event).__name__}")
 
 
 class TestCuratedSurface:

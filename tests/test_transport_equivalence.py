@@ -66,6 +66,17 @@ CONFIGS = [
         ),
         id="dgk-network",
     ),
+    # Shard-enabled legs: the sharded scan must be a faithful carrier
+    # across transports exactly like the unsharded one (its bit-parity
+    # *with* the unsharded scan is pinned property-style in
+    # tests/test_sharding.py).
+    pytest.param(
+        QueryConfig(variant="elim", engine="eager", shards=2), id="eager-sharded"
+    ),
+    pytest.param(
+        QueryConfig(variant="elim", engine="literal", shards=3),
+        id="literal-sharded",
+    ),
 ]
 
 
@@ -154,6 +165,10 @@ class TestSocketMatchesInProcess:
     ENGINE_CONFIGS = [
         pytest.param(QueryConfig(variant="elim", engine="eager"), id="eager"),
         pytest.param(QueryConfig(variant="elim", engine="literal"), id="literal"),
+        pytest.param(
+            QueryConfig(variant="elim", engine="eager", shards=2),
+            id="eager-sharded",
+        ),
     ]
 
     @pytest.mark.parametrize("config", ENGINE_CONFIGS)
