@@ -1,14 +1,24 @@
 """Compute-layer benchmark: backends × execution modes, machine-readable.
 
-Measures the two levers the compute layer adds and emits
+Measures the levers the compute layer adds and emits
 ``benchmarks/results/parallel.json``:
 
 * **Per-op microbench** — latency of the hot modular operations
   (raw ``powmod`` over ``Z_{N^2}``, Paillier encrypt, batched Paillier
   CRT decrypt, batched DJ layer strip) under every available backend
-  (``pure`` always; ``gmpy2`` when installed).  This is the paper's
-  Section 11 cost model: query latency is a multiple of exactly these
-  operations.
+  (``pure`` always; ``gmpy2`` and the compiled ``gmp-kernel`` when
+  present).  This is the paper's Section 11 cost model: query latency
+  is a multiple of exactly these operations.
+
+* **Compute-pool grid** — one large S2-style decrypt batch through a
+  :class:`~repro.crypto.parallel.ComputePool` for every backend ×
+  pool-mode (inline / kernel threads / worker processes) × process
+  transport (shared-memory slab / pickle) available here.
+
+* **IPC leg** — transport cost alone: shipping a batch of ``Z_{N^2}``
+  residues to a worker and back as pickled int lists vs. fixed-width
+  slab words (2× serialize + 2× deserialize each way, no crypto), the
+  per-round overhead process pools pay before any decryption happens.
 
 * **Server throughput** — ``TopKServer.execute_many`` queries/sec for
   sequential, thread-pool and process-pool execution, on a zero-latency
@@ -17,9 +27,9 @@ Measures the two levers the compute layer adds and emits
   concurrency of either kind overlaps the round-trips — the paper's
   two-cloud deployment has the clouds at different providers).
 
-The JSON records the environment (core count, gmpy2 availability) next
-to every figure, so a reader can tell a GIL-bound single-core run from
-a real fan-out.  Run directly::
+The JSON records the environment (core count, gmpy2/kernel
+availability) next to every figure, so a reader can tell a GIL-bound
+single-core run from a real fan-out.  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py [--tiny] [--rtt-ms 25]
 
@@ -32,15 +42,17 @@ import argparse
 import json
 import os
 import pathlib
+import pickle
 import platform
 import time
 
 from repro.core.params import SystemParams
 from repro.core.results import QueryConfig
 from repro.core.scheme import SecTopK
-from repro.crypto import backend
+from repro.crypto import backend, kernels
 from repro.crypto.paillier import PaillierKeypair
 from repro.crypto.damgard_jurik import DamgardJurik
+from repro.crypto.parallel import ComputePool
 from repro.crypto.rng import SecureRandom
 from repro.server import TopKServer
 
@@ -117,6 +129,159 @@ def microbench(backend_name: str, reps: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Compute-pool grid and IPC transport leg.
+# ----------------------------------------------------------------------
+
+
+def _pool_batch(reps: int, batch: int) -> tuple[list[int], list[int]]:
+    """One S2-style decrypt batch (ciphertext values + expected
+    plaintexts), paper-sized, shared by every grid row."""
+    setup = _micro_setup(reps)
+    keypair = setup["keypair"]
+    values = [setup["cts"][i % len(setup["cts"])].value for i in range(batch)]
+    return values, keypair.secret_key.raw_decrypt_batch(values)
+
+
+def pool_row(
+    backend_name: str,
+    mode: str,
+    transport: str | None,
+    workers: int,
+    values: list[int],
+    expected: list[int],
+    reps: int,
+    pool_reps: int,
+) -> dict:
+    """Wall time of one pooled decrypt batch under one grid cell."""
+    previous = backend.set_backend(backend_name)
+    try:
+        setup = _micro_setup(reps)
+        keypair, dj = setup["keypair"], setup["dj"]
+        if mode == "inline":
+            pool = None
+        else:
+            kwargs = {"transport": transport} if transport else {}
+            pool = ComputePool(
+                keypair, dj, workers=workers, min_batch=8, mode=mode, **kwargs
+            )
+        try:
+            run_one = (
+                keypair.secret_key.raw_decrypt_batch
+                if pool is None
+                else pool.decrypt_values
+            )
+            assert run_one(values) == expected  # warm + bit-parity check
+            started = time.perf_counter()
+            for _ in range(pool_reps):
+                run_one(values)
+            per_batch = (time.perf_counter() - started) / pool_reps
+        finally:
+            if pool is not None:
+                pool.close()
+        return {
+            "backend": backend_name,
+            "mode": mode,
+            "transport": transport or "none",
+            "workers": 1 if mode == "inline" else workers,
+            "batch": len(values),
+            "ms_per_batch": round(per_batch * 1e3, 2),
+            "values_per_sec": round(len(values) / per_batch, 1),
+        }
+    finally:
+        backend.set_backend(previous)
+
+
+def ipc_bench(values: list[int], reps: int) -> dict:
+    """Per-round chunk transport cost, decomposed.
+
+    A process-pool round pays (1) **encode/decode** — turning the int
+    batch into bytes and back on each side — and (2) **transfer** —
+    moving those bytes between the processes.  Pickle pays both on the
+    executor's pipe: the whole payload is serialized *and* pushed
+    through the OS pipe each direction.  The slab pays encode/decode
+    into shared memory but its pipe traffic is four scalars per chunk —
+    the payload transfer disappears, which is the contended resource
+    when several workers share one executor pipe.  Both legs are
+    measured over a real ``multiprocessing.Pipe``: the payload/control
+    messages genuinely cross it (request + reply), only the worker-side
+    compute is elided.
+    """
+    import multiprocessing
+
+    setup = _micro_setup(50)
+    pk = setup["keypair"].public_key
+    words = kernels.words_for(pk.n_squared - 1)
+    stride = words * kernels.WORD_BYTES
+    buf = bytearray(len(values) * stride)
+    left, right = multiprocessing.Pipe()
+    payload_bytes = len(pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _pickle_round() -> None:
+        # Request: parent pickles the chunk through the pipe, "worker"
+        # unpickles; reply: the mirror image.  send() serializes with
+        # the same pickle the executor uses.
+        left.send(values)
+        got = right.recv()
+        right.send(got)
+        left.recv()
+
+    def _slab_round() -> None:
+        # Request: parent packs into the slab, four scalars cross the
+        # pipe; "worker" unpacks, repacks its reply in place, one scalar
+        # returns; parent unpacks.
+        kernels.pack_ints(values, words, out=buf)
+        left.send(("decrypt", 0, len(values), words))
+        right.recv()
+        got = kernels.unpack_ints(buf, words, len(values))
+        kernels.pack_ints(got, words, out=buf)
+        right.send(len(values))
+        left.recv()
+        kernels.unpack_ints(buf, words, len(values))
+
+    # Transfer-only legs: pre-encoded bytes through the same pipe (the
+    # executor's queue also ships pre-pickled frames via send_bytes), so
+    # the comparison isolates exactly what the slab removes from each
+    # round — the payload's trip through the pipe.
+    blob = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    control = pickle.dumps(
+        ("decrypt", 0, len(values), words), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+    def _pipe_payload() -> None:
+        left.send_bytes(blob)
+        right.recv_bytes()
+        right.send_bytes(blob)
+        left.recv_bytes()
+
+    def _pipe_control() -> None:
+        left.send_bytes(control)
+        right.recv_bytes()
+        right.send_bytes(control)
+        left.recv_bytes()
+
+    try:
+        pickle_us = _time_per_op(_pickle_round, reps)
+        slab_us = _time_per_op(_slab_round, reps)
+        transfer_pickle_us = _time_per_op(_pipe_payload, reps)
+        transfer_shm_us = _time_per_op(_pipe_control, reps)
+    finally:
+        left.close()
+        right.close()
+    return {
+        "batch": len(values),
+        "value_words": words,
+        "payload_bytes_pickle": payload_bytes,
+        "payload_bytes_shm_pipe": 0,
+        "round_trip_pickle_us": round(pickle_us, 1),
+        "round_trip_shm_us": round(slab_us, 1),
+        "transfer_pickle_us": round(transfer_pickle_us, 1),
+        "transfer_shm_us": round(transfer_shm_us, 1),
+        "transfer_shm_vs_pickle": round(transfer_pickle_us / transfer_shm_us, 2),
+        "round_trip_shm_vs_pickle": round(pickle_us / slab_us, 2),
+    }
+
+
+# ----------------------------------------------------------------------
 # Server throughput.
 # ----------------------------------------------------------------------
 
@@ -182,6 +347,9 @@ def run(tiny: bool, rtt_ms: float, workers: int) -> dict:
     n_queries = 4 if tiny else 8
     reps = 50 if tiny else 200
 
+    pool_batch = 48 if tiny else 192
+    pool_reps = 2 if tiny else 4
+
     backends = list(backend.available_backends())
     report: dict = {
         "meta": {
@@ -189,32 +357,61 @@ def run(tiny: bool, rtt_ms: float, workers: int) -> dict:
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
             "gmpy2_available": backend.gmpy2_available(),
-            "params": "tiny (throughput) / paper key size (microbench)",
+            "kernel_available": backend.kernel_available(),
+            "params": "tiny (throughput) / paper key size (microbench, pool)",
             "n_rows": n_rows,
             "n_queries": n_queries,
             "workers": workers,
             "note": (
-                "process-mode CPU speedup requires >1 core; rtt rows "
-                "measure latency overlap on a simulated WAN link"
+                "process/thread-mode CPU speedup requires >1 core; rtt "
+                "rows measure latency overlap on a simulated WAN link; "
+                "the ipc leg isolates chunk transport cost from crypto"
             ),
         },
         "microbench": {},
+        "compute_pool": [],
+        "ipc": {},
         "execute_many": [],
         "speedups": {},
     }
 
-    for name in ("pure", "gmpy2"):
+    for name in ("pure", "gmpy2", "gmp-kernel"):
         if name in backends:
             print(f"[microbench] backend={name}")
             report["microbench"][name] = microbench(name, reps)
         else:
             report["microbench"][name] = {"available": False}
 
-    if "gmpy2" in backends:
-        pure, fast = report["microbench"]["pure"], report["microbench"]["gmpy2"]
-        report["speedups"]["gmpy2_vs_pure"] = {
-            op: round(pure[op] / fast[op], 2) for op in pure
-        }
+    pure = report["microbench"]["pure"]
+    for fast_name in ("gmpy2", "gmp-kernel"):
+        if fast_name in backends:
+            fast = report["microbench"][fast_name]
+            report["speedups"][f"{fast_name}_vs_pure"] = {
+                op: round(pure[op] / fast[op], 2) for op in pure
+            }
+
+    # Compute-pool grid: backend × pool-mode (× process transport).
+    values, expected = _pool_batch(reps, pool_batch)
+    grid: list[tuple[str, str, str | None]] = []
+    for name in backends:
+        grid.append((name, "inline", None))
+        grid.append((name, "process", "shm"))
+        grid.append((name, "process", "pickle"))
+    if backend.kernel_available():
+        # Thread mode pins its chunks to the kernel backend regardless
+        # of the process-wide selection, so one row covers it.
+        grid.append(("gmp-kernel", "thread", None))
+    for name, mode, transport in grid:
+        print(f"[compute_pool] backend={name} mode={mode} transport={transport}")
+        report["compute_pool"].append(
+            pool_row(name, mode, transport, workers, values, expected, reps, pool_reps)
+        )
+
+    print("[ipc] pickle vs shm slab round trip")
+    report["ipc"] = ipc_bench(values, reps=50 if tiny else 200)
+    report["speedups"]["ipc_transfer_shm_vs_pickle"] = report["ipc"][
+        "transfer_shm_vs_pickle"
+    ]
 
     # A zero --rtt-ms would otherwise duplicate every row.
     rtts = (0.0,) if rtt_ms == 0 else (0.0, rtt_ms)
@@ -246,6 +443,31 @@ def run(tiny: bool, rtt_ms: float, workers: int) -> dict:
                 report["speedups"][
                     f"process_vs_sequential[{name},rtt={rtt}ms]"
                 ] = round(proc / seq, 2)
+
+    def _pool_ms(name: str, mode: str, transport: str) -> float | None:
+        for row in report["compute_pool"]:
+            if (
+                row["backend"] == name
+                and row["mode"] == mode
+                and row["transport"] == transport
+            ):
+                return row["ms_per_batch"]
+        return None
+
+    for name in backends:
+        inline = _pool_ms(name, "inline", "none")
+        for mode, transport in (("process", "shm"), ("process", "pickle")):
+            pooled = _pool_ms(name, mode, transport)
+            if inline and pooled:
+                report["speedups"][
+                    f"pool_{mode}_{transport}_vs_inline[{name}]"
+                ] = round(inline / pooled, 2)
+    thread = _pool_ms("gmp-kernel", "thread", "none")
+    inline = _pool_ms("gmp-kernel", "inline", "none")
+    if thread and inline:
+        report["speedups"]["pool_thread_vs_inline[gmp-kernel]"] = round(
+            inline / thread, 2
+        )
     return report
 
 

@@ -6,13 +6,18 @@ PEP-517 editable installs cannot build; this classic setup.py keeps
 everywhere.
 
 The core library is dependency-free (the crypto stack is built on Python
-integers).  The optional ``accel`` extra installs gmpy2, which the
-pluggable compute backend (``repro.crypto.backend``) auto-detects for
-3–10x faster modular exponentiation::
+integers).  Two optional extras accelerate the compute backend
+(``repro.crypto.backend``), which auto-detects whatever is installed::
 
     pip install .[accel]          # gmpy2-accelerated big-int backend
+    pip install .[kernel]         # cffi GMP batch kernel (GIL-free
+                                  # powmod_vec; needs a C compiler and
+                                  # the GMP headers, e.g. libgmp-dev)
 
-Select explicitly with ``REPRO_BACKEND=pure|gmpy2|auto`` (default auto).
+Select explicitly with ``REPRO_BACKEND=pure|gmpy2|gmp-kernel|auto``
+(default auto).  The kernel extension self-builds on first use and is
+cached under ``~/.cache/repro-gmp-kernel``; without cffi/GMP it simply
+never registers.
 """
 
 from setuptools import find_packages, setup
@@ -30,6 +35,9 @@ setup(
     extras_require={
         # Optional GMP-backed big-int acceleration for the compute layer.
         "accel": ["gmpy2>=2.1"],
+        # Optional GIL-free GMP batch kernel (cffi extension, built
+        # lazily on first use; also needs a C compiler + GMP headers).
+        "kernel": ["cffi>=1.15"],
         # Test harness: the property-based sharding-equivalence suite
         # needs Hypothesis; pytest-cov powers the CI coverage floor.
         # The plain tier-1 suite still runs with pytest alone (the

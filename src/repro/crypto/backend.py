@@ -6,20 +6,33 @@ Miller–Rabin rounds, the blinding and comparison protocols' scalar
 exponentiations — the operations that dominate query latency) funnels
 through this module, so a single switch moves the whole system between:
 
-* ``pure``  — the built-in CPython big-int implementation (always
-  available; the default when nothing faster is installed), and
-* ``gmpy2`` — GMP-backed ``powmod``/``invert``, typically 3–10x faster
-  on the modular exponentiations that dominate query latency (the
-  paper's Section 11 measures exactly these operations).
+* ``pure``       — the built-in CPython big-int implementation (always
+  available; the default when nothing faster is installed),
+* ``gmpy2``      — GMP-backed ``powmod``/``invert``, typically 3–10x
+  faster on the modular exponentiations that dominate query latency
+  (the paper's Section 11 measures exactly these operations), and
+* ``gmp-kernel`` — the compiled cffi batch kernel
+  (:mod:`repro.crypto.kernels`): GMP speed *plus* the GIL released
+  across an entire ``powmod_vec`` call, which is what lets thread-mode
+  compute pools and shard workers scale with cores.  Available when the
+  extension builds here (cffi + C compiler + GMP headers); absent, it
+  simply never registers.
 
 Selection order:
 
-1. ``set_backend(...)`` — explicit programmatic choice (tests, benches);
-2. the ``REPRO_BACKEND`` environment variable (``pure``, ``gmpy2`` or
-   ``auto``);
-3. ``auto`` — ``gmpy2`` when importable, else ``pure``.
+1. a thread-local :func:`use_backend` override (how thread-mode compute
+   pools run their chunks on the kernel without touching the rest of
+   the process);
+2. ``set_backend(...)`` — explicit programmatic choice (tests, benches);
+3. the ``REPRO_BACKEND`` environment variable (``pure``, ``gmpy2``,
+   ``gmp-kernel`` or ``auto``);
+4. ``auto`` — ``gmpy2`` when importable, else ``gmp-kernel`` when it
+   builds, else ``pure``.  (gmpy2 first: its scalar ops avoid the
+   kernel's per-call packing, and single-threaded batch speed is the
+   same GMP either way — the kernel's GIL release only pays off inside
+   the thread-based layers, which select it explicitly.)
 
-Both backends are *bit-compatible*: for every operation the returned
+All backends are *bit-compatible*: for every operation the returned
 integers are identical, so ciphertexts, transcripts and seeded-test
 expectations never depend on which backend served them
 (``tests/test_backend.py`` pins this).
@@ -39,8 +52,10 @@ itself calls the key methods directly.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import os
+import threading
 import warnings
 
 try:  # pragma: no cover - exercised only where gmpy2 is installed
@@ -108,14 +123,64 @@ class Gmpy2Backend:
         return int(self._gcd(a, b))
 
 
+class GmpKernelBackend:
+    """The compiled GIL-free GMP batch kernel as a backend.
+
+    Same GMP arithmetic as gmpy2 (bit-identical results); the
+    difference is *where the GIL goes*: :meth:`powmod_vec` makes one C
+    call for the whole batch and cffi releases the GIL for its entire
+    duration, so concurrent threads running batches genuinely overlap.
+    ``gcd`` stays on :func:`math.gcd` — already C-speed, and never a
+    batch bottleneck.
+    """
+
+    name = "gmp-kernel"
+
+    def __init__(self):
+        from repro.crypto import kernels
+
+        kernel = kernels.load_kernel()
+        if kernel is None:
+            raise RuntimeError(
+                f"gmp kernel unavailable ({kernels.kernel_unavailable_reason()})"
+            )
+        self._kernel = kernel
+
+    def powmod(self, base: int, exp: int, mod: int) -> int:
+        return self._kernel.powmod(base, exp, mod)
+
+    def powmod_vec(self, bases: list[int], exp: int, mod: int) -> list[int]:
+        return self._kernel.powmod_vec(bases, exp, mod)
+
+    def invert(self, a: int, mod: int) -> int:
+        return self._kernel.invert(a, mod)
+
+    @staticmethod
+    def gcd(a: int, b: int) -> int:
+        return math.gcd(a, b)
+
+
 def gmpy2_available() -> bool:
-    """Whether the accelerated backend can be constructed here."""
+    """Whether the gmpy2 backend can be constructed here."""
     return _gmpy2 is not None
+
+
+def kernel_available() -> bool:
+    """Whether the compiled ``gmp-kernel`` backend can be constructed
+    here (the extension imports, or builds on first use)."""
+    from repro.crypto import kernels
+
+    return kernels.kernel_available()
 
 
 def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`set_backend` in this environment."""
-    return ("pure", "gmpy2") if gmpy2_available() else ("pure",)
+    names = ["pure"]
+    if gmpy2_available():
+        names.append("gmpy2")
+    if kernel_available():
+        names.append("gmp-kernel")
+    return tuple(names)
 
 
 def _resolve(name: str):
@@ -123,8 +188,14 @@ def _resolve(name: str):
         return PurePythonBackend()
     if name == "gmpy2":
         return Gmpy2Backend()
+    if name == "gmp-kernel":
+        return GmpKernelBackend()
     if name == "auto":
-        return Gmpy2Backend() if gmpy2_available() else PurePythonBackend()
+        if gmpy2_available():
+            return Gmpy2Backend()
+        if kernel_available():
+            return GmpKernelBackend()
+        return PurePythonBackend()
     raise ValueError(f"unknown compute backend: {name!r}")
 
 
@@ -151,23 +222,55 @@ def _initial_backend():
 
 _ACTIVE = _initial_backend()
 
+# Per-thread override installed by use_backend().  Checked before the
+# process-wide selection so one thread can run on the GIL-free kernel
+# (a compute-pool chunk) while the rest of the process stays put.
+_TLS = threading.local()
+
+
+def _current():
+    override = getattr(_TLS, "backend", None)
+    return _ACTIVE if override is None else override
+
 
 def get_backend():
-    """The active backend instance."""
-    return _ACTIVE
+    """The active backend instance (honouring any thread-local override)."""
+    return _current()
 
 
 def set_backend(backend) -> object:
-    """Install a backend (by name or instance); returns the previous one.
+    """Install the process-wide backend (by name or instance); returns
+    the previous one.
 
     Worker processes call this on startup so a programmatic selection in
     the parent survives ``spawn``-style pools; tests use the return value
-    to restore the previous backend.
+    to restore the previous backend.  Does not touch thread-local
+    overrides (:func:`use_backend`).
     """
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = _resolve(backend) if isinstance(backend, str) else backend
     return previous
+
+
+@contextlib.contextmanager
+def use_backend(backend):
+    """Run the current thread on ``backend`` for the duration of a block.
+
+    The override is strictly thread-local: other threads — and code in
+    this thread outside the block — keep using the process-wide
+    selection.  This is how the compute pool's thread mode pins its
+    chunk computations to the GIL-free kernel without a process-wide
+    ``set_backend`` racing concurrent queries.  Nestable; restores the
+    previous override on exit.
+    """
+    resolved = _resolve(backend) if isinstance(backend, str) else backend
+    previous = getattr(_TLS, "backend", None)
+    _TLS.backend = resolved
+    try:
+        yield resolved
+    finally:
+        _TLS.backend = previous
 
 
 # ----------------------------------------------------------------------
@@ -177,17 +280,17 @@ def set_backend(backend) -> object:
 
 def powmod(base: int, exp: int, mod: int) -> int:
     """``base**exp mod mod`` through the active backend."""
-    return _ACTIVE.powmod(base, exp, mod)
+    return _current().powmod(base, exp, mod)
 
 
 def invert(a: int, mod: int) -> int:
     """Modular inverse through the active backend (raises if none)."""
-    return _ACTIVE.invert(a, mod)
+    return _current().invert(a, mod)
 
 
 def gcd(a: int, b: int) -> int:
     """Greatest common divisor through the active backend."""
-    return _ACTIVE.gcd(a, b)
+    return _current().gcd(a, b)
 
 
 # ----------------------------------------------------------------------
@@ -198,7 +301,7 @@ def gcd(a: int, b: int) -> int:
 def powmod_vec(bases: list[int], exp: int, mod: int) -> list[int]:
     """Exponentiate many bases by one shared exponent — the shape of
     batched CRT decryption and batched randomizer generation."""
-    return _ACTIVE.powmod_vec(bases, exp, mod)
+    return _current().powmod_vec(bases, exp, mod)
 
 
 def encrypt_batch(pk, values: list[int], rng=None) -> list:

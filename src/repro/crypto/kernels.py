@@ -1,0 +1,169 @@
+"""Python face of the GIL-free GMP batch kernel.
+
+Two things live here:
+
+* **The limb format.**  :func:`words_for`, :func:`pack_ints` and
+  :func:`unpack_ints` define the one fixed-width integer wire format the
+  native tier uses everywhere: arrays of 64-bit words, least-significant
+  word first, little-endian bytes within each word.  The kernel's C side
+  (``mpz_import``/``mpz_export`` with ``order=-1, endian=-1``) and the
+  compute pool's shared-memory slab transport both speak exactly this
+  format, so a slab written by :mod:`repro.crypto.parallel` could be
+  handed to the kernel without translation.
+
+* **:class:`GmpKernel`** — the loaded extension wrapped in the backend
+  operation signatures (``powmod`` / ``powmod_vec`` / ``invert``).  The
+  vector call packs the whole batch, makes *one* C call, and unpacks;
+  cffi releases the GIL for the entire ``repro_powmod_vec`` loop, which
+  is what lets thread-mode compute pools and shard workers scale with
+  cores.  Results are bit-identical to the pure and gmpy2 backends
+  (``tests/test_backend.py`` pins this).
+
+Use :func:`load_kernel` / :func:`kernel_available`; both are no-raise —
+a machine without cffi, a compiler or the GMP headers simply reports the
+kernel absent and every caller falls back.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import _gmp_kernel
+
+# ----------------------------------------------------------------------
+# The limb format.
+# ----------------------------------------------------------------------
+
+#: Bytes per limb word (the kernel is specified in 64-bit words).
+WORD_BYTES = 8
+
+
+def words_for(value: int) -> int:
+    """How many 64-bit words a non-negative integer needs (minimum 1)."""
+    return max(1, (value.bit_length() + 63) // 64)
+
+
+def pack_ints(values: list[int], words: int, out: memoryview | bytearray | None = None,
+              offset: int = 0):
+    """Pack non-negative integers into fixed-width little-endian words.
+
+    Writes ``len(values) * words * 8`` bytes at ``offset`` into ``out``
+    (allocated when omitted) and returns the buffer.  Every value must
+    fit ``words`` words; ``int.to_bytes`` raises ``OverflowError``
+    otherwise, which is the width-limit guarantee the shared-memory slab
+    relies on.
+    """
+    stride = words * WORD_BYTES
+    # Join-then-assign: one big copy into the target instead of a slice
+    # write per value, and an oversize value aborts before any byte is
+    # written (the join raises first).
+    blob = b"".join(value.to_bytes(stride, "little") for value in values)
+    if out is None:
+        return bytearray(blob)
+    view = memoryview(out)
+    view[offset : offset + len(blob)] = blob
+    return out
+
+
+def unpack_ints(buf, words: int, count: int, offset: int = 0) -> list[int]:
+    """Inverse of :func:`pack_ints`: read ``count`` integers."""
+    stride = words * WORD_BYTES
+    # One contiguous copy out of the (possibly shared) buffer, then
+    # slice plain bytes: bytes slices convert faster than per-item
+    # memoryview slices, and the copy decouples the result from a slab
+    # another round may overwrite.
+    data = bytes(memoryview(buf)[offset : offset + count * stride])
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(data[i * stride : (i + 1) * stride], "little") for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# The kernel wrapper.
+# ----------------------------------------------------------------------
+
+
+class GmpKernel:
+    """Batch modular arithmetic through the compiled GMP extension."""
+
+    def __init__(self, ffi, lib):
+        self._ffi = ffi
+        self._lib = lib
+
+    def powmod_vec(self, bases: list[int], exp: int, mod: int) -> list[int]:
+        """``[b ** exp mod mod for b in bases]`` in one GIL-free C call."""
+        if mod == 0:
+            raise ValueError("pow() 3rd argument cannot be 0")
+        if exp < 0:
+            # The C kernel has no modular-inverse power path; this never
+            # occurs on a hot path (inversions go through invert()).
+            return [pow(b, exp, mod) for b in bases]
+        if not bases:
+            return []
+        mod_words = words_for(mod)
+        exp_words = words_for(exp)
+        # Reduce up front: callers pass canonical residues already, and
+        # the fixed-width packing requires values < mod anyway.
+        reduced = [b % mod for b in bases]
+        in_buf = pack_ints(reduced, mod_words)
+        out_buf = bytearray(len(bases) * mod_words * WORD_BYTES)
+        ffi = self._ffi
+        rc = self._lib.repro_powmod_vec(
+            ffi.from_buffer("uint64_t[]", in_buf),
+            len(bases),
+            mod_words,
+            ffi.from_buffer("uint64_t[]", pack_ints([exp], exp_words)),
+            exp_words,
+            ffi.from_buffer("uint64_t[]", pack_ints([mod], mod_words)),
+            mod_words,
+            ffi.from_buffer("uint64_t[]", out_buf),
+        )
+        if rc != 0:  # pragma: no cover - zero modulus rejected above
+            raise ValueError("kernel powmod_vec failed")
+        return unpack_ints(out_buf, mod_words, len(bases))
+
+    def powmod(self, base: int, exp: int, mod: int) -> int:
+        """Scalar sugar over :meth:`powmod_vec`."""
+        return self.powmod_vec([base], exp, mod)[0]
+
+    def invert(self, a: int, mod: int) -> int:
+        """Modular inverse; raises ``ValueError`` when none exists
+        (the same error contract as the pure and gmpy2 backends)."""
+        if mod == 0:
+            raise ValueError("modulus cannot be 0")
+        mod_words = words_for(mod)
+        out_buf = bytearray(mod_words * WORD_BYTES)
+        ffi = self._ffi
+        rc = self._lib.repro_invert(
+            ffi.from_buffer("uint64_t[]", pack_ints([a % mod], mod_words)),
+            mod_words,
+            ffi.from_buffer("uint64_t[]", pack_ints([mod], mod_words)),
+            mod_words,
+            ffi.from_buffer("uint64_t[]", out_buf),
+        )
+        if rc != 1:
+            raise ValueError("base is not invertible for the given modulus")
+        return unpack_ints(out_buf, mod_words, 1)[0]
+
+
+_KERNEL: GmpKernel | None = None
+
+
+def load_kernel() -> GmpKernel | None:
+    """The process-wide :class:`GmpKernel`, or ``None`` when unavailable."""
+    global _KERNEL
+    if _KERNEL is None:
+        loaded = _gmp_kernel.load()
+        if loaded is None:
+            return None
+        _KERNEL = GmpKernel(*loaded)
+    return _KERNEL
+
+
+def kernel_available() -> bool:
+    """Whether the compiled kernel can be used in this environment."""
+    return load_kernel() is not None
+
+
+def kernel_unavailable_reason() -> str | None:
+    """Why the kernel failed to load (``None`` when it loaded)."""
+    return _gmp_kernel.unavailable_reason()

@@ -1,43 +1,94 @@
-"""Process-pool fan-out for the crypto cloud's bulk decrypt batches.
+"""Worker-pool fan-out for the crypto cloud's bulk decrypt batches.
 
-Pure-Python big-int arithmetic holds the GIL, so the only way a single
-query's coalesced per-depth rounds (one ``ZeroTestBatch`` / one
-``StripLayerBatch`` carrying work for *every* list and candidate of the
-depth) can use more than one core is to fan the decryptions out to
-worker processes.  A :class:`ComputePool` owns a persistent
-:class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold the
-secret key material; batches are chunked evenly across workers and only
-bare integers cross the process boundary (ciphertext values out,
-plaintexts back), so IPC cost stays a small fraction of the modular
-exponentiations it buys back.
+A single query's coalesced per-depth rounds (one ``ZeroTestBatch`` /
+one ``StripLayerBatch`` carrying work for *every* list and candidate of
+the depth) are the hot path the paper's Section 11 measures; a
+:class:`ComputePool` chunks those batches across workers so they can
+use more than one core.  Two pool modes, picked by how the GIL can be
+escaped on this machine:
+
+* ``mode="thread"`` — a ``ThreadPoolExecutor`` whose chunks run on the
+  GIL-free ``gmp-kernel`` backend (:mod:`repro.crypto.kernels`) via a
+  thread-local :func:`repro.crypto.backend.use_backend` override.  The
+  kernel releases the GIL across each chunk's entire ``powmod_vec``
+  call, so threads genuinely overlap — and nothing is pickled, shipped
+  or copied: zero IPC.  Requires the compiled kernel.
+
+* ``mode="process"`` — the historical ``ProcessPoolExecutor`` fan-out
+  (workers hold the secret key material, any backend).  Chunk transport
+  is a fixed-width **shared-memory slab** by default: one
+  ``multiprocessing.shared_memory`` segment, created at pool start and
+  attached once per worker, divided into per-chunk slots of
+  ``slab_items`` × ``value_words`` little-endian 64-bit words (the same
+  limb format the kernel speaks, see :mod:`repro.crypto.kernels`).  A
+  round's chunk is packed into its slot, the worker decrypts in place,
+  and the parent unpacks the results — two memcpy-speed packs per chunk
+  instead of pickling big-int lists through a pipe every round.
+  ``transport="pickle"`` keeps the old path (it is also the automatic
+  fallback for a chunk larger than a slot).
+
+``mode="auto"`` (the default) selects ``thread`` when the kernel is
+importable and ``process`` otherwise, so existing callers
+(``TopKServer(s2_workers=N)``, the S2 daemon) transparently stop paying
+IPC the moment the kernel is available.
 
 Decryption consumes no randomness, so fanning it out changes neither
 the crypto cloud's rng stream nor any leakage event — a query served
-with a pool is bit-identical to one served without (pinned by
-``tests/test_server.py``).
+with a pool is bit-identical to one served without, in every mode and
+transport (pinned by ``tests/test_server.py`` and
+``tests/test_parallel_pool.py``).
 
-Key material ships to workers via the pool initializer; the randomizer
-pools and hoisted rngs are excluded from pickling (see
-``PaillierPublicKey.__getstate__``), so the payload is a handful of
-integers per worker.
+Lifecycle: :meth:`ComputePool.close` tears the executor down; with
+``wait=True`` it drains in-flight chunks first (the server's shutdown
+path uses this so a concurrent session's batch completes instead of
+surfacing a cancellation mid-protocol).  A pool that dies mid-batch —
+worker killed, executor shut down underneath a caller — raises the
+typed :class:`~repro.exceptions.ComputePoolError` rather than leaking
+``BrokenProcessPool``/``CancelledError`` through an S2 handler.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import weakref
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from multiprocessing import shared_memory
 
-from repro.crypto import backend
+from repro.crypto import backend, kernels
+from repro.exceptions import ComputePoolError
 
 # Worker-process state, installed by the pool initializer.
 _WORKER: dict = {}
 
 
-def _init_worker(keypair, dj, backend_name: str) -> None:
+def _attach_slab(shm_name: str | None, slot_bytes: int) -> None:
+    if shm_name is None:
+        return
+    # Attaching re-registers the segment with the resource tracker
+    # (CPython < 3.13 tracks attaches too), but pool workers share the
+    # parent's tracker process and its cache is a set, so the extra
+    # registrations are no-ops and the parent's single unlink-time
+    # unregister settles the books — do NOT unregister here, that would
+    # strip the parent's registration and make its unlink warn.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER["shm"] = shm
+    _WORKER["slot_bytes"] = slot_bytes
+
+
+def _init_worker(
+    keypair, dj, backend_name: str, shm_name: str | None = None, slot_bytes: int = 0
+) -> None:
     backend.set_backend(backend_name)
     _WORKER["keypair"] = keypair
     _WORKER["dj"] = dj
+    _attach_slab(shm_name, slot_bytes)
 
 
 def _decrypt_chunk(values: list[int]) -> list[int]:
@@ -52,6 +103,21 @@ def _strip_chunk(values: list[int]) -> list[int]:
     dj = _WORKER["dj"]
     cts = [LayeredCiphertext(v, dj) for v in values]
     return dj.decrypt_batch(cts, _WORKER["keypair"])
+
+
+_CHUNK_OPS = {"decrypt": _decrypt_chunk, "strip": _strip_chunk}
+
+
+def _chunk_shm(op: str, slot: int, count: int, words: int) -> int:
+    """One chunk through the shared-memory slab: unpack the inputs from
+    slot ``slot``, compute, pack the results back in place.  Only the
+    four scalars above cross the pipe."""
+    shm = _WORKER["shm"]
+    offset = slot * _WORKER["slot_bytes"]
+    values = kernels.unpack_ints(shm.buf, words, count, offset)
+    out = _CHUNK_OPS[op](values)
+    kernels.pack_ints(out, words, out=shm.buf, offset=offset)
+    return count
 
 
 def _warmup() -> None:
@@ -103,14 +169,35 @@ def make_pool_executor(workers: int, initializer, initargs) -> ProcessPoolExecut
 
 
 def _chunks(values: list, n: int) -> list[list]:
-    size = (len(values) + n - 1) // n
-    return [values[i : i + size] for i in range(0, len(values), size)]
+    """Split into exactly ``n`` contiguous chunks whose sizes differ by
+    at most one (the first ``len % n`` chunks take the extra item).
+
+    Balanced on purpose: the previous ceil-division split could emit a
+    runt tail chunk below ``min_batch`` (25 items over 3 workers went
+    9/9/7) — with ``n <= len // min_batch`` the balanced split keeps
+    every chunk at ``len // n >= min_batch`` items.
+    """
+    base, extra = divmod(len(values), n)
+    out, lo = [], 0
+    for i in range(n):
+        hi = lo + base + (1 if i < extra else 0)
+        out.append(values[lo:hi])
+        lo = hi
+    return out
 
 
 def _chunk_count(n_values: int, workers: int, min_batch: int) -> int:
     """How many chunks to cut: never so many that a chunk drops below
-    ``min_batch`` items (tiny chunks cost more to pickle than to decrypt)."""
+    ``min_batch`` items (tiny chunks cost more to ship than to decrypt)."""
     return max(1, min(workers, n_values // max(min_batch, 1)))
+
+
+def _release_slab(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
 
 
 class ComputePool:
@@ -119,67 +206,213 @@ class ComputePool:
     Parameters
     ----------
     keypair / dj:
-        The secret key material the workers need (pickled once per
-        worker at pool start-up).
+        The secret key material the workers need (process mode pickles
+        it once per worker at pool start-up; thread mode shares it).
     workers:
         Pool size; defaults to the machine's core count.
     min_batch:
         Batches smaller than this are computed inline — below it the
-        pickling round-trip costs more than the decryptions.
+        fan-out round-trip costs more than the decryptions.
+    mode:
+        ``"thread"`` (kernel-backed, zero IPC), ``"process"``
+        (worker processes), or ``"auto"``: thread when the compiled
+        ``gmp-kernel`` is available here, process otherwise.
+    transport:
+        Process mode only: ``"shm"`` ships chunks through the
+        shared-memory slab (default), ``"pickle"`` through the
+        executor's ordinary argument pickling.
+    slab_items:
+        Capacity of one slab slot, in values.  A chunk that outgrows
+        its slot falls back to pickle transport for that call.
     """
 
-    def __init__(self, keypair, dj, workers: int | None = None, min_batch: int = 8):
+    def __init__(
+        self,
+        keypair,
+        dj,
+        workers: int | None = None,
+        min_batch: int = 8,
+        mode: str = "auto",
+        transport: str = "shm",
+        slab_items: int = 4096,
+    ):
+        if mode not in ("auto", "thread", "process"):
+            raise ValueError(f"unknown compute-pool mode: {mode!r}")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(f"unknown compute-pool transport: {transport!r}")
+        if mode == "auto":
+            mode = "thread" if backend.kernel_available() else "process"
+        elif mode == "thread" and not backend.kernel_available():
+            raise ValueError(
+                "mode='thread' requires the compiled gmp-kernel backend "
+                f"(unavailable here: {kernels.kernel_unavailable_reason()})"
+            )
         self.workers = workers or os.cpu_count() or 1
         self.min_batch = min_batch
+        self.mode = mode
+        self.transport = transport if mode == "process" else "none"
+        self.slab_items = slab_items
         self._keypair = keypair
         self._dj = dj
-        self._executor = make_pool_executor(
-            self.workers, _init_worker, (keypair, dj, backend.get_backend().name)
-        )
+        self._shm: shared_memory.SharedMemory | None = None
+        self._slot_bytes = 0
+        self._finalizer = None
+        self._lock = threading.Lock()
+        if mode == "thread":
+            # Chunks run under a thread-local backend override on the
+            # GIL-free kernel; key material is shared in-process.
+            self._kernel_backend = backend.GmpKernelBackend()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="compute-pool"
+            )
+        else:
+            shm_name = None
+            if self.transport == "shm":
+                # Slots are sized for the widest value the pool ever
+                # moves — DJ ciphertexts in Z_{N^{s+1}} (strip), above
+                # Paillier's Z_{N^2} (decrypt) — but each op packs at
+                # its own width, so decrypt rounds move ~1/3 fewer
+                # bytes than one-width-fits-all would.  Results are
+                # never wider than inputs, so a slot serves request and
+                # reply in place.
+                self._op_words = {
+                    "decrypt": kernels.words_for(keypair.public_key.n_squared - 1)
+                }
+                widest = keypair.public_key.n_squared
+                if dj is not None:
+                    widest = max(widest, dj.n_s1)
+                    self._op_words["strip"] = kernels.words_for(widest - 1)
+                value_words = kernels.words_for(widest - 1)
+                self._slot_bytes = slab_items * value_words * kernels.WORD_BYTES
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, self.workers * self._slot_bytes)
+                )
+                self._finalizer = weakref.finalize(self, _release_slab, self._shm)
+                shm_name = self._shm.name
+            self._executor = make_pool_executor(
+                self.workers,
+                _init_worker,
+                (keypair, dj, backend.get_backend().name, shm_name, self._slot_bytes),
+            )
         self._closed = False
 
     # -- chunked operations ----------------------------------------------
 
-    def _run(self, fn, local_fn, values: list[int]) -> list[int]:
+    def _local(self, op: str, values: list[int]) -> list[int]:
+        if op == "decrypt":
+            return self._keypair.secret_key.raw_decrypt_batch(values)
+        from repro.crypto.damgard_jurik import LayeredCiphertext
+
+        cts = [LayeredCiphertext(v, self._dj) for v in values]
+        return self._dj.decrypt_batch(cts, self._keypair)
+
+    def _thread_chunk(self, op: str, values: list[int]) -> list[int]:
+        with backend.use_backend(self._kernel_backend):
+            return self._local(op, values)
+
+    def _submit_chunks(self, op: str, chunks: list[list[int]]) -> list:
+        if self.mode == "thread":
+            return [
+                (self._executor.submit(self._thread_chunk, op, chunk), None)
+                for chunk in chunks
+            ]
+        futures = []
+        words = self._op_words.get(op, 0) if self.transport == "shm" else 0
+        slot_items = (
+            self._slot_bytes // (words * kernels.WORD_BYTES) if words else 0
+        )
+        for slot, chunk in enumerate(chunks):
+            if words and len(chunk) <= slot_items:
+                # n_chunks <= workers, so chunk index == a private slot;
+                # the slot is not reused until this call consumed its
+                # result, and any worker may serve it (all attach the
+                # whole segment).
+                kernels.pack_ints(
+                    chunk,
+                    words,
+                    out=self._shm.buf,
+                    offset=slot * self._slot_bytes,
+                )
+                futures.append(
+                    (
+                        self._executor.submit(_chunk_shm, op, slot, len(chunk), words),
+                        (slot, words),
+                    )
+                )
+            else:
+                futures.append(
+                    (self._executor.submit(_CHUNK_OPS[op], chunk), None)
+                )
+        return futures
+
+    def _gather(self, futures: list) -> list[int]:
+        out: list[int] = []
+        for future, placement in futures:
+            result = future.result()
+            if placement is None:
+                out.extend(result)
+            else:
+                slot, words = placement
+                out.extend(
+                    kernels.unpack_ints(
+                        self._shm.buf, words, result, slot * self._slot_bytes
+                    )
+                )
+        return out
+
+    def _run(self, op: str, values: list[int]) -> list[int]:
         if self._closed:
             raise RuntimeError("compute pool is closed")
         n_chunks = _chunk_count(len(values), self.workers, self.min_batch)
         if len(values) < max(self.min_batch, 2) or self.workers < 2 or n_chunks < 2:
-            return local_fn(values)
-        futures = [
-            self._executor.submit(fn, chunk)
-            for chunk in _chunks(values, n_chunks)
-        ]
-        out: list[int] = []
-        for future in futures:
-            out.extend(future.result())
-        return out
+            return self._local(op, values)
+        try:
+            with self._lock:
+                # One batch in flight at a time: slab slots are indexed
+                # by chunk, so two concurrent batches must serialize
+                # (the executor below still fans each batch out).
+                futures = self._submit_chunks(op, _chunks(values, n_chunks))
+                return self._gather(futures)
+        except (BrokenExecutor, CancelledError) as exc:
+            raise ComputePoolError(
+                f"compute pool died mid-batch ({type(exc).__name__})"
+            ) from exc
+        except RuntimeError as exc:
+            if self._closed or "shutdown" in str(exc):
+                raise ComputePoolError(
+                    "compute pool was shut down under an in-flight batch"
+                ) from exc
+            raise
 
     def decrypt_values(self, values: list[int]) -> list[int]:
         """Paillier decryption of bare ciphertext values, fanned out."""
-        return self._run(
-            _decrypt_chunk,
-            self._keypair.secret_key.raw_decrypt_batch,
-            values,
-        )
+        return self._run("decrypt", values)
 
     def strip_values(self, values: list[int]) -> list[int]:
         """DJ outer-layer decryption of bare values, fanned out."""
-        from repro.crypto.damgard_jurik import LayeredCiphertext
-
-        def local(vals: list[int]) -> list[int]:
-            cts = [LayeredCiphertext(v, self._dj) for v in vals]
-            return self._dj.decrypt_batch(cts, self._keypair)
-
-        return self._run(_strip_chunk, local, values)
+        return self._run("strip", values)
 
     # -- lifecycle -------------------------------------------------------
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if not self._closed:
-            self._closed = True
+    def close(self, wait: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        ``wait=True`` drains in-flight chunks first, so a caller blocked
+        in a batch gets its results instead of a mid-batch cancellation
+        — the server teardown path uses this.  ``wait=False`` cancels
+        queued chunks immediately; a caller racing it sees
+        :class:`~repro.exceptions.ComputePoolError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            self._executor.shutdown(wait=True)
+        else:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._finalizer is not None:
+            self._finalizer()
+            self._shm = None
 
     def __enter__(self) -> "ComputePool":
         return self

@@ -4,8 +4,8 @@ Runs the S2 half of the two-cloud protocol as its own process (or
 host)::
 
     PYTHONPATH=src python -m repro.server.s2_service \\
-        --listen tcp://127.0.0.1:9317 [--s2-workers 4] [--backend auto] \\
-        [--state-dir /var/lib/repro-s2]
+        --listen tcp://127.0.0.1:9317 [--s2-workers 4] [--s2-mode auto] \\
+        [--backend auto] [--state-dir /var/lib/repro-s2]
 
 The daemon owns nothing at start — no keys, no relations.  A client
 (the S1 side: :class:`~repro.server.topk_server.TopKServer` or any
@@ -32,11 +32,12 @@ the frame protocol of :mod:`repro.net.socket_transport`:
 
 ``--s2-workers N`` attaches one shared
 :class:`~repro.crypto.parallel.ComputePool` that chunks every session's
-large decrypt batches across worker processes — the daemon-side analog
-of ``TopKServer(s2_workers=...)``.  The pool forks at the *first
-registration* (the earliest moment key material exists), outside the
-service lock; ``make_pool_executor`` documents why fork stays the right
-start method even with service threads live.
+large decrypt batches across workers — the daemon-side analog of
+``TopKServer(s2_workers=...)``.  ``--s2-mode`` picks the pool flavour
+(GIL-free kernel threads / worker processes / auto).  The pool starts at
+the *first registration* (the earliest moment key material exists),
+outside the service lock; ``make_pool_executor`` documents why fork
+stays the right start method even with service threads live.
 
 A dropped client connection tears down all of its sessions; a dispatch
 failure is reported as an ERROR frame (typed
@@ -256,7 +257,10 @@ class S2Service:
         ``unix:///path`` (a stale socket file is replaced).
     s2_workers:
         When positive, one shared :class:`ComputePool` of that many
-        processes chunks every session's large decrypt batches.
+        workers chunks every session's large decrypt batches.
+    s2_mode:
+        Pool flavour — ``"thread"`` / ``"process"`` / ``"auto"`` (see
+        :class:`~repro.crypto.parallel.ComputePool`).
     state_dir:
         When set, every relation registration is spilled to
         ``<state_dir>/<relation_id>.reg`` (the raw REGISTER payload,
@@ -270,10 +274,12 @@ class S2Service:
         self,
         listen: str = "tcp://127.0.0.1:0",
         s2_workers: int = 0,
+        s2_mode: str = "auto",
         state_dir: str | None = None,
     ):
         self.listen_spec = listen
         self.s2_workers = s2_workers
+        self.s2_mode = s2_mode
         self.state_dir = state_dir
         self.address: str | None = None
         self.compute: ComputePool | None = None
@@ -382,7 +388,10 @@ class S2Service:
             with contextlib.suppress(OSError):
                 os.unlink(self._unix_path)
         if self.compute is not None:
-            self.compute.close()
+            # Connections were torn down above, so the drain is usually
+            # instant; wait=True covers a handler that slipped a batch in
+            # just before the shutdown flag landed.
+            self.compute.close(wait=True)
             self.compute = None
 
     def __enter__(self) -> "S2Service":
@@ -428,7 +437,7 @@ class S2Service:
             self._persist_registration(relation_id, payload)
         if build_pool:
             pool = ComputePool(
-                blob["keypair"], blob["dj"], workers=self.s2_workers
+                blob["keypair"], blob["dj"], workers=self.s2_workers, mode=self.s2_mode
             )
             with self._lock:
                 closed = self._closed.is_set()
@@ -588,12 +597,20 @@ def main(argv: list[str] | None = None) -> None:
         "--s2-workers",
         type=int,
         default=0,
-        help="compute-pool processes for large decrypt batches",
+        help="compute-pool workers for large decrypt batches",
+    )
+    parser.add_argument(
+        "--s2-mode",
+        default="auto",
+        choices=("auto", "thread", "process"),
+        help="compute-pool flavour: GIL-free kernel threads, worker "
+        "processes, or auto-select (default)",
     )
     parser.add_argument(
         "--backend",
         default=None,
-        help="big-int backend (pure / gmpy2 / auto; default: REPRO_BACKEND)",
+        help="big-int backend (pure / gmpy2 / gmp-kernel / auto; "
+        "default: REPRO_BACKEND)",
     )
     parser.add_argument(
         "--state-dir",
@@ -611,7 +628,10 @@ def main(argv: list[str] | None = None) -> None:
     if args.backend:
         backend.set_backend(args.backend)
     service = S2Service(
-        args.listen, s2_workers=args.s2_workers, state_dir=args.state_dir
+        args.listen,
+        s2_workers=args.s2_workers,
+        s2_mode=args.s2_mode,
+        state_dir=args.state_dir,
     )
     address = service.start()
     print(f"repro-s2: listening on {address}", flush=True)

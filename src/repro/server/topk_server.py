@@ -273,9 +273,15 @@ class TopKServer:
         Simulated link round-trip latency added to every exchange.
     s2_workers:
         When positive, one shared :class:`ComputePool` of that many
-        worker processes serves every job's crypto cloud, chunking
-        large decrypt batches across cores.  Local transports only: a
-        remote daemon configures its own pool (``--s2-workers``).
+        workers serves every job's crypto cloud, chunking large decrypt
+        batches across cores.  Local transports only: a remote daemon
+        configures its own pool (``--s2-workers``).
+    s2_mode:
+        Compute-pool flavour: ``"thread"`` (GIL-free kernel threads,
+        zero IPC), ``"process"`` (worker processes with shared-memory
+        chunk transport), or ``"auto"`` (thread when the compiled
+        ``gmp-kernel`` is available, else process).  Ignored when
+        ``s2_workers == 0``.
     max_pending:
         Bound of the job queue.  A full queue applies backpressure:
         :meth:`submit` blocks until a scheduler worker frees a slot.
@@ -304,6 +310,7 @@ class TopKServer:
         transport: str = "inprocess",
         rtt_ms: float = 0.0,
         s2_workers: int = 0,
+        s2_mode: str = "auto",
         max_pending: int = 128,
         scheduler_workers: int = 8,
         shards: int = 0,
@@ -337,7 +344,7 @@ class TopKServer:
         # would replay blinding/permutation streams across queries).
         self._salt_namespace = scheme.context_namespace()
         self._compute = (
-            ComputePool(scheme.keypair, scheme.dj, workers=s2_workers)
+            ComputePool(scheme.keypair, scheme.dj, workers=s2_workers, mode=s2_mode)
             if s2_workers > 0
             else None
         )
@@ -864,7 +871,11 @@ class TopKServer:
         for session in sessions:
             session.close()
         if compute is not None:
-            compute.close()
+            # Drain rather than cancel: the job threads joined above, but
+            # an external caller sharing this pool (a daemon session
+            # racing the shutdown) gets its in-flight batch back instead
+            # of a mid-protocol cancellation.
+            compute.close(wait=True)
         if shard_pool is not None:
             # Running jobs were already stopped/waited above, so no
             # shard task can still be queued behind this shutdown.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto import backend
 from repro.crypto.damgard_jurik import LayeredCiphertext
 from repro.crypto.paillier import Ciphertext
 
@@ -52,11 +53,21 @@ def weight_entries(entries: list["EncryptedItem"], weight: int) -> list["Encrypt
     ciphertexts (scalar multiplication is deterministic, and ``weight ==
     1`` keeps the original objects on both paths).
     """
-    if weight == 1:
+    if weight == 1 or not entries:
         return entries
+    # One backend.powmod_vec call for the whole list instead of a
+    # Ciphertext.__mul__ per entry: same exponent reduction as __mul__
+    # (``weight % n``), so the ciphertexts stay bit-identical, but an
+    # accelerated backend converts the shared exponent/modulus once —
+    # and the gmp-kernel backend releases the GIL across the whole list,
+    # which is what lets concurrent shard workers overlap here.
+    pk = entries[0].score.public_key
+    powers = backend.powmod_vec(
+        [e.score.value for e in entries], weight % pk.n, pk.n_squared
+    )
     return [
-        EncryptedItem(ehl=e.ehl, score=e.score * weight, record=e.record)
-        for e in entries
+        EncryptedItem(ehl=e.ehl, score=Ciphertext(value, pk), record=e.record)
+        for e, value in zip(entries, powers)
     ]
 
 

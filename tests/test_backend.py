@@ -1,10 +1,11 @@
 """Backend parity and batch entry-point tests for the compute layer.
 
 Every public op of :mod:`repro.crypto.backend` must be bit-identical
-under the pure-Python and gmpy2 backends (the gmpy2 half skips where the
-package is absent), and the batch entry points must match their
-per-item equivalents exactly — including randomness stream order, so
-seeded transcripts are invariant to batching.
+under the pure-Python, gmpy2 and compiled gmp-kernel backends (the
+accelerated halves skip where the package/extension is absent), and the
+batch entry points must match their per-item equivalents exactly —
+including randomness stream order, so seeded transcripts are invariant
+to batching.
 """
 
 from __future__ import annotations
@@ -26,6 +27,9 @@ from repro.crypto.rng import SecureRandom
 
 needs_gmpy2 = pytest.mark.skipif(
     not backend.gmpy2_available(), reason="gmpy2 not installed"
+)
+needs_kernel = pytest.mark.skipif(
+    not backend.kernel_available(), reason="gmp kernel unavailable"
 )
 
 
@@ -57,8 +61,49 @@ class TestSelection:
     def test_auto_resolution_matches_availability(self):
         previous = backend.set_backend("auto")
         try:
-            expected = "gmpy2" if backend.gmpy2_available() else "pure"
+            if backend.gmpy2_available():
+                expected = "gmpy2"
+            elif backend.kernel_available():
+                expected = "gmp-kernel"
+            else:
+                expected = "pure"
             assert backend.get_backend().name == expected
+        finally:
+            backend.set_backend(previous)
+
+    def test_use_backend_is_thread_local(self):
+        import threading
+
+        previous = backend.set_backend("pure")
+        seen = {}
+        try:
+            with backend.use_backend("pure") as override:
+                assert backend.get_backend() is override
+
+                def probe():
+                    seen["other"] = backend.get_backend().name
+
+                t = threading.Thread(target=probe)
+                t.start()
+                t.join()
+            # The override is gone outside the block; the other thread
+            # never saw it (it read the process-wide selection).
+            assert backend.get_backend().name == "pure"
+            assert seen["other"] == "pure"
+        finally:
+            backend.set_backend(previous)
+
+    def test_use_backend_nests_and_restores(self):
+        previous = backend.set_backend("pure")
+        try:
+            inner = backend.PurePythonBackend()
+            outer = backend.PurePythonBackend()
+            with backend.use_backend(outer):
+                assert backend.get_backend() is outer
+                with backend.use_backend(inner):
+                    assert backend.get_backend() is inner
+                assert backend.get_backend() is outer
+            assert backend.get_backend().name == "pure"
         finally:
             backend.set_backend(previous)
 
@@ -137,6 +182,81 @@ class TestGmpy2Parity:
         """A seeded scheme reveals identical winners on both backends."""
         revealed = []
         for name in ("pure", "gmpy2"):
+            previous = backend.set_backend(name)
+            try:
+                rng = SecureRandom(77)
+                rows = [[rng.randint_below(40) for _ in range(3)] for _ in range(8)]
+                scheme = SecTopK(SystemParams.tiny(), seed=13)
+                relation = scheme.encrypt(rows)
+                result = scheme.query(relation, scheme.token([0, 1], k=2))
+                revealed.append(sorted(scheme.reveal(result)))
+            finally:
+                backend.set_backend(previous)
+        assert revealed[0] == revealed[1]
+
+
+@needs_kernel
+class TestKernelParity:
+    """The compiled gmp-kernel backend is bit-identical to pure."""
+
+    CASES = [
+        (2, 10, 1_000),
+        (0, 5, 77),
+        (1, 0, 77),
+        (123456789, 987654321, 2**127 - 1),
+    ]
+
+    def test_powmod(self):
+        pure, fast = backend.PurePythonBackend(), backend.GmpKernelBackend()
+        rng = SecureRandom(3)
+        cases = list(self.CASES) + [
+            (rng.randbits(256), rng.randbits(256), rng.randbits(256) | 1)
+            for _ in range(20)
+        ]
+        for base, exp, mod in cases:
+            assert pure.powmod(base, exp, mod) == fast.powmod(base, exp, mod)
+
+    def test_powmod_vec(self):
+        pure, fast = backend.PurePythonBackend(), backend.GmpKernelBackend()
+        rng = SecureRandom(4)
+        bases = [rng.randbits(256) for _ in range(16)]
+        exp, mod = rng.randbits(256), rng.randbits(256) | 1
+        assert pure.powmod_vec(bases, exp, mod) == fast.powmod_vec(bases, exp, mod)
+
+    def test_powmod_vec_mixed_widths(self):
+        """Exponent and base words differ from modulus words (the
+        Paillier-encrypt shape: half-width exponent, double-width mod)."""
+        pure, fast = backend.PurePythonBackend(), backend.GmpKernelBackend()
+        rng = SecureRandom(12)
+        mod = rng.randbits(512) | (1 << 511) | 1
+        bases = [rng.randbits(700) for _ in range(8)] + [0, 1, mod - 1, mod, mod + 1]
+        for exp in (0, 1, 65537, rng.randbits(256)):
+            assert pure.powmod_vec(bases, exp, mod) == fast.powmod_vec(bases, exp, mod)
+
+    def test_powmod_vec_edges(self):
+        fast = backend.GmpKernelBackend()
+        assert fast.powmod_vec([], 3, 7) == []
+        with pytest.raises(ValueError):
+            fast.powmod_vec([2], 3, 0)
+        # Negative exponents take the pure fallback path.
+        assert fast.powmod_vec([3], -1, 11) == [pow(3, -1, 11)]
+
+    def test_invert(self):
+        pure, fast = backend.PurePythonBackend(), backend.GmpKernelBackend()
+        rng = SecureRandom(5)
+        mod = (2**89 - 1) * (2**107 - 1)
+        for _ in range(20):
+            a = rng.randint(1, mod - 1)
+            if pure.gcd(a, mod) != 1:
+                continue
+            assert pure.invert(a, mod) == fast.invert(a, mod)
+        with pytest.raises(ValueError):
+            fast.invert(2**89 - 1, mod)
+
+    def test_whole_query_invariant_under_backend(self):
+        """A seeded scheme reveals identical winners on both backends."""
+        revealed = []
+        for name in ("pure", "gmp-kernel"):
             previous = backend.set_backend(name)
             try:
                 rng = SecureRandom(77)
