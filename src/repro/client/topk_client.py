@@ -41,6 +41,10 @@ def connect(
     max_pending: int = 128,
     scheduler_workers: int = 8,
     shards: int = 0,
+    cache: bool = True,
+    cache_capacity: int = 256,
+    coalesce_ms: float = 0.0,
+    warm_start: bool = False,
 ) -> "TopKClient":
     """Connect a client to a relation at ``address``.
 
@@ -56,6 +60,28 @@ def connect(
     stage — transcripts (results, rounds, bytes, leakage) stay
     bit-identical to unsharded runs, and each result's
     ``stats.shards`` carries the per-shard cost slice.
+
+    The reuse layer rides on knowledge S1 already holds (L1 leakage):
+
+    ``cache``
+        Leakage-aware result cache (on by default).  A repeat of an
+        earlier query — same token fingerprint, same relation, same
+        transcript-relevant config — is served from the cache with
+        **zero** S2 round-trips and ``stats.cache_hit=True``; the
+        scheme still records the repeat, since ``query_pattern`` is
+        exactly what the paper's L1 profile says S1 learns.  Opt out
+        per query with ``QueryConfig(cache=False)`` or globally here.
+    ``coalesce_ms``
+        When positive, concurrent jobs on this relation that reach a
+        round boundary within that window share one physical
+        round-trip (``stats.coalesced_rounds`` counts them); per-job
+        transcripts stay bit-identical to solo runs.  ``0`` disables.
+    ``warm_start``
+        Use the relation's observed halting depths (L1's
+        ``halting_depth``) to place the first halting check just below
+        the shallowest depth seen, skipping pre-halt checks.  Results
+        are unchanged; only round count drops.  Also available
+        per-query via ``QueryConfig(warm_start=True)``.
     """
     server = TopKServer(
         scheme,
@@ -66,6 +92,10 @@ def connect(
         max_pending=max_pending,
         scheduler_workers=scheduler_workers,
         shards=shards,
+        cache=cache,
+        cache_capacity=cache_capacity,
+        coalesce_ms=coalesce_ms,
+        warm_start=warm_start,
     )
     return TopKClient(server, owns_server=True)
 
@@ -104,6 +134,12 @@ class TopKClient:
     def address(self) -> str:
         """The transport/backend this client's jobs run against."""
         return self._server.transport
+
+    @property
+    def stats(self) -> dict:
+        """Reuse-layer counters: result-cache hits/misses/evictions,
+        the coalescing window, and the current warm-start depth hint."""
+        return self._server.stats
 
     # -- the job surface --------------------------------------------------
 

@@ -52,6 +52,23 @@ class QueryConfig:
         run is bit-identical (results, rounds, bytes, leakage) to the
         unsharded one (see :mod:`repro.server.sharding`).  Clamped to
         the relation size for tiny relations.
+    cache:
+        Whether the server may serve this query from its leakage-aware
+        result cache (see :mod:`repro.server.query_cache`).  A hit is
+        legal exactly because the query-pattern repeat is already L1
+        leakage; ``cache=False`` forces a fresh two-cloud run and keeps
+        the result out of the cache.
+    warm_start:
+        Let the server derive ``min_check_depth`` from the relation's
+        halting-depth history (itself L1 leakage) so the engine skips
+        check points that history says cannot halt.  Never changes the
+        revealed top-k set — only the number of pre-halt rounds (the
+        same contract as the ``"batch"`` variant's sparse check grid).
+    min_check_depth:
+        Explicit first check depth (1-based): check points below it are
+        skipped.  ``None`` leaves the engine's grid untouched.  Usually
+        filled in by the server from ``warm_start`` rather than set by
+        hand.
     """
 
     variant: str = "elim"
@@ -62,6 +79,9 @@ class QueryConfig:
     sort_method: str | None = None
     max_depth: int | None = None
     shards: int | None = None
+    cache: bool = True
+    warm_start: bool = False
+    min_check_depth: int | None = None
 
     def __post_init__(self):
         # Lazy import: the registry lives with the engines, which import
@@ -81,6 +101,8 @@ class QueryConfig:
             raise QueryError("batch_p must be >= 1")
         if self.shards is not None and self.shards < 0:
             raise QueryError("shards must be >= 0")
+        if self.min_check_depth is not None and self.min_check_depth < 1:
+            raise QueryError("min_check_depth must be >= 1")
 
     def check_every(self) -> int:
         """How many depths between check points (dedup + sort + halt)."""
@@ -89,6 +111,28 @@ class QueryConfig:
     def effective_shards(self) -> int:
         """Shard-worker count this config asks for (0/1 = unsharded)."""
         return self.shards or 0
+
+    def cache_key(self) -> tuple:
+        """The config part of the result-cache key.
+
+        Covers every knob that can change what a query returns — the
+        wire transcript *or* the result's observable cost profile
+        (``shards`` is transcript-invisible but surfaces per-shard
+        stats, so it keys too).  Deliberately excludes the purely
+        operational ``cache`` flag itself.
+        """
+        return (
+            self.variant,
+            self.batch_p,
+            self.engine,
+            self.halting,
+            self.compare_method,
+            self.sort_method,
+            self.max_depth,
+            self.shards,
+            self.warm_start,
+            self.min_check_depth,
+        )
 
 
 @dataclass(frozen=True)
@@ -144,6 +188,15 @@ class QueryStats:
     """Per-shard :class:`ShardStats`, in depth order — empty for
     unsharded runs."""
 
+    cache_hit: bool = False
+    """Whether the result was served from the server's leakage-aware
+    result cache (zero S2 rounds) instead of a fresh two-cloud run."""
+
+    coalesced_rounds: int = 0
+    """How many of this query's round-trips were shared with concurrent
+    jobs on the same relation by the scan rendezvous (0 when coalescing
+    is off or no partner arrived in the window)."""
+
     @property
     def total_bytes(self) -> int:
         """Bytes in both directions."""
@@ -184,6 +237,12 @@ class QueryResult:
     """Per-shard :class:`ShardStats` of a sharded run (depth order);
     ``None`` for single-worker scans."""
 
+    cache_hit: bool = False
+    """True when the server served this result from its query cache."""
+
+    coalesced_rounds: int = 0
+    """Round-trips this query shared with concurrent jobs (rendezvous)."""
+
     @property
     def time_per_depth(self) -> float:
         """Average seconds per depth — the paper's main query metric."""
@@ -214,4 +273,6 @@ class QueryResult:
                 for e in (self.leakage_events or ())
             ),
             shards=tuple(self.shard_stats or ()),
+            cache_hit=self.cache_hit,
+            coalesced_rounds=self.coalesced_rounds,
         )

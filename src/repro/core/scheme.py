@@ -23,6 +23,8 @@ from __future__ import annotations
 import itertools
 import threading
 import warnings
+from collections import deque
+from dataclasses import replace
 
 from repro.crypto.damgard_jurik import DamgardJurik
 from repro.crypto.encoding import SignedEncoder
@@ -66,6 +68,11 @@ class SecTopK:
             2 * self.params.key_bits + 16, self._rng.spawn("s1-own")
         )
         self._query_history: set[str] = set()
+        # Per-relation halting-depth observations (also L1 leakage —
+        # every query's halting depth is declared in HD), feeding the
+        # warm-start hint.  Bounded so a long-lived scheme never grows
+        # with traffic; recent depths dominate anyway.
+        self._depth_history: dict[str, deque] = {}
         # Query-pattern state is deliberately cross-query (it IS the L1
         # leakage), but concurrent server sessions must update it safely.
         self._history_lock = threading.Lock()
@@ -111,6 +118,41 @@ class SecTopK:
         """
         with self._history_lock:
             self._query_history = set(patterns)
+
+    #: Halting-depth observations retained per relation (recent wins).
+    DEPTH_HISTORY_SIZE = 64
+
+    def record_halting_depth(self, relation_id: str, depth: int) -> None:
+        """Fold one halting-depth observation into the warm-start history.
+
+        Halting depths are L1 leakage (the ``HD`` function of Section 9),
+        so remembering them — like the query-pattern set above — reveals
+        nothing new.  Inline queries record here directly; process-mode
+        ``execute_many`` folds its workers' depths back through the
+        parent (worker scheme copies are per-task scratch).
+        """
+        with self._history_lock:
+            history = self._depth_history.get(relation_id)
+            if history is None:
+                history = self._depth_history[relation_id] = deque(
+                    maxlen=self.DEPTH_HISTORY_SIZE
+                )
+            history.append(depth)
+
+    def halting_depth_hint(self, relation_id: str) -> int | None:
+        """The earliest depth history says a query on this relation may
+        halt (``None`` with no observations yet).
+
+        The *minimum* observed depth is the safe anchor: a check point
+        below it has never been seen to halt, so skipping those rounds
+        costs nothing on history-shaped workloads — and even a query
+        that *would* have halted earlier still returns a correct top-k,
+        just from a deeper scan (exactly the ``"batch"`` variant's
+        sparse-check contract).
+        """
+        with self._history_lock:
+            history = self._depth_history.get(relation_id)
+            return min(history) if history else None
 
     def context_namespace(self) -> str:
         """Reserve a scheme-wide unique namespace for caller-built salts.
@@ -253,6 +295,7 @@ class SecTopK:
         on_event=None,
         control=None,
         session_label: str | None = None,
+        transport_wrap=None,
     ) -> S1Context:
         """Wire up a fresh S1 context and S2 crypto cloud.
 
@@ -300,6 +343,7 @@ class SecTopK:
             session_label=session_label if session_label is not None else salt,
             on_event=on_event,
             control=control,
+            transport_wrap=transport_wrap,
         )
 
     def query(
@@ -352,6 +396,17 @@ class SecTopK:
             self._query_history.add(fingerprint)
         ctx.leakage.record("S1", "SecQuery", "query_pattern", repeated)
 
+        relation_id = relation.relation_id()
+        if config.warm_start and config.min_check_depth is None:
+            # History-driven warm start: anchor the engine's check grid
+            # at the earliest halting depth this relation has shown
+            # (itself L1 leakage, recorded below).  Resolved here — not
+            # at the server — so sessions and bare scheme.query calls
+            # warm-start identically; an explicit min_check_depth wins.
+            hint = self.halting_depth_hint(relation_id)
+            if hint is not None and hint > 1:
+                config = replace(config, min_check_depth=hint)
+
         shard_view = None
         if config.effective_shards() >= 2:
             # Sharded scan: the query lists live as contiguous depth
@@ -391,6 +446,7 @@ class SecTopK:
         )
         items, halting_depth = engine.run()
         ctx.leakage.record("S1", "SecQuery", "halting_depth", halting_depth)
+        self.record_halting_depth(relation_id, halting_depth)
         return QueryResult(
             items=items,
             halting_depth=halting_depth,

@@ -13,17 +13,28 @@ address (see ARCHITECTURE.md, deployment layer).
 contiguous depth slices scanned by shard workers behind
 ``TopKServer(shards=N)`` — transcript-identical to the single-worker
 scan (see ARCHITECTURE.md, sharding).
+
+The reuse layer (see ARCHITECTURE.md, reuse layer) lives here too:
+:mod:`repro.server.query_cache` serves repeat queries with zero S2
+rounds under the paper's L1 ``query_pattern`` leakage, and
+:mod:`repro.server.rendezvous` coalesces concurrent jobs' depth-scan
+rounds into shared physical round-trips.
 """
 
 from repro.server.jobs import JobStatus, QueryJob
+from repro.server.query_cache import CacheStats, QueryCache
+from repro.server.rendezvous import ScanRendezvous
 from repro.server.sharding import ShardPlan
 from repro.server.topk_server import QuerySession, TopKServer
 
 __all__ = [
+    "CacheStats",
     "JobStatus",
+    "QueryCache",
     "QueryJob",
     "QuerySession",
     "S2Service",
+    "ScanRendezvous",
     "ShardPlan",
     "TopKServer",
 ]

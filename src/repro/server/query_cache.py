@@ -1,0 +1,133 @@
+"""Leakage-aware cross-query result cache (see ARCHITECTURE.md, reuse
+layer).
+
+The paper's L1 leakage profile already makes query repeats public: S1
+records ``query_pattern`` (token-fingerprint repeats) and
+``halting_depth`` for every query (``core/scheme.py``, Section 9's
+``QP``/``HD`` leakage functions).  A server that remembers the
+*result* of a query and serves the repeat without touching S2 therefore
+reveals nothing beyond the declared leakage — S1 already knew the two
+queries were identical, and the adversary model lets S1 see (encrypted)
+results.  That is what makes this cache "free": a hit costs zero S2
+round-trips and zero modexps and leaks exactly the ``query_pattern``
+repeat the fresh run would have leaked anyway.
+
+The cache is **per-server**, bounded LRU, keyed by
+``(relation_id, token.fingerprint(), config.cache_key())``:
+
+* ``relation_id`` — the relation's content fingerprint, so a relation
+  re-registered with different content can never serve stale results
+  (the server invalidates its entries on re-registration as well);
+* ``token.fingerprint()`` — exactly the query-pattern leakage handle,
+  so the key itself introduces no new leakage;
+* ``config.cache_key()`` — every knob that can change the result or its
+  transcript (engine, variant, halting rule, …); operational knobs such
+  as ``shards`` are excluded because they are transcript-invisible.
+
+A hit serves a **deep copy** of the stored :class:`QueryResult` so
+callers can never mutate each other's results through the cache.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`QueryCache` (frozen snapshot)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class QueryCache:
+    """Bounded, thread-safe LRU of finished :class:`QueryResult`\\ s."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    @staticmethod
+    def key(relation_id: str, fingerprint: str, config) -> tuple:
+        """The cache key for one query (see module docstring)."""
+        return (relation_id, fingerprint, config.cache_key())
+
+    def get(self, key: tuple):
+        """A deep copy of the stored result, or ``None`` on a miss.
+
+        Counts the lookup either way and refreshes the entry's LRU
+        position on a hit.  The copy is taken outside the lock — the
+        stored result is never mutated, so concurrent copiers are safe.
+        """
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        return copy.deepcopy(result)
+
+    def put(self, key: tuple, result) -> None:
+        """Store a finished result, evicting the LRU tail if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_relation(self, relation_id: str) -> int:
+        """Drop every entry of one relation (re-registration hook)."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == relation_id]
+            for k in stale:
+                del self._entries[k]
+            self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Frozen snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,236 @@
+"""Shared depth-scan coalescing: one round-trip for N concurrent jobs.
+
+The paper's query cost is dominated by per-depth S1↔S2 round-trips.
+``RoundBatcher`` already coalesces one *job's* per-depth requests into a
+single round; this module coalesces across *jobs*: concurrent scans of
+the same relation that reach a round boundary within a small window
+rendezvous, put all their request frames in flight together (the
+transports' split-phase ``begin_exchange``/``finish_exchange``), and pay
+~one physical round-trip instead of N.
+
+Design constraints that shape the implementation:
+
+* **Per-job transcripts must stay bit-identical to solo runs.**  Every
+  job keeps its own transport/session, codec, crypto cloud and channel
+  accounting; the rendezvous only changes *when* requests go out, never
+  what they contain.  Replies demultiplex naturally (queue pair per
+  threaded transport, session-tagged frames per socket).
+* **Latency is shared, not multiplied.**  A group's leader drives all
+  members' ``begin`` phases, then all ``finish`` phases; simulated link
+  latency (:class:`~repro.net.transport.LatencyTransport`) is slept
+  exactly once per group, at the max of the members' RTTs — a group of
+  one therefore costs exactly what a plain exchange costs.
+* **Nothing may hang at shutdown.**  :meth:`ScanRendezvous.close` fails
+  the unsealed round with :class:`~repro.exceptions.JobCancelled` and
+  rejects later exchanges, so a job parked at the barrier surfaces a
+  clean cancellation instead of waiting forever.
+
+The window only opens when at least two jobs are *enrolled* (a job
+enrolls for the duration of its run): a lone scan never waits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import JobCancelled
+from repro.net.transport import Transport
+
+
+class _Member:
+    """One job's participation in one coalesced round."""
+
+    __slots__ = ("transport", "messages", "reply", "error")
+
+    def __init__(self, transport, messages):
+        self.transport = transport
+        self.messages = messages
+        self.reply = None
+        self.error: BaseException | None = None
+
+
+class _Round:
+    """One rendezvous round: members joining until sealed, then driven
+    to completion by its leader (the first arriver)."""
+
+    __slots__ = ("members", "sealed", "seal_event", "done", "group_size")
+
+    def __init__(self):
+        self.members: list[_Member] = []
+        self.sealed = False
+        self.seal_event = threading.Event()
+        self.done = threading.Event()
+        self.group_size = 1
+
+
+class ScanRendezvous:
+    """Relation-scoped round rendezvous for a :class:`TopKServer`.
+
+    A server holds one relation, so one rendezvous per server is the
+    "relation-keyed" rendezvous; ``window_ms`` is how long the first
+    arriver of a round holds the door for concurrent jobs (a few ms —
+    enough for jobs separated by scheduling jitter, far below an RTT).
+    """
+
+    def __init__(self, window_ms: float):
+        if window_ms <= 0:
+            raise ValueError("rendezvous window must be positive")
+        self.window_ms = window_ms
+        self._lock = threading.Lock()
+        self._enrolled = 0
+        self._current: _Round | None = None
+        self._closed = False
+
+    # -- enrollment ------------------------------------------------------
+
+    def enroll(self) -> None:
+        """A job announces it will be exchanging rounds (run start)."""
+        with self._lock:
+            self._enrolled += 1
+
+    def withdraw(self) -> None:
+        """Undo one :meth:`enroll` (run end, success or failure).
+
+        If the departing job was what a waiting leader counted on, the
+        leader's window simply expires — withdrawal never strands a
+        round.
+        """
+        with self._lock:
+            self._enrolled -= 1
+
+    # -- the coalesced exchange ------------------------------------------
+
+    def exchange(self, transport: Transport, messages: list) -> tuple[list, bool]:
+        """One round-trip through the rendezvous.
+
+        Returns ``(replies, shared)`` where ``shared`` says whether the
+        round was coalesced with at least one other job.  With a single
+        enrolled job this is a plain ``transport.exchange`` — zero added
+        latency, bit-identical transcript.
+        """
+        with self._lock:
+            if self._closed:
+                raise JobCancelled("server closed the scan rendezvous")
+            if self._enrolled <= 1:
+                rnd = None
+            else:
+                rnd = self._current
+                if rnd is None or rnd.sealed:
+                    rnd = _Round()
+                    self._current = rnd
+                    leader = True
+                else:
+                    leader = False
+                member = _Member(transport, messages)
+                rnd.members.append(member)
+                if len(rnd.members) >= self._enrolled:
+                    # Everyone who could arrive has arrived: no reason
+                    # to hold the door for the rest of the window.
+                    rnd.seal_event.set()
+        if rnd is None:
+            return transport.exchange(messages), False
+        if leader:
+            rnd.seal_event.wait(self.window_ms / 1000.0)
+            with self._lock:
+                rnd.sealed = True
+                if self._current is rnd:
+                    self._current = None
+                failed = self._closed and member.error is not None
+            if not failed:
+                self._drive(rnd)
+        else:
+            rnd.done.wait()
+        if member.error is not None:
+            raise member.error
+        return member.reply, rnd.group_size >= 2
+
+    def _drive(self, rnd: _Round) -> None:
+        """Leader: run every member's begin phase, then every finish
+        phase, then sleep the group's single shared link latency.
+
+        Member failures are isolated — one job's dead session fails that
+        job only.  ``done`` is set in a ``finally`` so followers can
+        never be stranded by a leader crash.
+        """
+        try:
+            rnd.group_size = len(rnd.members)
+            begun: list[tuple[_Member, object]] = []
+            for member in rnd.members:
+                try:
+                    begun.append(
+                        (member, member.transport.begin_exchange(member.messages))
+                    )
+                except BaseException as exc:  # noqa: BLE001 — isolate per member
+                    member.error = exc
+            for member, state in begun:
+                try:
+                    member.reply = member.transport.finish_exchange(state)
+                except BaseException as exc:  # noqa: BLE001 — isolate per member
+                    member.error = exc
+            # LatencyTransport skips its sleep on the split phases so the
+            # group can share one round-trip's worth of latency here.
+            rtt_ms = max(
+                (getattr(m.transport, "rtt_ms", 0.0) for m in rnd.members),
+                default=0.0,
+            )
+            if rtt_ms > 0:
+                time.sleep(rtt_ms / 1000.0)
+        except BaseException as exc:  # noqa: BLE001 — leader must not strand followers
+            for member in rnd.members:
+                if member.error is None and member.reply is None:
+                    member.error = exc
+            raise
+        finally:
+            rnd.done.set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Fail the open round and refuse new ones (server shutdown).
+
+        Any job parked at the barrier — a leader waiting out its window
+        or a follower waiting on the leader — wakes immediately with
+        :class:`JobCancelled`; a sealed round already being driven is
+        left to finish (its exchanges are in flight and aborting them
+        mid-round would desynchronize the sessions).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            rnd, self._current = self._current, None
+            if rnd is not None and not rnd.sealed:
+                rnd.sealed = True
+                failure = JobCancelled(
+                    "server closed while the job waited at the scan rendezvous"
+                )
+                for member in rnd.members:
+                    member.error = failure
+        if rnd is not None:
+            rnd.seal_event.set()
+            rnd.done.set()
+
+
+class CoalescingTransport(Transport):
+    """Per-job transport wrapper routing every round through the
+    rendezvous and counting how many were actually shared."""
+
+    def __init__(self, inner: Transport, rendezvous: ScanRendezvous):
+        self.inner = inner
+        self.rendezvous = rendezvous
+        self.coalesced_rounds = 0
+
+    def exchange(self, messages: list) -> list:
+        replies, shared = self.rendezvous.exchange(self.inner, messages)
+        if shared:
+            self.coalesced_rounds += 1
+        return replies
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __getattr__(self, name):
+        # Transparent wrapper, like LatencyTransport: backend-specific
+        # surface stays reachable.
+        return getattr(self.inner, name)

@@ -146,6 +146,8 @@ class _Session:
                 self.connection.send_error(
                     self.session_id, type(exc).__name__, str(exc)
                 )
+            finally:
+                self.connection.service._request_done()
 
     def stop(self) -> None:
         """Finish queued rounds, then retire the service thread."""
@@ -301,6 +303,8 @@ class S2Service:
             "sessions_active": 0,
             "job_sessions": 0,
             "requests_served": 0,
+            "requests_in_flight": 0,
+            "requests_in_flight_peak": 0,
         }
         self._closed = threading.Event()
 
@@ -512,6 +516,17 @@ class S2Service:
     def _request_received(self) -> None:
         with self._lock:
             self._stats["requests_served"] += 1
+            in_flight = self._stats["requests_in_flight"] + 1
+            self._stats["requests_in_flight"] = in_flight
+            # Peak concurrency is how rendezvous coalescing shows up on
+            # the daemon side: a coalesced group of N jobs lands N
+            # REQUEST frames near-simultaneously.
+            if in_flight > self._stats["requests_in_flight_peak"]:
+                self._stats["requests_in_flight_peak"] = in_flight
+
+    def _request_done(self) -> None:
+        with self._lock:
+            self._stats["requests_in_flight"] -= 1
 
     def _connection_closed(self, connection: _Connection) -> None:
         with self._lock:

@@ -44,6 +44,7 @@ makes concurrency wins measurable on few-core machines.
 from __future__ import annotations
 
 import contextlib
+import copy
 import pickle
 import queue
 import threading
@@ -60,8 +61,10 @@ from repro.crypto.parallel import ComputePool, make_pool_executor, pool_start_me
 from repro.exceptions import JobCancelled, JobTimeout, TransportError
 from repro.net.channel import ChannelStats
 from repro.net.socket_transport import is_socket_address
-from repro.protocols.base import LeakageLog, S1Context, owned_context
+from repro.protocols.base import LeakageEvent, LeakageLog, S1Context, owned_context
 from repro.server.jobs import JobStatus, QueryJob
+from repro.server.query_cache import QueryCache
+from repro.server.rendezvous import CoalescingTransport, ScanRendezvous
 
 # The relation store: (scheme, relation) pairs keyed by relation id, with
 # the blob each spawn-started worker needs pickled at most once.  In the
@@ -147,6 +150,7 @@ def _run_salted_query(
     control=None,
     session_label: str | None = None,
     shard_executor=None,
+    transport_wrap=None,
 ) -> QueryResult:
     """One salted query with leakage attached — the single body behind
     both the in-process path and the worker path, so the two can never
@@ -154,14 +158,15 @@ def _run_salted_query(
 
     ``on_event`` / ``control`` are the job hooks (progress streaming,
     cooperative cancellation); they are observations only, so a hooked
-    run is transcript-identical to a bare one.  When the query fails, a
-    dead transport's secondary close error is suppressed so the
-    original failure surfaces undisturbed.
+    run is transcript-identical to a bare one.  ``transport_wrap``
+    interposes on the context's link (the scan rendezvous rides here).
+    When the query fails, a dead transport's secondary close error is
+    suppressed so the original failure surfaces undisturbed.
     """
     ctx = scheme._make_context(
         transport=transport, salt=salt, compute=compute, rtt_ms=rtt_ms,
         relation=relation, on_event=on_event, control=control,
-        session_label=session_label,
+        session_label=session_label, transport_wrap=transport_wrap,
     )
     with owned_context(ctx):
         # scheme._query attaches the per-query leakage slice itself; on
@@ -299,6 +304,34 @@ class TopKServer:
         scheduler places on its shard-worker pool; the fan-in merge
         keeps the S2-visible transcript bit-identical to unsharded
         execution (see :mod:`repro.server.sharding`).
+    cache:
+        Leakage-aware result cache (default on): a repeat of a query the
+        server already answered — same relation, token fingerprint and
+        config — is served as a deep copy of the stored result with
+        **zero** S2 round-trips.  Legal because the repeat itself is
+        already L1 leakage (``query_pattern``); see
+        :mod:`repro.server.query_cache` for the full argument.
+        ``QueryConfig(cache=False)`` opts a single query out both ways
+        (never served from, never stored into); ``cache=False`` here
+        disables the cache entirely.  Sessions always run fresh — a
+        session owns a live protocol context whose per-session
+        accounting a cache hit would falsify.
+    cache_capacity:
+        LRU bound of the result cache (entries).
+    coalesce_ms:
+        Scan-rendezvous window (default 0 = off): with ``N >= 2``
+        concurrent jobs running, a job reaching a round boundary holds
+        the door this many milliseconds for the others, and the group's
+        S2 requests go out as one combined round-trip (per-job
+        transcripts stay bit-identical to solo runs; see
+        :mod:`repro.server.rendezvous`).  Pick a couple of milliseconds
+        — enough for scheduling jitter, far below an RTT.
+    warm_start:
+        Make every query warm-start by default (as if
+        ``QueryConfig(warm_start=True)``): the engine's first halting
+        check is anchored at the earliest halting depth this relation's
+        history has shown (itself L1 leakage), skipping rounds that
+        history says cannot halt.  Never changes the returned top-k set.
     """
 
     _IDLE_TTL = 0.5  # seconds a scheduler worker waits before retiring
@@ -314,6 +347,10 @@ class TopKServer:
         max_pending: int = 128,
         scheduler_workers: int = 8,
         shards: int = 0,
+        cache: bool = True,
+        cache_capacity: int = 256,
+        coalesce_ms: float = 0.0,
+        warm_start: bool = False,
     ):
         self.scheme = scheme
         self.relation = relation
@@ -333,7 +370,17 @@ class TopKServer:
             raise ValueError("scheduler_workers must be >= 1")
         if shards < 0:
             raise ValueError("shards must be >= 0")
+        if coalesce_ms < 0:
+            raise ValueError("coalesce_ms must be >= 0")
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
         self.shards = shards
+        self.warm_start = warm_start
+        self.coalesce_ms = coalesce_ms
+        # Cross-query reuse layer: result cache + scan rendezvous (see
+        # ARCHITECTURE.md, reuse layer).
+        self._cache = QueryCache(cache_capacity) if cache else None
+        self._rendezvous = ScanRendezvous(coalesce_ms) if coalesce_ms > 0 else None
         # Shard-worker thread pool, created on the first sharded job and
         # shared by every job/session of this server (the scheduler's
         # placement target for shard slice preparation and window
@@ -413,16 +460,20 @@ class TopKServer:
     # -- sharding --------------------------------------------------------
 
     def _effective_config(self, config: QueryConfig | None) -> QueryConfig | None:
-        """Fill the server's default shard count into an unset config.
+        """Fill the server's defaults into an unset config.
 
         ``QueryConfig(shards=...)`` always wins; a config that leaves
-        ``shards`` at ``None`` inherits ``TopKServer(shards=N)``.  The
-        resolution happens once, at job creation, so every execution
-        path — inline, windowed, worker process — sees the same
-        effective config.
+        ``shards`` at ``None`` inherits ``TopKServer(shards=N)``, and
+        ``TopKServer(warm_start=True)`` turns warm starts on for every
+        query that did not ask for them itself.  The resolution happens
+        once, at job creation, so every execution path — inline,
+        windowed, worker process, session — sees the same effective
+        config.
         """
         if self.shards and (config is None or config.shards is None):
-            return replace(config or QueryConfig(), shards=self.shards)
+            config = replace(config or QueryConfig(), shards=self.shards)
+        if self.warm_start and (config is None or not config.warm_start):
+            config = replace(config or QueryConfig(), warm_start=True)
         return config
 
     #: Thread cap of the lazily-created shard-worker pool.  Sized from
@@ -453,6 +504,89 @@ class TopKServer:
                     thread_name_prefix=f"topk-shard-{self._salt_namespace}",
                 )
             return self._shard_pool
+
+    # -- result cache ----------------------------------------------------
+
+    def _cache_enabled(self, config: QueryConfig | None) -> bool:
+        return self._cache is not None and (config is None or config.cache)
+
+    def _cache_key(self, token: Token, config: QueryConfig | None) -> tuple:
+        return QueryCache.key(
+            self._relation_key, token.fingerprint(), config or QueryConfig()
+        )
+
+    def _cache_lookup(self, token: Token, config: QueryConfig | None):
+        """Serve a repeat query from the cache, or ``None`` on a miss.
+
+        A hit is reshaped into what it is: zero S2 traffic, zero scanned
+        depths, and exactly the ``query_pattern`` repeat a fresh run of
+        the same token would have leaked (the repeat bit is necessarily
+        ``True`` — the entry exists because an identical query already
+        ran, and the pattern history never forgets).  The scheme's
+        query-pattern history is still updated so later queries see the
+        same L1 state a fresh run would have left behind.
+        """
+        if not self._cache_enabled(config):
+            return None
+        result = self._cache.get(self._cache_key(token, config))
+        if result is None:
+            return None
+        self.scheme.record_query_patterns([token])
+        vars(result).pop("stats", None)  # cached_property of the stored run
+        result.channel_stats = ChannelStats()
+        result.leakage_events = [
+            LeakageEvent("S1", "SecQuery", "query_pattern", True)
+        ]
+        result.depth_seconds = []
+        result.shard_stats = None
+        result.cache_hit = True
+        result.coalesced_rounds = 0
+        return result
+
+    def _cache_store(self, token: Token, config: QueryConfig | None, result) -> None:
+        """Keep a fresh result for future repeats (deep copy: the caller
+        owns — and may mutate — the returned object)."""
+        if not self._cache_enabled(config):
+            return
+        self._cache.put(self._cache_key(token, config), copy.deepcopy(result))
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached result (returns how many were dropped)."""
+        return self._cache.clear() if self._cache is not None else 0
+
+    def register_relation(self, relation: EncryptedRelation) -> None:
+        """Re-register the relation this server serves.
+
+        Swaps the served relation (typically a re-encrypted or updated
+        build) and invalidates every cached result of both the old and
+        the new relation id — a re-registration declares the previous
+        results stale even when the content fingerprint is unchanged.
+        In-flight jobs finish against the relation they started with.
+        """
+        with self._session_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            old_key = self._relation_key
+            self._relation_key = _export_relation(self.scheme, relation)
+            self.relation = relation
+            new_key = self._relation_key
+        if self._cache is not None:
+            self._cache.invalidate_relation(old_key)
+            if new_key != old_key:
+                self._cache.invalidate_relation(new_key)
+        _release_relation(old_key)
+
+    @property
+    def stats(self) -> dict:
+        """Operational counters of the reuse layer (cache + hints)."""
+        return {
+            "cache": self._cache.stats() if self._cache is not None else None,
+            "coalesce_ms": self.coalesce_ms,
+            "warm_start": self.warm_start,
+            "halting_depth_hint": self.scheme.halting_depth_hint(
+                self._relation_key
+            ),
+        }
 
     # -- job submission (the scheduler's front door) ---------------------
 
@@ -592,21 +726,51 @@ class TopKServer:
 
     def _run_inline(self, job: QueryJob) -> QueryResult:
         """Default runner: the job's query in this scheduler thread
-        (shard work, if any, placed on the server's shard-worker pool)."""
-        return _run_salted_query(
-            self.scheme,
-            self.relation,
-            self.transport,
-            self.rtt_ms,
-            self._compute,
-            self._request_salt(job.job_id),
-            job.token,
-            job.config,
-            on_event=job._record_event,
-            control=job._control,
-            session_label=f"job-{job.job_id}",
-            shard_executor=self._shard_executor(job.config),
-        )
+        (shard work, if any, placed on the server's shard-worker pool).
+
+        Reuse layer, in order: a cache hit returns immediately (zero
+        rounds, no rendezvous enrollment — the job exchanges nothing);
+        otherwise the job enrolls in the scan rendezvous (when enabled)
+        so its rounds can share round-trips with concurrent jobs, and
+        its fresh result feeds the cache on the way out.
+        """
+        cached = self._cache_lookup(job.token, job.config)
+        if cached is not None:
+            return cached
+        rendezvous = self._rendezvous
+        wrappers: list[CoalescingTransport] = []
+        transport_wrap = None
+        if rendezvous is not None:
+
+            def transport_wrap(link):
+                wrapper = CoalescingTransport(link, rendezvous)
+                wrappers.append(wrapper)
+                return wrapper
+
+            rendezvous.enroll()
+        try:
+            result = _run_salted_query(
+                self.scheme,
+                self.relation,
+                self.transport,
+                self.rtt_ms,
+                self._compute,
+                self._request_salt(job.job_id),
+                job.token,
+                job.config,
+                on_event=job._record_event,
+                control=job._control,
+                session_label=f"job-{job.job_id}",
+                shard_executor=self._shard_executor(job.config),
+                transport_wrap=transport_wrap,
+            )
+        finally:
+            if rendezvous is not None:
+                rendezvous.withdraw()
+        if wrappers:
+            result.coalesced_rounds = wrappers[0].coalesced_rounds
+        self._cache_store(job.token, job.config, result)
+        return result
 
     def _make_process_runner(self, executor, salt: str, prior: frozenset):
         """Runner for one ``execute_many(mode="process")`` job: hand the
@@ -616,13 +780,20 @@ class TopKServer:
         dropped)."""
 
         def run(job: QueryJob) -> QueryResult:
+            # The cache lives in the parent: a repeat query never even
+            # reaches the pool (the hit itself re-records the pattern).
+            cached = self._cache_lookup(job.token, job.config)
+            if cached is not None:
+                return cached
             future = executor.submit(_run_query, salt, job.token, job.config, prior)
             try:
-                return future.result(timeout=job._control.remaining)
+                result = future.result(timeout=job._control.remaining)
             except TimeoutError:
                 raise JobTimeout(
                     "process-mode job deadline exceeded (worker result dropped)"
                 ) from None
+            self._cache_store(job.token, job.config, result)
+            return result
 
         return run
 
@@ -819,6 +990,16 @@ class TopKServer:
                 and not isinstance(job._error, (BrokenProcessPool, CancelledError))
             ]
         )
+        # Worker scheme copies recorded their halting depths into
+        # per-task scratch; fold the observations into the parent's
+        # warm-start history the same way the patterns fold above.
+        # Cache hits stay out — they observed nothing new.
+        for job in jobs:
+            result = job._result
+            if result is not None and not result.cache_hit:
+                self.scheme.record_halting_depth(
+                    self._relation_key, result.halting_depth
+                )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -851,6 +1032,11 @@ class TopKServer:
             threads = list(self._scheduler_thread_objs)
         for job in running:
             job.cancel()
+        # Drain the scan rendezvous before joining anything: a job parked
+        # at the coalescing barrier must wake with JobCancelled, not hang
+        # waiting for peers that will never arrive.
+        if self._rendezvous is not None:
+            self._rendezvous.close()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
         self._drain_queue()
