@@ -54,6 +54,7 @@ from repro.crypto.paillier import PaillierKeypair
 from repro.crypto.damgard_jurik import DamgardJurik
 from repro.crypto.parallel import ComputePool
 from repro.crypto.rng import SecureRandom
+from repro.obs.trace import trace_phases
 from repro.server import TopKServer
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "parallel.json"
@@ -324,6 +325,9 @@ def throughput_row(
                 )
             elapsed = time.perf_counter() - started
         assert all(len(r.items) == 2 for r in results)
+        # Per-phase breakdown from the jobs' trace timelines: where the
+        # batch's wall clock went (queue wait vs rounds vs pool batches).
+        phases = trace_phases([r.trace or () for r in results])
         return {
             "backend": backend_name,
             "mode": mode,
@@ -332,6 +336,10 @@ def throughput_row(
             "queries": n_queries,
             "seconds": round(elapsed, 3),
             "qps": round(n_queries / elapsed, 3),
+            "phases": {
+                name: {"seconds": round(v["seconds"], 4), "count": v["count"]}
+                for name, v in sorted(phases.items())
+            },
         }
     finally:
         backend.set_backend(previous)

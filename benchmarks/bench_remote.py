@@ -39,6 +39,7 @@ from repro.core.results import QueryConfig
 from repro.core.scheme import SecTopK
 from repro.crypto.rng import SecureRandom
 from repro.net.socket_transport import disconnect_all
+from repro.obs.trace import trace_phases
 from repro.server import TopKServer
 from repro.server.s2_service import launch_daemon
 
@@ -72,12 +73,20 @@ def throughput_row(
         results = server.execute_many(requests, concurrency=concurrency)
         elapsed = time.perf_counter() - started
     assert all(len(r.items) == 2 for r in results)
+    # Per-phase breakdown from the jobs' trace timelines — the remote
+    # legs additionally carry "s2" spans (daemon-side decrypt batches
+    # piggybacked on the v3 protocol's progress frames).
+    phases = trace_phases([r.trace or () for r in results])
     return {
         "transport": label,
         "concurrency": concurrency,
         "queries": n_queries,
         "seconds": round(elapsed, 3),
         "qps": round(n_queries / elapsed, 3),
+        "phases": {
+            name: {"seconds": round(v["seconds"], 4), "count": v["count"]}
+            for name, v in sorted(phases.items())
+        },
     }
 
 

@@ -226,6 +226,66 @@ def run_submit_pipeline(rtt_ms: float = 10.0, out: pathlib.Path | None = None) -
     return report
 
 
+def run_instrumentation_overhead(
+    repeats: int = 3, out: pathlib.Path | None = None
+) -> dict:
+    """The observability tax: identical workload with metrics recording
+    on vs off, best-of-``repeats`` wall clock each way.
+
+    Instruments are a handful of lock-guarded float updates amid big-int
+    crypto, so the ratio should be statistical noise (the CI perf-smoke
+    leg asserts < 5%).  Best-of-N min times keep scheduler jitter out of
+    the ratio.  Merged into ``benchmarks/results/client.json`` under
+    ``"instrumentation_overhead"``.
+    """
+    from repro.obs.metrics import set_enabled
+
+    def _run_once(metrics_on: bool) -> float:
+        set_enabled(metrics_on)
+        try:
+            scheme, relation, _ = _deployment()
+            requests = _workload(scheme, N_QUERIES)
+            with TopKServer(scheme, relation) as server:
+                started = time.perf_counter()
+                results = server.execute_many(requests, concurrency=1)
+                elapsed = time.perf_counter() - started
+            assert all(len(r.items) == 2 for r in results)
+            return elapsed
+        finally:
+            set_enabled(True)
+
+    # One discarded warm-up, then the legs interleave: measuring all of
+    # one leg before the other would fold warm-up and allocator drift
+    # into whichever leg ran first.
+    _run_once(True)
+    seconds_off = seconds_on = float("inf")
+    for _ in range(repeats):
+        seconds_off = min(seconds_off, _run_once(False))
+        seconds_on = min(seconds_on, _run_once(True))
+    ratio = seconds_on / seconds_off
+    report = {
+        "meta": {
+            "note": "best-of-N min wall clock for the identical workload "
+            "with instrument recording enabled vs disabled "
+            "(set_enabled); transcripts are bit-identical either way",
+            "repeats": repeats,
+            "queries": N_QUERIES,
+        },
+        "seconds_metrics_off": round(seconds_off, 4),
+        "seconds_metrics_on": round(seconds_on, 4),
+        "ratio": round(ratio, 4),
+        "overhead_pct": round((ratio - 1.0) * 100.0, 2),
+    }
+    out = out or CLIENT_RESULTS
+    out.parent.mkdir(parents=True, exist_ok=True)
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged["instrumentation_overhead"] = report
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"wrote {out} (instrumentation_overhead)")
+    print(json.dumps({"overhead_pct": report["overhead_pct"]}, indent=2))
+    return report
+
+
 def _reuse_workload(scheme: SecTopK, count: int, repeat_heavy: bool):
     """``count`` requests; repeat-heavy interleaves one hot token at
     every odd position (its first occurrence, position 0, is fresh)."""
@@ -445,9 +505,15 @@ def test_reuse_grid_series():
     run_reuse_grid()
 
 
+def test_instrumentation_overhead_series():
+    """Pytest entry point: emit the metrics on/off overhead leg."""
+    run_instrumentation_overhead()
+
+
 if __name__ == "__main__":
     run_throughput().emit("throughput.txt")
     run_coalescing().emit("throughput.txt")
     run_submit_pipeline()
     run_reuse_grid()
     run_shard_sweep()
+    run_instrumentation_overhead()

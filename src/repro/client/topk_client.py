@@ -45,6 +45,7 @@ def connect(
     cache_capacity: int = 256,
     coalesce_ms: float = 0.0,
     warm_start: bool = False,
+    metrics_port: int | None = None,
 ) -> "TopKClient":
     """Connect a client to a relation at ``address``.
 
@@ -82,6 +83,10 @@ def connect(
         the shallowest depth seen, skipping pre-halt checks.  Results
         are unchanged; only round count drops.  Also available
         per-query via ``QueryConfig(warm_start=True)``.
+
+    ``metrics_port`` mounts the server's Prometheus ``/metrics`` +
+    ``/healthz`` endpoint on ``127.0.0.1`` (``0`` = ephemeral port, read
+    back from ``client.server.metrics_port``; ``None`` = no exporter).
     """
     server = TopKServer(
         scheme,
@@ -96,6 +101,7 @@ def connect(
         cache_capacity=cache_capacity,
         coalesce_ms=coalesce_ms,
         warm_start=warm_start,
+        metrics_port=metrics_port,
     )
     return TopKClient(server, owns_server=True)
 

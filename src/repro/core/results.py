@@ -197,6 +197,13 @@ class QueryStats:
     jobs on the same relation by the scan rendezvous (0 when coalescing
     is off or no partner arrived in the window)."""
 
+    trace: tuple = field(default=(), compare=False)
+    """The job's frozen trace timeline — :class:`~repro.obs.trace.Span`
+    tuples (queued, run, per-round laps, pool/S2 sub-spans) when the
+    query ran through the server's job scheduler; empty for bare
+    ``scheme.query`` calls.  Wall-clock observation, so excluded from
+    equality (two transcript-identical runs never share timings)."""
+
     @property
     def total_bytes(self) -> int:
         """Bytes in both directions."""
@@ -243,6 +250,10 @@ class QueryResult:
     coalesced_rounds: int = 0
     """Round-trips this query shared with concurrent jobs (rendezvous)."""
 
+    trace: tuple | None = None
+    """Frozen :class:`~repro.obs.trace.Span` timeline attached by the
+    job scheduler (``None`` until a job's ``_finish_result`` sets it)."""
+
     @property
     def time_per_depth(self) -> float:
         """Average seconds per depth — the paper's main query metric."""
@@ -275,4 +286,5 @@ class QueryResult:
             shards=tuple(self.shard_stats or ()),
             cache_hit=self.cache_hit,
             coalesced_rounds=self.coalesced_rounds,
+            trace=tuple(self.trace or ()),
         )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import warnings
 from collections import deque
 from dataclasses import replace
@@ -33,6 +34,7 @@ from repro.crypto.prf import random_key
 from repro.crypto.prp import Prp
 from repro.crypto.rng import SecureRandom
 from repro.exceptions import DataError, QueryError
+from repro.obs.metrics import REGISTRY
 from repro.protocols.base import S1Context, _wire_clouds, owned_context
 from repro.core.engine import build_engine
 from repro.core.params import SystemParams
@@ -42,6 +44,21 @@ from repro.core.token import Token
 from repro.structures.ehl import EhlFactory
 from repro.structures.ehl_plus import EhlPlusFactory
 from repro.structures.items import EncryptedItem, weight_entries
+
+
+# Per-engine query cost instruments (observation only — recorded after
+# the engine run, off every protocol path).
+_QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds",
+    "End-to-end engine-run wall-clock per query.",
+    labelnames=("engine",),
+)
+_QUERY_ROUNDS = REGISTRY.histogram(
+    "repro_query_rounds",
+    "Physical round-trips per query.",
+    labelnames=("engine",),
+    buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000),
+)
 
 
 class SecTopK:
@@ -444,13 +461,19 @@ class SecTopK:
             config.compare_method or self.params.compare_method,
             config.sort_method or self.params.sort_method,
         )
+        run_start = time.perf_counter()
         items, halting_depth = engine.run()
         ctx.leakage.record("S1", "SecQuery", "halting_depth", halting_depth)
         self.record_halting_depth(relation_id, halting_depth)
+        channel_stats = ctx.channel.snapshot().delta(stats_start)
+        _QUERY_SECONDS.labels(engine=config.engine).observe(
+            time.perf_counter() - run_start
+        )
+        _QUERY_ROUNDS.labels(engine=config.engine).observe(channel_stats.rounds)
         return QueryResult(
             items=items,
             halting_depth=halting_depth,
-            channel_stats=ctx.channel.snapshot().delta(stats_start),
+            channel_stats=channel_stats,
             depth_seconds=engine.depth_seconds,
             config=config,
             leakage_events=list(ctx.leakage.events[events_start:]),

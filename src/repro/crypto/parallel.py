@@ -49,9 +49,11 @@ typed :class:`~repro.exceptions.ComputePoolError` rather than leaking
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import threading
+import time
 import weakref
 from concurrent.futures import (
     BrokenExecutor,
@@ -63,9 +65,47 @@ from multiprocessing import shared_memory
 
 from repro.crypto import backend, kernels
 from repro.exceptions import ComputePoolError
+from repro.obs.metrics import REGISTRY
 
 # Worker-process state, installed by the pool initializer.
 _WORKER: dict = {}
+
+# Pool cost instruments (observation only: recorded after each batch /
+# chunk completes, never on the value path).
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_pool_batch_seconds",
+    "Compute-pool batch wall-clock, fan-out and gather included.",
+    labelnames=("op",),
+)
+_CHUNK_SECONDS = REGISTRY.histogram(
+    "repro_pool_chunk_seconds",
+    "Per-chunk wall-clock from submit to result.",
+    labelnames=("op",),
+)
+_SLAB_FALLBACKS = REGISTRY.counter(
+    "repro_pool_slab_fallbacks_total",
+    "Chunks that outgrew their shared-memory slot and fell back to "
+    "pickle transport.",
+)
+
+# Thread-local batch observer: the server's job runner installs a
+# callback here (observe_batches) so compute-pool batches served on the
+# job's own thread (inprocess transport) attribute to that job as
+# PoolBatch events.  Callback errors are swallowed — observation only.
+_batch_observer = threading.local()
+
+
+@contextlib.contextmanager
+def observe_batches(callback):
+    """Scope a per-thread pool-batch callback: ``callback(op, values,
+    seconds)`` fires after every batch :class:`ComputePool` serves on
+    this thread."""
+    previous = getattr(_batch_observer, "callback", None)
+    _batch_observer.callback = callback
+    try:
+        yield
+    finally:
+        _batch_observer.callback = previous
 
 
 def _attach_slab(shm_name: str | None, slot_bytes: int) -> None:
@@ -313,7 +353,11 @@ class ComputePool:
     def _submit_chunks(self, op: str, chunks: list[list[int]]) -> list:
         if self.mode == "thread":
             return [
-                (self._executor.submit(self._thread_chunk, op, chunk), None)
+                (
+                    self._executor.submit(self._thread_chunk, op, chunk),
+                    None,
+                    time.perf_counter(),
+                )
                 for chunk in chunks
             ]
         futures = []
@@ -337,18 +381,28 @@ class ComputePool:
                     (
                         self._executor.submit(_chunk_shm, op, slot, len(chunk), words),
                         (slot, words),
+                        time.perf_counter(),
                     )
                 )
             else:
+                if words:
+                    # Slab configured but this chunk outgrew its slot.
+                    _SLAB_FALLBACKS.inc()
                 futures.append(
-                    (self._executor.submit(_CHUNK_OPS[op], chunk), None)
+                    (
+                        self._executor.submit(_CHUNK_OPS[op], chunk),
+                        None,
+                        time.perf_counter(),
+                    )
                 )
         return futures
 
-    def _gather(self, futures: list) -> list[int]:
+    def _gather(self, op: str, futures: list) -> list[int]:
         out: list[int] = []
-        for future, placement in futures:
+        chunk_seconds = _CHUNK_SECONDS.labels(op=op)
+        for future, placement, submitted in futures:
             result = future.result()
+            chunk_seconds.observe(time.perf_counter() - submitted)
             if placement is None:
                 out.extend(result)
             else:
@@ -365,14 +419,20 @@ class ComputePool:
             raise RuntimeError("compute pool is closed")
         n_chunks = _chunk_count(len(values), self.workers, self.min_batch)
         if len(values) < max(self.min_batch, 2) or self.workers < 2 or n_chunks < 2:
-            return self._local(op, values)
+            started = time.perf_counter()
+            result = self._local(op, values)
+            self._finish_batch(op, len(values), time.perf_counter() - started)
+            return result
         try:
             with self._lock:
                 # One batch in flight at a time: slab slots are indexed
                 # by chunk, so two concurrent batches must serialize
                 # (the executor below still fans each batch out).
+                started = time.perf_counter()
                 futures = self._submit_chunks(op, _chunks(values, n_chunks))
-                return self._gather(futures)
+                result = self._gather(op, futures)
+            self._finish_batch(op, len(values), time.perf_counter() - started)
+            return result
         except (BrokenExecutor, CancelledError) as exc:
             raise ComputePoolError(
                 f"compute pool died mid-batch ({type(exc).__name__})"
@@ -383,6 +443,20 @@ class ComputePool:
                     "compute pool was shut down under an in-flight batch"
                 ) from exc
             raise
+
+    @staticmethod
+    def _finish_batch(op: str, n_values: int, seconds: float) -> None:
+        """Record one served batch: histogram plus the thread-local
+        observer (PoolBatch events for the job being served, if the
+        server installed one on this thread).  Observation only — a
+        broken observer never disturbs the value path."""
+        _BATCH_SECONDS.labels(op=op).observe(seconds)
+        callback = getattr(_batch_observer, "callback", None)
+        if callback is not None:
+            try:
+                callback(op, n_values, seconds)
+            except Exception:
+                pass
 
     def decrypt_values(self, values: list[int]) -> list[int]:
         """Paillier decryption of bare ciphertext values, fanned out."""

@@ -80,6 +80,52 @@ class CandidateFinalized(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class S2Progress(ProgressEvent):
+    """S2-side decrypt-batch progress, piggybacked on a REPLY frame.
+
+    Remote daemons (protocol ``repro-s2/3``) report how much crypto
+    work each round carried; local transports derive the same
+    information from :class:`PoolBatch` instead.  Counters are
+    per-round, not cumulative.
+    """
+
+    batches: int
+    """How many dispatched requests this round's REPLY covered."""
+
+    values: int
+    """Total payload values (ciphertexts and friends) across them."""
+
+    seconds: float
+    """S2-side wall-clock spent serving the round."""
+
+
+@dataclass(frozen=True)
+class PoolBatch(ProgressEvent):
+    """One compute-pool batch finished (local S2 with a pool attached)."""
+
+    op: str
+    """The pool operation (``"decrypt"`` / ``"strip"``)."""
+
+    values: int
+    """How many values the batch carried."""
+
+    seconds: float
+    """Wall-clock the batch took, fan-out included."""
+
+
+@dataclass(frozen=True)
+class SpanClosed(ProgressEvent):
+    """A :class:`~repro.obs.trace.Span` of the job's trace closed.
+
+    Streams the trace live (per-round laps, pool/S2 sub-spans); the
+    full timeline lands on ``result.stats.trace`` at the end.
+    """
+
+    name: str
+    seconds: float
+
+
+@dataclass(frozen=True)
 class JobFinished(ProgressEvent):
     """Terminal event: the job reached ``done``/``cancelled``/``failed``.
 

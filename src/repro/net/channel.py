@@ -14,6 +14,23 @@ import contextlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import REGISTRY
+
+# Process-wide traffic instruments (see ARCHITECTURE.md, observability
+# layer).  Children resolved once at import so the per-message cost is
+# one lock + add; recording is observation only — the ChannelStats the
+# transcripts are pinned on never route through these.
+_ROUNDS = REGISTRY.counter(
+    "repro_channel_rounds_total", "Physical S1<->S2 round-trips."
+)
+_BYTES = REGISTRY.counter(
+    "repro_channel_bytes_total",
+    "Protocol payload bytes crossing the inter-cloud link.",
+    labelnames=("direction",),
+)
+_BYTES_S1_TO_S2 = _BYTES.labels(direction="s1_to_s2")
+_BYTES_S2_TO_S1 = _BYTES.labels(direction="s2_to_s1")
+
 
 def measure_size(obj) -> int:
     """Serialized byte size of a protocol message component.
@@ -130,6 +147,7 @@ class Channel:
         self._current_protocol.append(protocol)
         self.stats.rounds += 1
         self.stats.per_protocol_rounds[protocol] += 1
+        _ROUNDS.inc()
         try:
             yield self
         finally:
@@ -148,6 +166,7 @@ class Channel:
         self.stats.rounds += 1
         for name in dict.fromkeys(protocols):
             self.stats.per_protocol_rounds[name] += 1
+        _ROUNDS.inc()
         yield self
 
     @contextlib.contextmanager
@@ -174,6 +193,7 @@ class Channel:
         nbytes = measure_size(list(objects))
         self.stats.bytes_s1_to_s2 += nbytes
         self._attribute(nbytes)
+        _BYTES_S1_TO_S2.inc(nbytes)
         return objects[0] if len(objects) == 1 else objects
 
     def receive(self, *objects):
@@ -181,6 +201,7 @@ class Channel:
         nbytes = measure_size(list(objects))
         self.stats.bytes_s2_to_s1 += nbytes
         self._attribute(nbytes)
+        _BYTES_S2_TO_S1.inc(nbytes)
         return objects[0] if len(objects) == 1 else objects
 
     # -- reporting ------------------------------------------------------

@@ -66,8 +66,17 @@ from repro.net.wire import WireCodec, _Reader
 
 # -- frame protocol --------------------------------------------------------
 
-#: Bumped to /2 when the OPEN payload grew its session-label segment.
-PROTOCOL_BANNER = b"repro-s2/2"
+#: Bumped to /3 when REPLY frames grew the S2-progress element (/2 when
+#: the OPEN payload grew its session-label segment).  A /3 client
+#: negotiates down to /2 transparently: an old daemon answers the /3
+#: HELLO with a ``version-mismatch`` ERROR naming its banner and drops
+#: the connection, and the client redials speaking /2.
+PROTOCOL_BANNER = b"repro-s2/3"
+PROTOCOL_BANNER_V2 = b"repro-s2/2"
+
+#: ERROR kind a daemon sends for a HELLO banner it does not speak; the
+#: text names the daemon's own banner so the client can downgrade.
+VERSION_MISMATCH = "version-mismatch"
 
 HELLO = 0x01
 HELLO_OK = 0x02
@@ -88,9 +97,18 @@ _HEADER = struct.Struct("!IBI")  # payload length, frame type, session id
 MAX_FRAME_BYTES = 1 << 30
 
 #: Error kind the daemon sends for an OPEN naming an unregistered
-#: relation; the client reacts by registering and retrying (the only
-#: ERROR that is part of the normal handshake).
+#: relation; the client reacts by registering and retrying (with the
+#: version-mismatch downgrade, the only ERRORs that are part of the
+#: normal handshake).
 UNKNOWN_RELATION = "unknown-relation"
+
+
+class _VersionMismatch(Exception):
+    """Internal handshake signal: the daemon named a banner we can retry."""
+
+    def __init__(self, offered: str):
+        super().__init__(offered)
+        self.offered = offered
 
 
 def parse_address(address: str) -> tuple[str, object]:
@@ -217,17 +235,31 @@ class S2Client:
         self._pending: dict[int, queue.SimpleQueue] = {}
         self._session_ids = itertools.count(1)
         self._dead: Exception | None = None
+        #: Negotiated protocol major version (3, or 2 against an old
+        #: daemon — /2 REPLYs carry no S2-progress element).
+        self.protocol_version = 3
         # Version handshake happens before the reader thread exists, so
         # a non-daemon peer fails here with a clear error (and never
-        # leaks the connected socket).
+        # leaks the connected socket).  An old daemon rejects the /3
+        # banner with a version-mismatch ERROR and drops the connection;
+        # the client then redials on a fresh socket speaking /2.
         try:
             self._sock.settimeout(timeout)
-            send_frame(self._sock, HELLO, 0, PROTOCOL_BANNER)
-            ftype, _, payload = recv_frame(self._sock)
-            if ftype != HELLO_OK or payload != PROTOCOL_BANNER:
-                raise TransportError(
-                    f"peer at {address} did not speak {PROTOCOL_BANNER.decode()}"
-                )
+            try:
+                self._handshake(PROTOCOL_BANNER)
+            except _VersionMismatch as exc:
+                if PROTOCOL_BANNER_V2.decode() not in exc.offered:
+                    raise TransportError(
+                        f"peer at {address} speaks neither "
+                        f"{PROTOCOL_BANNER.decode()} nor "
+                        f"{PROTOCOL_BANNER_V2.decode()} (offered: "
+                        f"{exc.offered!r})"
+                    ) from None
+                self._sock.close()
+                self._sock = connect_socket(address, timeout)
+                self._sock.settimeout(timeout)
+                self._handshake(PROTOCOL_BANNER_V2)
+                self.protocol_version = 2
             self._sock.settimeout(None)
         except BaseException:
             self._sock.close()
@@ -236,6 +268,21 @@ class S2Client:
             target=self._read_loop, name=f"s2-client:{address}", daemon=True
         )
         self._reader.start()
+
+    def _handshake(self, banner: bytes) -> None:
+        send_frame(self._sock, HELLO, 0, banner)
+        ftype, _, payload = recv_frame(self._sock)
+        if ftype == ERROR:
+            kind, text = decode_error(payload)
+            if kind == VERSION_MISMATCH:
+                raise _VersionMismatch(text)
+            raise TransportError(
+                f"peer at {self.address} rejected the handshake: {kind}: {text}"
+            )
+        if ftype != HELLO_OK or payload != banner:
+            raise TransportError(
+                f"peer at {self.address} did not speak {banner.decode()}"
+            )
 
     # -- reply routing ---------------------------------------------------
 
@@ -434,11 +481,12 @@ class SocketTransport(Transport):
     log at the position they would occupy in-process.
     """
 
-    def __init__(self, client: S2Client, session_id: int, leakage):
+    def __init__(self, client: S2Client, session_id: int, leakage, on_progress=None):
         self._client = client
         self.session_id = session_id
         self._codec = WireCodec()
         self._leakage = leakage
+        self._on_progress = on_progress
         self._lock = threading.Lock()
         self._closed = False
 
@@ -463,11 +511,25 @@ class SocketTransport(Transport):
     def finish_exchange(self, state) -> list:
         try:
             payload = self._client.request_finish(self.session_id, state)
-            replies, leaked = self._codec.decode_value(_Reader(payload))
+            decoded = self._codec.decode_value(_Reader(payload))
         finally:
             self._lock.release()
+        if len(decoded) >= 3:
+            # /3 REPLY: (replies, leaked, progress) — progress entries
+            # are (batches, values, microseconds) int triples (the wire
+            # codec carries no floats).
+            replies, leaked, progress = decoded[0], decoded[1], decoded[2]
+        else:
+            replies, leaked = decoded
+            progress = ()
         for observer, protocol, kind, event_payload in leaked:
             self._leakage.record(observer, protocol, kind, event_payload)
+        if progress and self._on_progress is not None:
+            for batches, values, micros in progress:
+                try:
+                    self._on_progress(int(batches), int(values), micros / 1e6)
+                except Exception:
+                    pass  # observation only — never fail the round
         return list(replies)
 
     def close(self) -> None:
@@ -549,6 +611,7 @@ def open_remote_session(
     leakage,
     relation_id: str | None = None,
     label: str = "",
+    on_progress=None,
 ) -> SocketTransport:
     """Open one protocol session against the S2 daemon at ``address``.
 
@@ -556,7 +619,10 @@ def open_remote_session(
     daemon does not hold it yet (first contact only), then hands the
     session its randomness stream — the exact :class:`SecureRandom` the
     in-process wiring would give a local crypto cloud, so a remote query
-    is bit-identical to a local one.
+    is bit-identical to a local one.  ``on_progress(batches, values,
+    seconds)``, when given, receives the daemon's per-round decrypt
+    progress piggybacked on /3 REPLY frames (never called against a /2
+    daemon; purely observational).
     """
     rid = relation_id or default_registration_id(keypair, dj)
 
@@ -573,4 +639,4 @@ def open_remote_session(
         pickle.dumps(s2_rng, protocol=pickle.HIGHEST_PROTOCOL),
         label=label,
     )
-    return SocketTransport(client, session_id, leakage)
+    return SocketTransport(client, session_id, leakage, on_progress=on_progress)

@@ -554,6 +554,23 @@ def _wire_clouds(
                 "a local compute pool cannot serve a remote S2; "
                 "start the daemon with --s2-workers instead"
             )
+        on_progress = None
+        if on_event is not None:
+            from repro.events import S2Progress
+
+            listener = on_event
+
+            def on_progress(batches, values, seconds):
+                # Daemon-side decrypt progress (/3 REPLY piggyback) →
+                # the job's event stream.  Observation only: a broken
+                # listener must never abort the round that carried it.
+                try:
+                    listener(
+                        S2Progress(batches=batches, values=values, seconds=seconds)
+                    )
+                except Exception:
+                    pass
+
         link: Transport = open_remote_session(
             transport,
             keypair,
@@ -562,6 +579,7 @@ def _wire_clouds(
             leakage,
             relation_id=relation_id,
             label=session_label,
+            on_progress=on_progress,
         )
         if rtt_ms > 0:
             link = LatencyTransport(link, rtt_ms)

@@ -23,7 +23,23 @@ import threading
 import time
 
 from repro.exceptions import JobCancelled, JobTimeout
-from repro.events import JobFinished, JobQueued, JobStarted, ProgressEvent
+from repro.events import (
+    JobFinished,
+    JobQueued,
+    JobStarted,
+    PoolBatch,
+    ProgressEvent,
+    RoundTrip,
+    S2Progress,
+    SpanClosed,
+)
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import JobTrace
+
+_QUEUE_WAIT = REGISTRY.histogram(
+    "repro_scheduler_queue_wait_seconds",
+    "Seconds a job waited in the bounded queue before starting.",
+)
 
 #: How many swallowed listener exceptions a job retains (the first N; a
 #: persistently broken listener fails once per event, and keeping every
@@ -111,6 +127,11 @@ class QueryJob:
         self._attempted = False
         # Installed by the scheduler: how this job actually executes.
         self._runner = None
+        #: Monotonic-clock span timeline of this job (queued, run,
+        #: per-round laps, pool/S2 sub-spans).  Frozen onto the result
+        #: at completion; purely observational — never consulted by the
+        #: protocol.
+        self.trace = JobTrace()
 
     # -- observation ------------------------------------------------------
 
@@ -206,11 +227,25 @@ class QueryJob:
     # -- scheduler-side hooks ---------------------------------------------
 
     def _record_event(self, event: ProgressEvent) -> None:
+        # Derive trace spans *before* touching the (non-reentrant)
+        # condition: RoundTrip laps the current round span, pool/S2
+        # progress frames land as anchored sub-spans.
+        derived = None
+        if isinstance(event, RoundTrip):
+            span = self.trace.lap("round")
+            if span is not None:
+                derived = SpanClosed(name=span.name, seconds=span.seconds)
+        elif isinstance(event, PoolBatch):
+            self.trace.add(f"pool:{event.op}", event.seconds)
+        elif isinstance(event, S2Progress):
+            self.trace.add("s2", event.seconds)
         with self._events_cond:
             self._events.append(event)
             self._events_cond.notify_all()
             listeners = list(self._listeners)
         self._deliver(listeners, event)
+        if derived is not None:
+            self._record_event(derived)
 
     def _deliver(self, listeners: list, event: ProgressEvent) -> None:
         """Push one event to listeners; swallow-and-record failures (the
@@ -224,6 +259,7 @@ class QueryJob:
                         self._listener_errors.append(exc)
 
     def _mark_queued(self) -> None:
+        self.trace.begin("queued")
         self._record_event(JobQueued(job_id=self.job_id))
 
     def _start(self) -> bool:
@@ -242,12 +278,33 @@ class QueryJob:
             return False
         self._status = JobStatus.RUNNING
         self._attempted = True
+        queued = self.trace.end("queued")
+        if queued is not None:
+            _QUEUE_WAIT.observe(queued.seconds)
+        self.trace.begin("run")
+        self.trace.begin("round")
         self._record_event(JobStarted(job_id=self.job_id))
+        if queued is not None:
+            self._record_event(SpanClosed(name=queued.name, seconds=queued.seconds))
         return True
 
     def _finish_result(self, result) -> None:
         self._result = result
         self._finish(JobStatus.DONE)
+
+    def _close_run_span(self) -> None:
+        """End the lifecycle spans (tail of an open round lap is not a
+        round — discard it) and emit the run span's closure."""
+        self.trace.discard("round")
+        run = self.trace.end("run")
+        if run is not None:
+            self._record_event(SpanClosed(name=run.name, seconds=run.seconds))
+        if self._result is not None:
+            try:
+                self._result.trace = self.trace.freeze()
+                vars(self._result).pop("stats", None)
+            except Exception:
+                pass
 
     def _finish_error(self, error: BaseException, status: str | None = None) -> None:
         self._error = error
@@ -261,6 +318,7 @@ class QueryJob:
     def _finish(self, status: str) -> None:
         if status not in JobStatus.TERMINAL:
             raise ValueError(f"not a terminal job status: {status!r}")
+        self._close_run_span()
         self._status = status
         event = JobFinished(job_id=self.job_id, status=status)
         with self._events_cond:

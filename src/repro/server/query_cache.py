@@ -35,6 +35,21 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.metrics import REGISTRY
+
+# Process-wide cache instruments; the per-instance counters below stay
+# the source of `TopKServer.stats` — both tick together, so /metrics
+# and stats can only ever differ by which caches they aggregate.
+_HITS = REGISTRY.counter("repro_cache_hits_total", "Result-cache hits.")
+_MISSES = REGISTRY.counter("repro_cache_misses_total", "Result-cache misses.")
+_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total", "Result-cache LRU evictions."
+)
+_INVALIDATIONS = REGISTRY.counter(
+    "repro_cache_invalidations_total",
+    "Result-cache entries dropped by invalidation.",
+)
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -84,9 +99,11 @@ class QueryCache:
             result = self._entries.get(key)
             if result is None:
                 self._misses += 1
+                _MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+        _HITS.inc()
         return copy.deepcopy(result)
 
     def put(self, key: tuple, result) -> None:
@@ -98,6 +115,7 @@ class QueryCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                _EVICTIONS.inc()
 
     def invalidate_relation(self, relation_id: str) -> int:
         """Drop every entry of one relation (re-registration hook)."""
@@ -106,6 +124,7 @@ class QueryCache:
             for k in stale:
                 del self._entries[k]
             self._invalidations += len(stale)
+        _INVALIDATIONS.inc(len(stale))
         return len(stale)
 
     def clear(self) -> int:
@@ -114,6 +133,7 @@ class QueryCache:
             dropped = len(self._entries)
             self._entries.clear()
             self._invalidations += dropped
+        _INVALIDATIONS.inc(dropped)
         return dropped
 
     def __len__(self) -> int:

@@ -36,6 +36,13 @@ import time
 
 from repro.exceptions import JobCancelled
 from repro.net.transport import Transport
+from repro.obs.metrics import REGISTRY
+
+_GROUP_SIZE = REGISTRY.histogram(
+    "repro_coalesce_group_size",
+    "Jobs sharing one coalesced round-trip (1 = round went out solo).",
+    buckets=(1, 2, 4, 8, 16),
+)
 
 
 class _Member:
@@ -129,6 +136,7 @@ class ScanRendezvous:
                     # to hold the door for the rest of the window.
                     rnd.seal_event.set()
         if rnd is None:
+            _GROUP_SIZE.observe(1)
             return transport.exchange(messages), False
         if leader:
             rnd.seal_event.wait(self.window_ms / 1000.0)
@@ -155,6 +163,7 @@ class ScanRendezvous:
         """
         try:
             rnd.group_size = len(rnd.members)
+            _GROUP_SIZE.observe(rnd.group_size)
             begun: list[tuple[_Member, object]] = []
             for member in rnd.members:
                 try:

@@ -61,6 +61,7 @@ import pickle
 import queue
 import socket
 import threading
+import time
 
 from repro.crypto import backend
 from repro.crypto.parallel import ComputePool
@@ -75,18 +76,26 @@ from repro.net.socket_transport import (
     OPEN,
     OPENED,
     PROTOCOL_BANNER,
+    PROTOCOL_BANNER_V2,
     REGISTER,
     REGISTERED,
     REPLY,
     REQUEST,
     UNKNOWN_RELATION,
+    VERSION_MISMATCH,
     encode_error,
     parse_address,
     recv_frame,
     send_frame,
 )
 from repro.net.wire import WireCodec
+from repro.obs.exporter import HealthState, MetricsExporter
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.protocols.base import CryptoCloud, LeakageLog
+
+#: Banners this daemon speaks, newest first.  Tests shrink this to
+#: emulate an old /2-only daemon against a new client.
+SUPPORTED_BANNERS = (PROTOCOL_BANNER, PROTOCOL_BANNER_V2)
 
 
 class _Session:
@@ -111,6 +120,7 @@ class _Session:
         self.dispatcher = S2Dispatcher(cloud)
         self.codec = WireCodec()
         self.requests: queue.SimpleQueue = queue.SimpleQueue()
+        self._abort = False
         suffix = f":{label}" if label else ""
         self.thread = threading.Thread(
             target=self._serve, name=f"s2-session-{session_id}{suffix}", daemon=True
@@ -122,9 +132,18 @@ class _Session:
             data = self.requests.get()
             if data is None:
                 return
+            if self._abort:
+                # Teardown path: the client is gone, so dispatching the
+                # round and writing its reply to a dead socket would be
+                # pure waste — but the in-flight gauge still has to come
+                # back down for every request this session accepted.
+                self.connection.service._request_done()
+                continue
             try:
+                started = time.perf_counter()
                 messages = self.codec.decode_envelope(data)
                 replies = [self.dispatcher.dispatch(msg) for msg in messages]
+                elapsed = time.perf_counter() - started
                 # The session log holds exactly this round's S2
                 # observations (drained every round); they ride back in
                 # the reply so the client's log interleaves S1 and S2
@@ -135,8 +154,21 @@ class _Session:
                 ]
                 self.cloud.leakage.clear()
                 out = bytearray()
-                self.codec.encode_value((replies, events), out)
+                if self.connection.protocol_version >= 3:
+                    # /3 REPLY piggybacks the round's decrypt progress:
+                    # (batches, values, microseconds) int triples — the
+                    # wire codec carries no floats, and integers keep
+                    # old/new transcripts byte-comparable per version.
+                    values = sum(
+                        len(r) if isinstance(r, (list, tuple)) else 1
+                        for r in replies
+                    )
+                    progress = ((len(messages), values, int(elapsed * 1e6)),)
+                    self.codec.encode_value((replies, events, progress), out)
+                else:
+                    self.codec.encode_value((replies, events), out)
                 self.connection.send(REPLY, self.session_id, bytes(out))
+                self.connection.service._observe_request(elapsed)
             except Exception as exc:  # noqa: BLE001 — report, don't die
                 # Drop any events the failed round recorded before the
                 # error: the client never sees that round's reply, and
@@ -149,8 +181,12 @@ class _Session:
             finally:
                 self.connection.service._request_done()
 
-    def stop(self) -> None:
-        """Finish queued rounds, then retire the service thread."""
+    def stop(self, abort: bool = False) -> None:
+        """Retire the service thread: finish queued rounds (graceful
+        CLOSE), or with ``abort`` drain them unserved (dead connection)
+        — either way every accepted request's in-flight accounting is
+        settled before the thread joins."""
+        self._abort = abort or self._abort
         self.requests.put(None)
         self.thread.join()
 
@@ -163,6 +199,9 @@ class _Connection:
         self.sock = sock
         self._write_lock = threading.Lock()
         self._sessions: dict[int, _Session] = {}
+        #: Major protocol version this connection's HELLO negotiated
+        #: (3, or 2 for old clients — their REPLYs carry no progress).
+        self.protocol_version = 2
 
     # -- frame output ----------------------------------------------------
 
@@ -182,10 +221,17 @@ class _Connection:
             # thread forever; after the banner the link blocks freely.
             self.sock.settimeout(30.0)
             ftype, _, payload = recv_frame(self.sock)
-            if ftype != HELLO or payload != PROTOCOL_BANNER:
-                self.send_error(0, "version-mismatch", PROTOCOL_BANNER.decode())
+            if ftype != HELLO or payload not in SUPPORTED_BANNERS:
+                # Name every banner we speak so a newer client can pick
+                # one and redial.
+                self.send_error(
+                    0,
+                    VERSION_MISMATCH,
+                    " ".join(b.decode() for b in SUPPORTED_BANNERS),
+                )
                 return
-            self.send(HELLO_OK, 0, PROTOCOL_BANNER)
+            self.protocol_version = 3 if payload == PROTOCOL_BANNER else 2
+            self.send(HELLO_OK, 0, payload)
             self.sock.settimeout(None)
             while True:
                 ftype, session_id, payload = recv_frame(self.sock)
@@ -241,7 +287,7 @@ class _Connection:
 
     def _teardown(self) -> None:
         for session in self._sessions.values():
-            session.stop()
+            session.stop(abort=True)
             self.service._session_closed()
         self._sessions.clear()
         with contextlib.suppress(OSError):
@@ -270,6 +316,12 @@ class S2Service:
         daemon serves its registered relation ids without any client
         re-upload.  The files hold secret key material: protect the
         directory like the key itself.
+    metrics_port:
+        When set, serve Prometheus text at
+        ``http://127.0.0.1:PORT/metrics`` (process-wide instruments plus
+        this service's own counters) and a ``/healthz`` endpoint that
+        flips to draining on :meth:`drain` / :meth:`close`.  ``0`` picks
+        a free port — read it back from :attr:`metrics_port`.
     """
 
     def __init__(
@@ -278,6 +330,7 @@ class S2Service:
         s2_workers: int = 0,
         s2_mode: str = "auto",
         state_dir: str | None = None,
+        metrics_port: int | None = None,
     ):
         self.listen_spec = listen
         self.s2_workers = s2_workers
@@ -292,20 +345,64 @@ class S2Service:
         self._pool_started = False
         self._connections: set[_Connection] = set()
         self._registry: dict[str, tuple] = {}
-        self._stats = {
-            "registrations": 0,
-            "registrations_restored": 0,
-            "registration_uploads": 0,
-            "registration_bytes": 0,
-            "connections_total": 0,
-            "connections_active": 0,
-            "sessions_opened": 0,
-            "sessions_active": 0,
-            "job_sessions": 0,
-            "requests_served": 0,
-            "requests_in_flight": 0,
-            "requests_in_flight_peak": 0,
+        # Per-instance metrics registry: the service counters *are*
+        # these instruments (``stats()`` reads them back), so the dict
+        # snapshot and a ``/metrics`` scrape can never disagree — one
+        # source, two renderings.  A private registry keeps concurrent
+        # services (tests run several) from folding into each other.
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._counters = {
+            "registrations": reg.counter(
+                "repro_s2_registrations_total", "Relations registered (uploads)."
+            ),
+            "registrations_restored": reg.counter(
+                "repro_s2_registrations_restored_total",
+                "Relations reloaded from the state dir at boot.",
+            ),
+            "registration_uploads": reg.counter(
+                "repro_s2_registration_uploads_total",
+                "REGISTER frames received (including idempotent repeats).",
+            ),
+            "registration_bytes": reg.counter(
+                "repro_s2_registration_bytes_total",
+                "Bytes of REGISTER payload received.",
+            ),
+            "connections_total": reg.counter(
+                "repro_s2_connections_total", "Client connections accepted."
+            ),
+            "connections_active": reg.gauge(
+                "repro_s2_connections_active", "Client connections currently open."
+            ),
+            "sessions_opened": reg.counter(
+                "repro_s2_sessions_opened_total", "Protocol sessions opened."
+            ),
+            "sessions_active": reg.gauge(
+                "repro_s2_sessions_active", "Protocol sessions currently live."
+            ),
+            "job_sessions": reg.counter(
+                "repro_s2_job_sessions_total",
+                "Sessions opened by server jobs (label ``job-*``).",
+            ),
+            "requests_served": reg.counter(
+                "repro_s2_requests_total", "REQUEST frames accepted."
+            ),
+            "requests_in_flight": reg.gauge(
+                "repro_s2_requests_in_flight",
+                "Requests accepted and not yet answered.",
+            ),
+            "requests_in_flight_peak": reg.gauge(
+                "repro_s2_requests_in_flight_peak",
+                "High-water mark of concurrent in-flight requests.",
+            ),
         }
+        self._request_seconds = reg.histogram(
+            "repro_s2_request_seconds",
+            "Per-round dispatch wall-clock inside session service threads.",
+        )
+        self._health = HealthState()
+        self._metrics_port = metrics_port
+        self._exporter: MetricsExporter | None = None
         self._closed = threading.Event()
 
     # -- lifecycle -------------------------------------------------------
@@ -344,7 +441,32 @@ class S2Service:
             target=self._accept_loop, name="s2-accept", daemon=True
         )
         self._accept_thread.start()
+        if self._metrics_port is not None:
+            # Serve both the process-wide registry (channel/pool/cache
+            # instruments the daemon's own code records into) and this
+            # service's private counters on one endpoint.
+            exporter = MetricsExporter(
+                port=self._metrics_port,
+                registries=[REGISTRY, self.registry],
+                health=self._health,
+            )
+            try:
+                exporter.start()
+            except BaseException:
+                self.close()
+                raise
+            self._exporter = exporter
         return self.address
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound port of the metrics exporter (``None`` when not mounted)."""
+        exporter = self._exporter
+        return exporter.port if exporter is not None else None
+
+    def drain(self) -> None:
+        """Flip ``/healthz`` to draining (sticky; :meth:`close` implies it)."""
+        self._health.drain()
 
     def _accept_loop(self) -> None:
         while not self._closed.is_set():
@@ -361,8 +483,8 @@ class S2Service:
             connection = _Connection(self, sock)
             with self._lock:
                 self._connections.add(connection)
-                self._stats["connections_total"] += 1
-                self._stats["connections_active"] += 1
+                self._counters["connections_total"].inc()
+                self._counters["connections_active"].inc()
             threading.Thread(
                 target=connection.run, name="s2-connection", daemon=True
             ).start()
@@ -373,6 +495,7 @@ class S2Service:
 
     def close(self) -> None:
         """Stop accepting, drop every connection, release the pool."""
+        self._health.drain()
         if self._closed.is_set():
             return
         self._closed.set()
@@ -397,6 +520,9 @@ class S2Service:
             # just before the shutdown flag landed.
             self.compute.close(wait=True)
             self.compute = None
+        exporter, self._exporter = self._exporter, None
+        if exporter is not None:
+            exporter.close()
 
     def __enter__(self) -> "S2Service":
         self.start()
@@ -419,14 +545,14 @@ class S2Service:
         persist = False
         with self._lock:
             if payload is not None:
-                self._stats["registration_uploads"] += 1
-                self._stats["registration_bytes"] += len(payload)
+                self._counters["registration_uploads"].inc()
+                self._counters["registration_bytes"].inc(len(payload))
             if relation_id not in self._registry:
                 self._registry[relation_id] = (blob["keypair"], blob["dj"])
                 if payload is None:
-                    self._stats["registrations_restored"] += 1
+                    self._counters["registrations_restored"].inc()
                 else:
-                    self._stats["registrations"] += 1
+                    self._counters["registrations"].inc()
                     persist = self.state_dir is not None
                 # The pool workers hold key material, so the first
                 # registration is the earliest the pool can fork.  The
@@ -504,40 +630,48 @@ class S2Service:
 
     def _session_opened(self, label: str = "") -> None:
         with self._lock:
-            self._stats["sessions_opened"] += 1
-            self._stats["sessions_active"] += 1
+            self._counters["sessions_opened"].inc()
+            self._counters["sessions_active"].inc()
             if label.startswith("job-"):
-                self._stats["job_sessions"] += 1
+                self._counters["job_sessions"].inc()
 
     def _session_closed(self) -> None:
         with self._lock:
-            self._stats["sessions_active"] -= 1
+            self._counters["sessions_active"].dec()
 
     def _request_received(self) -> None:
         with self._lock:
-            self._stats["requests_served"] += 1
-            in_flight = self._stats["requests_in_flight"] + 1
-            self._stats["requests_in_flight"] = in_flight
+            self._counters["requests_served"].inc()
+            self._counters["requests_in_flight"].inc()
+            in_flight = self._counters["requests_in_flight"].value
             # Peak concurrency is how rendezvous coalescing shows up on
             # the daemon side: a coalesced group of N jobs lands N
             # REQUEST frames near-simultaneously.
-            if in_flight > self._stats["requests_in_flight_peak"]:
-                self._stats["requests_in_flight_peak"] = in_flight
+            if in_flight > self._counters["requests_in_flight_peak"].value:
+                self._counters["requests_in_flight_peak"].set(in_flight)
 
     def _request_done(self) -> None:
         with self._lock:
-            self._stats["requests_in_flight"] -= 1
+            self._counters["requests_in_flight"].dec()
+
+    def _observe_request(self, seconds: float) -> None:
+        self._request_seconds.observe(seconds)
 
     def _connection_closed(self, connection: _Connection) -> None:
         with self._lock:
             if connection in self._connections:
                 self._connections.discard(connection)
-                self._stats["connections_active"] -= 1
+                self._counters["connections_active"].dec()
 
     def stats(self) -> dict:
-        """A snapshot of the service counters (tests and operations)."""
+        """A consistent point-in-time snapshot of the service counters.
+
+        Read under the same lock every mutator holds, from the same
+        instruments ``/metrics`` renders — the two views are one set of
+        numbers and can never disagree.  Values come back as ints.
+        """
         with self._lock:
-            return dict(self._stats)
+            return {name: int(c.value) for name, c in self._counters.items()}
 
 
 def launch_daemon(
@@ -638,6 +772,13 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help="write the bound address here once listening (CI/scripts)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus text at http://127.0.0.1:PORT/metrics "
+        "plus /healthz (0 = ephemeral port; default: no exporter)",
+    )
     args = parser.parse_args(argv)
 
     if args.backend:
@@ -647,6 +788,7 @@ def main(argv: list[str] | None = None) -> None:
         s2_workers=args.s2_workers,
         s2_mode=args.s2_mode,
         state_dir=args.state_dir,
+        metrics_port=args.metrics_port,
     )
     address = service.start()
     print(f"repro-s2: listening on {address}", flush=True)

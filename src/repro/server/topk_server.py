@@ -57,14 +57,31 @@ from repro.core.results import QueryConfig, QueryResult
 from repro.core.scheme import SecTopK
 from repro.core.token import Token
 from repro.crypto import backend
-from repro.crypto.parallel import ComputePool, make_pool_executor, pool_start_method
+from repro.crypto.parallel import (
+    ComputePool,
+    make_pool_executor,
+    observe_batches,
+    pool_start_method,
+)
+from repro.events import PoolBatch
 from repro.exceptions import JobCancelled, JobTimeout, TransportError
 from repro.net.channel import ChannelStats
 from repro.net.socket_transport import is_socket_address
+from repro.obs.exporter import HealthState, MetricsExporter
+from repro.obs.metrics import REGISTRY
 from repro.protocols.base import LeakageEvent, LeakageLog, S1Context, owned_context
 from repro.server.jobs import JobStatus, QueryJob
 from repro.server.query_cache import QueryCache
 from repro.server.rendezvous import CoalescingTransport, ScanRendezvous
+
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_scheduler_queue_depth",
+    "Jobs waiting in the bounded scheduler queue (admitted, not started).",
+)
+_JOBS_ACTIVE = REGISTRY.gauge(
+    "repro_scheduler_jobs_active",
+    "Jobs admitted and not yet finished (queued + running).",
+)
 
 # The relation store: (scheme, relation) pairs keyed by relation id, with
 # the blob each spawn-started worker needs pickled at most once.  In the
@@ -332,6 +349,13 @@ class TopKServer:
         check is anchored at the earliest halting depth this relation's
         history has shown (itself L1 leakage), skipping rounds that
         history says cannot halt.  Never changes the returned top-k set.
+    metrics_port:
+        When set, serve the process-wide metrics registry as Prometheus
+        text at ``http://127.0.0.1:PORT/metrics`` (``0`` picks a free
+        port — read it back from :attr:`metrics_port`), plus a
+        ``/healthz`` endpoint that flips to draining on :meth:`drain` /
+        :meth:`close`.  ``None`` (default) starts no exporter;
+        instrumentation is recorded either way.
     """
 
     _IDLE_TTL = 0.5  # seconds a scheduler worker waits before retiring
@@ -351,6 +375,7 @@ class TopKServer:
         cache_capacity: int = 256,
         coalesce_ms: float = 0.0,
         warm_start: bool = False,
+        metrics_port: int | None = None,
     ):
         self.scheme = scheme
         self.relation = relation
@@ -415,6 +440,19 @@ class TopKServer:
         self._scheduler_thread_objs: set[threading.Thread] = set()
         self._jobs_active = 0
         self._running_jobs: set[QueryJob] = set()
+        # -- observability --
+        # Exporter last: every other resource is attached, so a port
+        # failure here leaves a server that close() can fully unwind.
+        self._health = HealthState()
+        self._exporter: MetricsExporter | None = None
+        if metrics_port is not None:
+            exporter = MetricsExporter(port=metrics_port, health=self._health)
+            try:
+                exporter.start()
+            except BaseException:
+                self.close()
+                raise
+            self._exporter = exporter
 
     # -- sessions --------------------------------------------------------
 
@@ -541,6 +579,7 @@ class TopKServer:
         result.shard_stats = None
         result.cache_hit = True
         result.coalesced_rounds = 0
+        result.trace = None  # the serving job attaches its own timeline
         return result
 
     def _cache_store(self, token: Token, config: QueryConfig | None, result) -> None:
@@ -578,15 +617,45 @@ class TopKServer:
 
     @property
     def stats(self) -> dict:
-        """Operational counters of the reuse layer (cache + hints)."""
+        """Operational counters: reuse layer + scheduler.
+
+        A consistent point-in-time snapshot: each component's block is
+        copied under that component's own lock (the cache's counters
+        under the cache lock, the scheduler's under the scheduler lock),
+        and the returned dict is plain data the caller owns — it can
+        never disagree with what ``/metrics`` scraped at the same
+        instant, because both read the same instruments.
+        """
+        cache_stats = self._cache.stats() if self._cache is not None else None
+        with self._scheduler_lock:
+            scheduler = {
+                "queue_depth": self._job_queue.qsize(),
+                "jobs_active": self._jobs_active,
+                "workers": self._scheduler_threads,
+            }
         return {
-            "cache": self._cache.stats() if self._cache is not None else None,
+            "cache": cache_stats,
+            "scheduler": scheduler,
             "coalesce_ms": self.coalesce_ms,
             "warm_start": self.warm_start,
             "halting_depth_hint": self.scheme.halting_depth_hint(
                 self._relation_key
             ),
         }
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound port of the metrics exporter (``None`` when not mounted)."""
+        exporter = self._exporter
+        return exporter.port if exporter is not None else None
+
+    def drain(self) -> None:
+        """Flip ``/healthz`` to draining (sticky; idempotent).
+
+        Load balancers stop routing here while in-flight jobs finish;
+        :meth:`close` drains implicitly as its first act.
+        """
+        self._health.drain()
 
     # -- job submission (the scheduler's front door) ---------------------
 
@@ -638,8 +707,10 @@ class TopKServer:
             if self._closed:
                 raise RuntimeError("server is closed")
             self._jobs_active += 1
+        _JOBS_ACTIVE.inc()
         job._mark_queued()
         self._job_queue.put(job)
+        _QUEUE_DEPTH.inc()
         spawn = False
         with self._scheduler_lock:
             if not self._closed and (
@@ -669,9 +740,12 @@ class TopKServer:
                 item = self._job_queue.get_nowait()
             except queue.Empty:
                 return
+            if item is not None:
+                _QUEUE_DEPTH.dec()
             if item is not None and not item.done():
                 with self._scheduler_lock:
                     self._jobs_active -= 1
+                _JOBS_ACTIVE.dec()
                 item._finish_error(
                     JobCancelled("server closed before the job started"),
                     JobStatus.CANCELLED,
@@ -692,6 +766,7 @@ class TopKServer:
                     with self._scheduler_lock:
                         self._scheduler_threads -= 1
                     return
+                _QUEUE_DEPTH.dec()
                 self._run_job(item)
         finally:
             with self._scheduler_lock:
@@ -723,6 +798,7 @@ class TopKServer:
             with self._scheduler_lock:
                 self._running_jobs.discard(job)
                 self._jobs_active -= 1
+            _JOBS_ACTIVE.dec()
 
     def _run_inline(self, job: QueryJob) -> QueryResult:
         """Default runner: the job's query in this scheduler thread
@@ -748,22 +824,30 @@ class TopKServer:
                 return wrapper
 
             rendezvous.enroll()
+
+        def on_batch(op, values, seconds):
+            # Compute-pool batches run on this job's thread (inprocess
+            # transport), so the thread-local observer attributes them
+            # to exactly this job's event stream and trace.
+            job._record_event(PoolBatch(op=op, values=values, seconds=seconds))
+
         try:
-            result = _run_salted_query(
-                self.scheme,
-                self.relation,
-                self.transport,
-                self.rtt_ms,
-                self._compute,
-                self._request_salt(job.job_id),
-                job.token,
-                job.config,
-                on_event=job._record_event,
-                control=job._control,
-                session_label=f"job-{job.job_id}",
-                shard_executor=self._shard_executor(job.config),
-                transport_wrap=transport_wrap,
-            )
+            with observe_batches(on_batch):
+                result = _run_salted_query(
+                    self.scheme,
+                    self.relation,
+                    self.transport,
+                    self.rtt_ms,
+                    self._compute,
+                    self._request_salt(job.job_id),
+                    job.token,
+                    job.config,
+                    on_event=job._record_event,
+                    control=job._control,
+                    session_label=f"job-{job.job_id}",
+                    shard_executor=self._shard_executor(job.config),
+                    transport_wrap=transport_wrap,
+                )
         finally:
             if rendezvous is not None:
                 rendezvous.withdraw()
@@ -1014,6 +1098,10 @@ class TopKServer:
         batch's ``execute_many`` raises) — an explicit shutdown outranks
         in-flight work.
         """
+        # Health flips first (sticky, idempotent): /healthz reports
+        # draining for the whole teardown window while /metrics stays
+        # scrapeable until the very end.
+        self._health.drain()
         with self._session_lock:
             if self._closed:
                 return
@@ -1067,6 +1155,9 @@ class TopKServer:
             # shard task can still be queued behind this shutdown.
             shard_pool.shutdown(wait=True)
         _release_relation(self._relation_key)
+        exporter, self._exporter = self._exporter, None
+        if exporter is not None:
+            exporter.close()
 
     def __enter__(self) -> "TopKServer":
         return self

@@ -235,6 +235,95 @@ class TestFailureModes:
             listener.close()
 
 
+class TestGaugeRegression:
+    """The in-flight/active gauges must return to zero on *every* exit
+    path — clean completion, dispatch errors, mid-request socket death,
+    daemon shutdown — or ``/metrics`` drifts permanently."""
+
+    @staticmethod
+    def _settled(service, deadline_s: float = 5.0) -> dict:
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            stats = service.stats()
+            if (
+                stats["requests_in_flight"] == 0
+                and stats["sessions_active"] == 0
+                and stats["connections_active"] == 0
+            ):
+                return stats
+            time.sleep(0.02)
+        return service.stats()
+
+    def test_midrequest_socket_death_returns_gauges_to_zero(self, daemon):
+        service, address = daemon
+        scheme, relation, _ = _fresh_deployment()
+        ctx = scheme.make_clouds(transport=address, relation=relation)
+        severed = threading.Event()
+
+        def _spam():
+            try:
+                while not severed.is_set():
+                    ctx.call(
+                        messages.ZeroTestBatch(
+                            protocol="probe",
+                            cts=[scheme.public_key.encrypt(0) for _ in range(8)],
+                        )
+                    )
+            except Exception:
+                pass  # PeerDisconnected mid-call is the point
+
+        thread = threading.Thread(target=_spam, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if service.stats()["requests_served"] >= 1:
+                break
+            time.sleep(0.005)
+        # Sever the socket with requests (possibly) on the wire.
+        ctx.transport._client.close()
+        severed.set()
+        thread.join(timeout=10)
+        stats = self._settled(service)
+        assert stats["requests_in_flight"] == 0
+        assert stats["sessions_active"] == 0
+        assert stats["connections_active"] == 0
+        assert stats["requests_in_flight_peak"] >= 1
+
+    def test_dispatch_error_still_decrements_in_flight(self, daemon):
+        service, address = daemon
+        scheme, relation, _ = _fresh_deployment()
+        foreign = SecTopK(SystemParams.tiny(), seed=92)
+        ctx = scheme.make_clouds(transport=address, relation=relation)
+        try:
+            with pytest.raises(RemoteS2Error):
+                ctx.call(
+                    messages.ZeroTestBatch(
+                        protocol="probe", cts=[foreign.public_key.encrypt(0)]
+                    )
+                )
+            assert service.stats()["requests_in_flight"] == 0
+            assert service.stats()["requests_served"] >= 1
+        finally:
+            ctx.close()
+
+    def test_service_close_with_live_session_zeroes_gauges(self):
+        service = S2Service("tcp://127.0.0.1:0")
+        address = service.start()
+        scheme, relation, _ = _fresh_deployment()
+        ctx = scheme.make_clouds(transport=address, relation=relation)
+        try:
+            assert service.stats()["sessions_active"] == 1
+            assert service.stats()["connections_active"] == 1
+            service.close()
+            stats = self._settled(service)
+            assert stats["sessions_active"] == 0
+            assert stats["connections_active"] == 0
+            assert stats["requests_in_flight"] == 0
+        finally:
+            ctx.close()  # tolerates the dead daemon
+            disconnect_all()
+
+
 @pytest.mark.skipif(
     not hasattr(socket_module, "AF_UNIX"), reason="no Unix-domain sockets"
 )
