@@ -24,7 +24,10 @@ and thread-windowed ``execute_many`` on a simulated-latency link (the
 regime where overlapping rounds is what throughput is made of) — plus
 the **reuse grid**: qps across a repeat-ratio × concurrency grid with
 the result cache on/off and depth-scan coalescing on/off (the PR-7
-reuse layer's measured win).
+reuse layer's measured win) — plus the **mutation grid**: qps across a
+mutation-rate × watch-count grid over a live mutable relation (cache
+invalidation and continuous-watch re-evaluation priced into one
+clock).
 
 A fourth series lands in ``benchmarks/results/sharding.json``: the
 **shard sweep** — weighted queries (per-item modexp weighting is the
@@ -401,6 +404,112 @@ def run_reuse_grid(rtt_ms: float = 5.0, out: pathlib.Path | None = None) -> dict
     return grid
 
 
+def run_mutation_grid(out: pathlib.Path | None = None) -> dict:
+    """The mutation-layer leg: qps across a mutation-rate × watch-count
+    grid over a live :class:`~repro.server.MutableRelation`.
+
+    Every leg replays the repeat-heavy workload (hot token at every odd
+    slot) against a fresh identically-seeded mutable deployment, with
+    encrypted mutations interleaved at the given rate and ``watches``
+    continuous top-k jobs re-evaluating after every mutation.  The grid
+    surfaces the two costs the subsystem trades off: mutations
+    invalidate the result cache (hits drop as the rate rises) and every
+    live watch adds one re-evaluation query per mutation.  Merged into
+    ``benchmarks/results/client.json`` under ``"mutation_grid"``.
+    """
+    queries = 6
+    config = QueryConfig(variant="elim", engine="eager", halting="paper")
+    rows = []
+    for mutation_rate in (0.0, 0.5):
+        for watch_count in (0, 2):
+            rng = SecureRandom(SEED)
+            base = [
+                [rng.randint_below(50) for _ in range(N_ATTRS)]
+                for _ in range(N_ROWS)
+            ]
+            scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+            mutable = repro.MutableRelation(scheme, base)
+            requests = _reuse_workload(scheme, queries, repeat_heavy=True)
+            with repro.connect(scheme, mutable, "threaded") as client:
+                watches = [
+                    client.watch(scheme.token([0, 1], k=2), config)
+                    for _ in range(watch_count)
+                ]
+                started = time.perf_counter()
+                mutations = 0
+                results = []
+                for i, (token, query_config) in enumerate(requests):
+                    due = int(i * mutation_rate) > int((i - 1) * mutation_rate)
+                    if i and due:
+                        client.insert(
+                            [rng.randint_below(50) for _ in range(N_ATTRS)]
+                        )
+                        mutations += 1
+                    results.append(client.query(token, query_config))
+                # Watch re-evaluation is part of the measured cost: the
+                # clock stops only once every watch has caught up with
+                # the final version.
+                for watch in watches:
+                    while watch.evaluations < 1 + mutations:
+                        time.sleep(0.005)
+                elapsed = time.perf_counter() - started
+                evaluations = 0
+                for watch in watches:
+                    watch.stop()
+                    evaluations += watch.summary(timeout=60).evaluations
+                version = client.version
+            assert all(len(r.items) == 2 for r in results)
+            assert version == mutations
+            rows.append(
+                {
+                    "mutation_rate": mutation_rate,
+                    "watches": watch_count,
+                    "queries": queries,
+                    "mutations": mutations,
+                    "seconds": round(elapsed, 4),
+                    "qps": round(queries / elapsed, 3),
+                    "cache_hits": sum(r.stats.cache_hit for r in results),
+                    "watch_evaluations": evaluations,
+                    "final_version": version,
+                }
+            )
+
+    def _qps(mutation_rate, watches):
+        for row in rows:
+            if (
+                row["mutation_rate"] == mutation_rate
+                and row["watches"] == watches
+            ):
+                return row["qps"]
+        raise KeyError((mutation_rate, watches))
+
+    grid = {
+        "meta": {
+            "note": "repeat-heavy workload over a threaded mutable "
+            "deployment; mutations interleave at the given rate (insert "
+            "of a fresh random row) and each live watch re-evaluates "
+            "after every mutation; cache hits drop as mutations "
+            "invalidate the hot token's entry, and the watch columns "
+            "price continuous re-evaluation into the same clock",
+        },
+        "rows": rows,
+        "relative_qps": {
+            "mutations_vs_static": round(_qps(0.5, 0) / _qps(0.0, 0), 3),
+            "watches2_vs_none_at_mut50": round(
+                _qps(0.5, 2) / _qps(0.5, 0), 3
+            ),
+        },
+    }
+    out = out or CLIENT_RESULTS
+    out.parent.mkdir(parents=True, exist_ok=True)
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged["mutation_grid"] = grid
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"wrote {out} (mutation_grid)")
+    print(json.dumps(grid["relative_qps"], indent=2))
+    return grid
+
+
 def run_shard_sweep(out: pathlib.Path | None = None) -> dict:
     """The sharding leg: ``TopKServer(shards=N)`` across shard counts.
 
@@ -505,6 +614,11 @@ def test_reuse_grid_series():
     run_reuse_grid()
 
 
+def test_mutation_grid_series():
+    """Pytest entry point: emit the mutation-rate x watch-count grid."""
+    run_mutation_grid()
+
+
 def test_instrumentation_overhead_series():
     """Pytest entry point: emit the metrics on/off overhead leg."""
     run_instrumentation_overhead()
@@ -515,5 +629,6 @@ if __name__ == "__main__":
     run_coalescing().emit("throughput.txt")
     run_submit_pipeline()
     run_reuse_grid()
+    run_mutation_grid()
     run_shard_sweep()
     run_instrumentation_overhead()

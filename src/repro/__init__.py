@@ -47,10 +47,12 @@ from repro.exceptions import (
     JobTimeout,
     KeyMismatchError,
     EncodingRangeError,
+    MutationError,
     PeerDisconnected,
     ProtocolError,
     QueryError,
     RemoteS2Error,
+    StaleRelationError,
     TransportError,
 )
 
@@ -62,7 +64,12 @@ __all__ = [
     "connect",
     "TopKClient",
     "QueryJob",
+    "WatchJob",
     "JobStatus",
+    # mutations and streaming
+    "MutableRelation",
+    "MutationResult",
+    "TopKChanged",
     # data-owner scheme and query types
     "SecTopK",
     "SystemParams",
@@ -80,10 +87,12 @@ __all__ = [
     "JobTimeout",
     "KeyMismatchError",
     "EncodingRangeError",
+    "MutationError",
     "PeerDisconnected",
     "ProtocolError",
     "QueryError",
     "RemoteS2Error",
+    "StaleRelationError",
     "TransportError",
 ]
 
@@ -91,7 +100,11 @@ _LAZY = {
     "connect": ("repro.client", "connect"),
     "TopKClient": ("repro.client", "TopKClient"),
     "QueryJob": ("repro.server.jobs", "QueryJob"),
+    "WatchJob": ("repro.server.jobs", "WatchJob"),
     "JobStatus": ("repro.server.jobs", "JobStatus"),
+    "MutableRelation": ("repro.server.mutations", "MutableRelation"),
+    "MutationResult": ("repro.server.mutations", "MutationResult"),
+    "TopKChanged": ("repro.events", "TopKChanged"),
     "SecTopK": ("repro.core.scheme", "SecTopK"),
     "SystemParams": ("repro.core.params", "SystemParams"),
     "Token": ("repro.core.token", "Token"),

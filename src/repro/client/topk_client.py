@@ -27,13 +27,14 @@ from repro.core.relation import EncryptedRelation
 from repro.core.results import QueryConfig, QueryResult
 from repro.core.scheme import SecTopK
 from repro.core.token import Token
-from repro.server.jobs import QueryJob
+from repro.server.jobs import QueryJob, WatchJob
+from repro.server.mutations import MutableRelation, MutationResult
 from repro.server.topk_server import TopKServer
 
 
 def connect(
     scheme: SecTopK,
-    relation: EncryptedRelation,
+    relation: EncryptedRelation | MutableRelation,
     address: str = "inprocess",
     *,
     rtt_ms: float = 0.0,
@@ -46,6 +47,7 @@ def connect(
     coalesce_ms: float = 0.0,
     warm_start: bool = False,
     metrics_port: int | None = None,
+    state_dir: str | None = None,
 ) -> "TopKClient":
     """Connect a client to a relation at ``address``.
 
@@ -87,6 +89,16 @@ def connect(
     ``metrics_port`` mounts the server's Prometheus ``/metrics`` +
     ``/healthz`` endpoint on ``127.0.0.1`` (``0`` = ephemeral port, read
     back from ``client.server.metrics_port``; ``None`` = no exporter).
+
+    Pass a :class:`~repro.server.mutations.MutableRelation` as
+    ``relation`` to make the deployment writable: ``client.insert`` /
+    ``update`` / ``delete`` then apply encrypted mutations (each bumping
+    ``client.version`` and invalidating every stale consumer), and
+    ``client.watch`` starts continuous top-k jobs.  ``state_dir``
+    persists the warm-start halting-depth history next to the daemon's
+    registration spill, so a restarted deployment over unchanged data
+    warm-starts immediately (the spill is dropped on every version
+    bump).
     """
     server = TopKServer(
         scheme,
@@ -102,6 +114,7 @@ def connect(
         coalesce_ms=coalesce_ms,
         warm_start=warm_start,
         metrics_port=metrics_port,
+        state_dir=state_dir,
     )
     return TopKClient(server, owns_server=True)
 
@@ -155,16 +168,22 @@ class TopKClient:
         config: QueryConfig | None = None,
         *,
         timeout: float | None = None,
+        expect_version: int | None = None,
     ) -> QueryJob:
         """Submit one query; returns its :class:`QueryJob` handle.
 
         ``timeout`` is the per-job deadline (seconds from submission),
-        enforced cooperatively at round boundaries.  The job's
-        transcript is bit-identical to the legacy ``execute`` path.
+        enforced cooperatively at round boundaries.  ``expect_version``
+        pins the job to a relation version — it fails with
+        :class:`~repro.exceptions.StaleRelationError` if a mutation
+        lands first.  The job's transcript is bit-identical to the
+        legacy ``execute`` path.
         """
         if self._closed:
             raise RuntimeError("client is closed")
-        return self._server.submit(token, config, timeout=timeout)
+        return self._server.submit(
+            token, config, timeout=timeout, expect_version=expect_version
+        )
 
     def query(
         self,
@@ -188,6 +207,62 @@ class TopKClient:
         them with ``[job.result() for job in jobs]`` (request order).
         """
         return [self.submit(token, config, timeout=timeout) for token, config in requests]
+
+    # -- mutations and continuous top-k ------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Current relation version (bumped by every mutation)."""
+        return self._server.version
+
+    def mutate(self, op: str, *args) -> MutationResult:
+        """Apply one encrypted mutation (``"insert"`` / ``"update"`` /
+        ``"delete"``; requires a :class:`MutableRelation` deployment).
+
+        Each mutation re-encrypts only the touched prefix of every
+        sorted list, bumps :attr:`version`, and invalidates every
+        consumer keyed by the predecessor relation id (result cache,
+        shard slices, warm-start history, daemon registration).
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        return self._server.mutate(op, *args)
+
+    def insert(self, row) -> MutationResult:
+        """Insert one row; returns its allocated object id in the result."""
+        return self.mutate("insert", row)
+
+    def update(self, object_id: int, row) -> MutationResult:
+        """Replace one row's scores in place."""
+        return self.mutate("update", object_id, row)
+
+    def delete(self, object_id: int) -> MutationResult:
+        """Remove one row."""
+        return self.mutate("delete", object_id)
+
+    def watch(
+        self,
+        token: Token,
+        config: QueryConfig | None = None,
+        *,
+        window: int | None = None,
+        timeout: float | None = None,
+    ) -> WatchJob:
+        """Start a continuous top-k watch.
+
+        The returned :class:`~repro.server.jobs.WatchJob` evaluates
+        immediately and re-evaluates after every mutation, streaming
+        :class:`~repro.events.TopKChanged` events (``job.changes()``)
+        whenever the revealed winning set actually changes.
+        ``window=N`` watches the last ``N`` inserted rows (sliding
+        window) instead of the whole relation.  Stop with ``job.stop()``
+        (graceful, resolves to a ``WatchSummary``) or ``job.cancel()``.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        return self._server.watch(
+            token, config, window=window, timeout=timeout
+        )
 
     # -- data-owner conveniences ------------------------------------------
 

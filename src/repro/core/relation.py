@@ -28,6 +28,14 @@ class EncryptedRelation:
     n_attributes: int
     ehl_variant: str
 
+    version: int = 0
+    """Monotonic mutation counter.  ``Enc`` emits version 0; every
+    insert/update/delete through :class:`~repro.server.mutations.MutableRelation`
+    produces a successor relation with ``version + 1``.  Folded into
+    :meth:`relation_id`, so every mutation re-keys daemon registrations,
+    the process-wide relation/slice stores, the query cache and the
+    warm-start history — stale consumers miss rather than alias."""
+
     _relation_id: str | None = field(default=None, repr=False, compare=False)
 
     def relation_id(self) -> str:
@@ -36,14 +44,16 @@ class EncryptedRelation:
         Keys the deployment machinery: remote S2 daemons register key
         material per relation id (so repeated queries skip the upload),
         and query-worker pools cache the relation per id.  Derived from
-        the shape plus one ciphertext per list — encryption randomness
-        makes that distinguishing — so the same ``ER`` object, pickled
-        copies of it, and re-loads of it all agree.
+        the shape, the mutation :attr:`version` and one ciphertext per
+        list — encryption randomness makes that distinguishing — so the
+        same ``ER`` object, pickled copies of it, and re-loads of it all
+        agree, while any two versions of one relation never collide.
         """
         if self._relation_id is None:
             digest = hashlib.sha256(b"repro-relation:")
             digest.update(
-                f"{self.n_objects}:{self.n_attributes}:{self.ehl_variant}".encode()
+                f"{self.n_objects}:{self.n_attributes}:"
+                f"{self.ehl_variant}:v{self.version}".encode()
             )
             for name in sorted(self.lists):
                 entries = self.lists[name]

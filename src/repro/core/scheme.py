@@ -156,6 +156,49 @@ class SecTopK:
                 )
             history.append(depth)
 
+    def observe_query_pattern(self, token) -> bool:
+        """Fold one token into the query-pattern history; return whether
+        it was a repeat.
+
+        This is the L1 ``QP`` observation a fresh run of the token would
+        have recorded — the server's cache layer calls it when serving a
+        result without running the query (prefix hits included), so the
+        leakage it reports stays exactly what a fresh run would leak.
+        """
+        fingerprint = token.fingerprint()
+        with self._history_lock:
+            repeated = fingerprint in self._query_history
+            self._query_history.add(fingerprint)
+        return repeated
+
+    def export_depth_history(self, relation_id: str) -> list[int]:
+        """This relation's halting-depth observations, oldest first.
+
+        The server's ``state_dir`` persistence spills these next to the
+        daemon's registrations; the depths are L1 leakage (``HD``), so
+        the spill reveals nothing the declared profile does not.
+        """
+        with self._history_lock:
+            history = self._depth_history.get(relation_id)
+            return list(history) if history else []
+
+    def import_depth_history(self, relation_id: str, depths) -> None:
+        """Restore spilled halting-depth observations (append order)."""
+        with self._history_lock:
+            history = self._depth_history.get(relation_id)
+            if history is None:
+                history = self._depth_history[relation_id] = deque(
+                    maxlen=self.DEPTH_HISTORY_SIZE
+                )
+            for depth in depths:
+                history.append(int(depth))
+
+    def drop_depth_history(self, relation_id: str) -> None:
+        """Forget one relation's warm-start history (mutation hook: a
+        version bump changes what any halting depth means)."""
+        with self._history_lock:
+            self._depth_history.pop(relation_id, None)
+
     def halting_depth_hint(self, relation_id: str) -> int | None:
         """The earliest depth history says a query on this relation may
         halt (``None`` with no observations yet).
@@ -201,13 +244,32 @@ class SecTopK:
             rng=rng,
         )
 
-    def encrypt(self, rows: list[list[int]]) -> EncryptedRelation:
-        """Encrypt a relation into ``ER`` (Algorithm 2)."""
+    def encrypt(
+        self,
+        rows: list[list[int]],
+        object_ids: list[int] | None = None,
+        version: int = 0,
+    ) -> EncryptedRelation:
+        """Encrypt a relation into ``ER`` (Algorithm 2).
+
+        ``object_ids`` names each row explicitly (default: the row
+        index).  The mutation layer relies on this: a relation grown by
+        inserts carries monotonic object ids that are *not* dense row
+        indices, and rebuilding it from scratch with the same ids must
+        reproduce the same sorted order — ties break by object id on
+        both paths.  ``version`` seeds the relation's mutation counter.
+        """
         if not rows:
             raise DataError("relation is empty")
         width = len(rows[0])
         if any(len(r) != width for r in rows):
             raise DataError("ragged relation")
+        if object_ids is None:
+            object_ids = list(range(len(rows)))
+        elif len(object_ids) != len(rows):
+            raise DataError("object_ids/rows length mismatch")
+        elif len(set(object_ids)) != len(object_ids):
+            raise DataError("duplicate object id")
         for row in rows:
             for value in row:
                 self.encoder.check_score(value)
@@ -221,13 +283,13 @@ class SecTopK:
         for attribute in range(width):
             ranked = sorted(
                 range(len(rows)),
-                key=lambda o: (-rows[o][attribute], o),
+                key=lambda o: (-rows[o][attribute], object_ids[o]),
             )
             entries = [
                 EncryptedItem(
-                    ehl=factory.encode(o),
+                    ehl=factory.encode(object_ids[o]),
                     score=self.public_key.encrypt(rows[o][attribute], rng),
-                    record=self.public_key.encrypt(o, rng),
+                    record=self.public_key.encrypt(object_ids[o], rng),
                 )
                 for o in ranked
             ]
@@ -237,7 +299,21 @@ class SecTopK:
             n_objects=len(rows),
             n_attributes=width,
             ehl_variant=self.params.ehl_variant,
+            version=version,
         )
+
+    def attribute_list_names(self) -> list[int]:
+        """Permuted list name ``P_K(i)`` of every attribute, in order.
+
+        The mutation layer maintains the encrypted sorted lists
+        incrementally and needs to know which permuted name holds which
+        attribute — knowledge only the data owner (this scheme) has.
+        """
+        width = getattr(self, "_attribute_width", None)
+        if width is None:
+            raise QueryError("encrypt a relation before resolving list names")
+        prp = Prp(self._prp_key, width)
+        return [prp.forward(a) for a in range(width)]
 
     # ------------------------------------------------------------------
     # Token (Section 7)

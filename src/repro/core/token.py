@@ -56,3 +56,16 @@ class Token:
         """
         material = repr((self.permuted_lists, self.k, self.weights)).encode()
         return hashlib.sha256(material).hexdigest()[:16]
+
+    def scan_fingerprint(self) -> str:
+        """Digest of the token *without* ``k`` — the scan identity.
+
+        Two tokens over the same permuted lists and weights scan the
+        same sorted lists in the same order regardless of ``k``; the
+        result cache indexes by this digest so a ``k' < k`` repeat can
+        be served as a prefix slice of the cached ``k`` result.  Derived
+        from the same observables as :meth:`fingerprint`, so it
+        introduces no leakage beyond the declared query pattern.
+        """
+        material = repr((self.permuted_lists, self.weights)).encode()
+        return hashlib.sha256(material).hexdigest()[:16]

@@ -126,6 +126,24 @@ class SpanClosed(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class TopKChanged(ProgressEvent):
+    """A continuous top-k watch observed a new winning set.
+
+    Emitted by a :class:`~repro.server.jobs.WatchJob` once per
+    *distinct* top-k set: the first evaluation always emits (the watch's
+    initial view), later re-evaluations emit only when the revealed
+    ``(object_id, score)`` set actually changed — an insert that lands
+    outside the top-k produces no event.
+    """
+
+    version: int
+    """Relation version the evaluation ran against."""
+
+    top_k: tuple
+    """The revealed winners — ``(object_id, score)`` pairs, best first."""
+
+
+@dataclass(frozen=True)
 class JobFinished(ProgressEvent):
     """Terminal event: the job reached ``done``/``cancelled``/``failed``.
 

@@ -71,6 +71,29 @@ class QueryError(ReproError):
     """A top-k query was malformed (bad attributes, k out of range, ...)."""
 
 
+class StaleRelationError(QueryError):
+    """The relation was mutated after this query/session pinned a version.
+
+    Carries the version the caller expected and the version the server
+    is actually serving, so clients can refresh their view (re-open the
+    session, re-read ``client.version``) and retry deliberately instead
+    of silently querying a relation that no longer exists.
+    """
+
+    def __init__(self, expected: int, current: int):
+        super().__init__(
+            f"relation version {expected} is stale (server now at "
+            f"version {current})"
+        )
+        self.expected = expected
+        self.current = current
+
+
+class MutationError(ReproError):
+    """An encrypted-relation mutation was malformed or impossible
+    (unknown object id, ragged row, score out of encoding range, ...)."""
+
+
 class JobError(ReproError):
     """A submitted query job ended without producing a result."""
 

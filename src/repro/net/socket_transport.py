@@ -89,6 +89,8 @@ REPLY = 0x08
 CLOSE = 0x09
 CLOSED = 0x0A
 ERROR = 0x0B
+MUTATE = 0x0C
+MUTATED = 0x0D
 
 _HEADER = struct.Struct("!IBI")  # payload length, frame type, session id
 
@@ -463,6 +465,27 @@ class S2Client:
         """End one session (graceful CLOSE/CLOSED exchange)."""
         with self._control_lock:
             self._expect(self._roundtrip(CLOSE, session_id, b""), CLOSED)
+
+    def mutate_relation(self, old_id: str, new_id: str) -> bool:
+        """Re-key the daemon's registration after a relation mutation.
+
+        The key material is version-independent (a mutation re-randomizes
+        ciphertexts under the same keys), so a MUTATE frame moves the
+        daemon's registry entry from the predecessor's relation id to the
+        successor's — the next OPEN then skips the key re-upload.
+        Returns ``False`` — without raising — against a daemon that
+        predates the frame (it answers ``unknown-frame``); callers fall
+        back to the lazy re-register built into :meth:`open_session`.
+        """
+        payload = old_id.encode("utf-8") + b"\x00" + new_id.encode("utf-8")
+        with self._control_lock:
+            try:
+                self._expect(self._roundtrip(MUTATE, 0, payload), MUTATED)
+            except RemoteS2Error as exc:
+                if exc.kind == "unknown-frame":
+                    return False
+                raise
+        return True
 
     def close(self) -> None:
         """Drop the connection (idempotent; pending exchanges fail)."""

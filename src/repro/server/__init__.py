@@ -21,7 +21,8 @@ rounds under the paper's L1 ``query_pattern`` leakage, and
 rounds into shared physical round-trips.
 """
 
-from repro.server.jobs import JobStatus, QueryJob
+from repro.server.jobs import JobStatus, QueryJob, WatchJob, WatchSummary
+from repro.server.mutations import MutableRelation, MutationResult
 from repro.server.query_cache import CacheStats, QueryCache
 from repro.server.rendezvous import ScanRendezvous
 from repro.server.sharding import ShardPlan
@@ -30,6 +31,8 @@ from repro.server.topk_server import QuerySession, TopKServer
 __all__ = [
     "CacheStats",
     "JobStatus",
+    "MutableRelation",
+    "MutationResult",
     "QueryCache",
     "QueryJob",
     "QuerySession",
@@ -37,6 +40,8 @@ __all__ = [
     "ScanRendezvous",
     "ShardPlan",
     "TopKServer",
+    "WatchJob",
+    "WatchSummary",
 ]
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 
 from repro.exceptions import JobCancelled, JobTimeout
 from repro.events import (
@@ -32,6 +33,7 @@ from repro.events import (
     RoundTrip,
     S2Progress,
     SpanClosed,
+    TopKChanged,
 )
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import JobTrace
@@ -342,3 +344,84 @@ class QueryJob:
                 self._callbacks.append(callback)
         if run_now:
             callback(self)
+
+
+@dataclass
+class WatchSummary:
+    """What a gracefully stopped :class:`WatchJob` resolves to."""
+
+    evaluations: int
+    """Top-k evaluations actually run (idle wakeups don't count)."""
+
+    changes: int
+    """:class:`~repro.events.TopKChanged` events emitted."""
+
+    last_version: int | None
+    """Relation version of the last evaluation (``None``: none ran)."""
+
+    last_top_k: tuple | None
+    """The last emitted winners — ``(object_id, score)`` pairs."""
+
+    trace: object | None = None
+    """Frozen job trace, installed by the job machinery at completion."""
+
+
+class WatchJob(QueryJob):
+    """A long-lived continuous top-k job.
+
+    Scheduled through the same bounded queue and worker machinery as a
+    :class:`QueryJob`, but instead of resolving after one query it loops:
+    evaluate the top-k, emit a :class:`~repro.events.TopKChanged` event
+    whenever the revealed winning set differs from the previous one,
+    then sleep until the server signals a mutation (:meth:`notify`), the
+    deadline nears, or the watch is ended.
+
+    Two ways to end it:
+
+    * :meth:`stop` — graceful; the loop exits at the next wakeup and the
+      job resolves ``DONE`` with a :class:`WatchSummary`;
+    * :meth:`cancel` — cooperative abort (also what ``TopKServer.close``
+      uses to drain live watches); the job terminates ``CANCELLED``, at
+      a round boundary even mid-evaluation.
+
+    ``window`` selects the sliding-insert mode: each evaluation runs
+    over the last ``window`` live rows in insertion order instead of the
+    whole relation (``k`` is clamped to the window's size).
+    """
+
+    def __init__(self, job_id: int, token, config,
+                 timeout: float | None = None, window: int | None = None):
+        super().__init__(job_id, token, config, timeout)
+        self.window = window
+        #: Live count of evaluations run so far (monotonic; written by
+        #: the watch runner, so a reader may briefly lag — the
+        #: :class:`WatchSummary` carries the authoritative final value).
+        self.evaluations = 0
+        self._wake = threading.Event()
+        self._stopped = False
+
+    def notify(self) -> None:
+        """Wake the watch loop (the server calls this on every mutation)."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        """End the watch gracefully: it resolves with its summary."""
+        self._stopped = True
+        self._wake.set()
+
+    def cancel(self) -> bool:
+        cancelled = super().cancel()
+        self._wake.set()
+        return cancelled
+
+    def changes(self):
+        """Iterate only the :class:`~repro.events.TopKChanged` events,
+        live (same semantics as :meth:`QueryJob.events`)."""
+        for event in self.events():
+            if isinstance(event, TopKChanged):
+                yield event
+
+    def summary(self, timeout: float | None = None) -> WatchSummary:
+        """Block for the watch's :class:`WatchSummary` (alias of
+        :meth:`result` with the watch-shaped return type)."""
+        return self.result(timeout)

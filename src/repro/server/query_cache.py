@@ -24,6 +24,14 @@ The cache is **per-server**, bounded LRU, keyed by
   transcript (engine, variant, halting rule, …); operational knobs such
   as ``shards`` are excluded because they are transcript-invisible.
 
+**Prefix serving.**  A second index keyed by the token's
+``scan_fingerprint()`` — the token *minus* ``k`` — lets a ``k' < k``
+repeat be served as the first ``k'`` items of a cached ``k`` result: the
+winners are revealed best-first, and under ties any ``k'`` of the
+best-scoring objects is a correct top-``k'``, so the slice is exact.
+Both fingerprints derive from the same S1-visible token, so prefix hits
+introduce no leakage beyond the declared query pattern either.
+
 A hit serves a **deep copy** of the stored :class:`QueryResult` so
 callers can never mutate each other's results through the cache.
 """
@@ -42,6 +50,10 @@ from repro.obs.metrics import REGISTRY
 # and stats can only ever differ by which caches they aggregate.
 _HITS = REGISTRY.counter("repro_cache_hits_total", "Result-cache hits.")
 _MISSES = REGISTRY.counter("repro_cache_misses_total", "Result-cache misses.")
+_PREFIX_HITS = REGISTRY.counter(
+    "repro_cache_prefix_hits_total",
+    "Result-cache hits served as a k' < k prefix slice.",
+)
 _EVICTIONS = REGISTRY.counter(
     "repro_cache_evictions_total", "Result-cache LRU evictions."
 )
@@ -61,6 +73,8 @@ class CacheStats:
     invalidations: int
     size: int
     capacity: int
+    prefix_hits: int = 0
+    """Subset of ``hits`` that were served as a ``k' < k`` slice."""
 
     @property
     def hit_rate(self) -> float:
@@ -77,9 +91,14 @@ class QueryCache:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        # scan key -> {stored k -> full cache key}; `_scan_of` is the
+        # reverse map so evictions/invalidations can clean the index.
+        self._scan_index: dict[tuple, dict[int, tuple]] = {}
+        self._scan_of: dict[tuple, tuple[tuple, int]] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._prefix_hits = 0
         self._evictions = 0
         self._invalidations = 0
 
@@ -87,6 +106,11 @@ class QueryCache:
     def key(relation_id: str, fingerprint: str, config) -> tuple:
         """The cache key for one query (see module docstring)."""
         return (relation_id, fingerprint, config.cache_key())
+
+    @staticmethod
+    def scan_key(relation_id: str, scan_fingerprint: str, config) -> tuple:
+        """The ``k``-independent index key for prefix serving."""
+        return (relation_id, scan_fingerprint, config.cache_key())
 
     def get(self, key: tuple):
         """A deep copy of the stored result, or ``None`` on a miss.
@@ -106,16 +130,76 @@ class QueryCache:
         _HITS.inc()
         return copy.deepcopy(result)
 
-    def put(self, key: tuple, result) -> None:
-        """Store a finished result, evicting the LRU tail if full."""
+    def lookup(self, key: tuple, scan_key: tuple | None = None,
+               k: int | None = None):
+        """Exact-or-prefix lookup: ``(result_copy, sliced)``.
+
+        Tries ``key`` exactly first; on a miss, when ``scan_key``/``k``
+        are given, looks for a stored result of the *same scan* with a
+        larger ``k`` (smallest such, to keep the copy cheap).  Returns
+        ``(deep copy, False)`` on an exact hit, ``(deep copy, True)``
+        when the caller must slice ``items[:k]``, or ``(None, False)``.
+        Counts exactly one hit or miss per call.
+        """
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                _HITS.inc()
+                sliced = False
+            else:
+                full_key = None
+                if scan_key is not None and k is not None:
+                    by_k = self._scan_index.get(scan_key)
+                    if by_k:
+                        bigger = [k0 for k0 in by_k if k0 > k]
+                        if bigger:
+                            full_key = by_k[min(bigger)]
+                if full_key is None:
+                    self._misses += 1
+                    _MISSES.inc()
+                    return None, False
+                result = self._entries[full_key]
+                self._entries.move_to_end(full_key)
+                self._hits += 1
+                self._prefix_hits += 1
+                _HITS.inc()
+                _PREFIX_HITS.inc()
+                sliced = True
+        return copy.deepcopy(result), sliced
+
+    def put(self, key: tuple, result, scan_key: tuple | None = None,
+            k: int | None = None) -> None:
+        """Store a finished result, evicting the LRU tail if full.
+
+        ``scan_key``/``k`` additionally index the entry for prefix
+        serving (see module docstring).
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = result
+            if scan_key is not None and k is not None:
+                self._scan_index.setdefault(scan_key, {})[k] = key
+                self._scan_of[key] = (scan_key, k)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
+                self._unindex_locked(victim)
                 self._evictions += 1
                 _EVICTIONS.inc()
+
+    def _unindex_locked(self, key: tuple) -> None:
+        """Drop one entry's prefix-index registration (lock held)."""
+        ref = self._scan_of.pop(key, None)
+        if ref is None:
+            return
+        scan_key, k = ref
+        by_k = self._scan_index.get(scan_key)
+        if by_k is not None and by_k.get(k) == key:
+            del by_k[k]
+            if not by_k:
+                del self._scan_index[scan_key]
 
     def invalidate_relation(self, relation_id: str) -> int:
         """Drop every entry of one relation (re-registration hook)."""
@@ -123,6 +207,7 @@ class QueryCache:
             stale = [k for k in self._entries if k[0] == relation_id]
             for k in stale:
                 del self._entries[k]
+                self._unindex_locked(k)
             self._invalidations += len(stale)
         _INVALIDATIONS.inc(len(stale))
         return len(stale)
@@ -132,6 +217,8 @@ class QueryCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._scan_index.clear()
+            self._scan_of.clear()
             self._invalidations += dropped
         _INVALIDATIONS.inc(dropped)
         return dropped
@@ -150,4 +237,5 @@ class QueryCache:
                 invalidations=self._invalidations,
                 size=len(self._entries),
                 capacity=self.capacity,
+                prefix_hits=self._prefix_hits,
             )

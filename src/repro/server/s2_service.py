@@ -73,6 +73,8 @@ from repro.net.socket_transport import (
     ERROR,
     HELLO,
     HELLO_OK,
+    MUTATE,
+    MUTATED,
     OPEN,
     OPENED,
     PROTOCOL_BANNER,
@@ -282,6 +284,15 @@ class _Connection:
                 session.stop()
                 self.service._session_closed()
             self.send(CLOSED, session_id)
+        elif ftype == MUTATE:
+            old_id, _, new_id = payload.partition(b"\x00")
+            self.service._mutate_registration(
+                old_id.decode("utf-8"), new_id.decode("utf-8")
+            )
+            # Idempotent by design: MUTATED even for an unknown old id —
+            # the client's fallback (lazy re-register on the next OPEN)
+            # makes the distinction irrelevant, and retries stay safe.
+            self.send(MUTATED, session_id)
         else:
             self.send_error(session_id, "unknown-frame", str(ftype))
 
@@ -359,6 +370,10 @@ class S2Service:
             "registrations_restored": reg.counter(
                 "repro_s2_registrations_restored_total",
                 "Relations reloaded from the state dir at boot.",
+            ),
+            "registration_mutations": reg.counter(
+                "repro_s2_registration_mutations_total",
+                "Registrations re-keyed by MUTATE frames.",
             ),
             "registration_uploads": reg.counter(
                 "repro_s2_registration_uploads_total",
@@ -575,6 +590,43 @@ class S2Service:
                     self.compute = pool
             if closed:
                 pool.close()
+
+    def _mutate_registration(self, old_id: str, new_id: str) -> None:
+        """Re-key one registration after a client-side relation mutation.
+
+        The key material is identical across versions of one relation
+        (mutations only re-randomize ciphertexts), so the entry moves —
+        it is never re-uploaded.  With a ``state_dir`` the spill moves
+        too: the payload is re-pickled under the new relation id (the
+        restore path validates the id against the file name) and the old
+        spill is removed.  Unknown old ids and an identity move are
+        no-ops; persistence failures are swallowed (the spill is an
+        optimization — the client re-registers on demand either way).
+        """
+        if not new_id or old_id == new_id:
+            return
+        with self._lock:
+            entry = self._registry.pop(old_id, None)
+            if entry is None:
+                return
+            # Never clobber an existing registration for the new id (a
+            # racing client may have re-registered it directly).
+            self._registry.setdefault(new_id, entry)
+            self._counters["registration_mutations"].inc()
+        if self.state_dir is None:
+            return
+        try:
+            keypair, dj = entry
+            payload = pickle.dumps(
+                {"relation_id": new_id, "keypair": keypair, "dj": dj},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._persist_registration(new_id, payload)
+            old_path = self._registration_path(old_id)
+            with contextlib.suppress(OSError):
+                os.remove(old_path)
+        except Exception:  # noqa: BLE001 — spill moves are best-effort
+            pass
 
     def _registration_path(self, relation_id: str) -> str:
         # Relation ids are hex digests (filesystem-safe by construction);

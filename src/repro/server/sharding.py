@@ -341,3 +341,18 @@ def _shard_slices(relation, names: tuple[int, ...], plan: ShardPlan) -> list:
                 _SLICE_STORE.pop(next(iter(_SLICE_STORE)))
             _SLICE_STORE[key] = slices
     return slices
+
+
+def invalidate_slices(relation_id: str) -> int:
+    """Drop every cached shard slice of one relation (mutation hook).
+
+    Slices alias a specific relation's ``EncryptedItem`` objects; after
+    a mutation the predecessor's id never recurs (the version is folded
+    into ``relation_id``), so its entries would only pin dead
+    ciphertexts in the LRU.  Returns how many entries were dropped.
+    """
+    with _SLICE_LOCK:
+        stale = [key for key in _SLICE_STORE if key[0] == relation_id]
+        for key in stale:
+            del _SLICE_STORE[key]
+    return len(stale)

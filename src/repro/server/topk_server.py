@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import contextlib
 import copy
+import json
+import os
 import pickle
 import queue
 import threading
@@ -63,16 +65,25 @@ from repro.crypto.parallel import (
     observe_batches,
     pool_start_method,
 )
-from repro.events import PoolBatch
-from repro.exceptions import JobCancelled, JobTimeout, TransportError
+from repro.events import PoolBatch, TopKChanged
+from repro.exceptions import (
+    JobCancelled,
+    JobTimeout,
+    MutationError,
+    QueryError,
+    StaleRelationError,
+    TransportError,
+)
 from repro.net.channel import ChannelStats
-from repro.net.socket_transport import is_socket_address
+from repro.net.socket_transport import client_for, is_socket_address
 from repro.obs.exporter import HealthState, MetricsExporter
 from repro.obs.metrics import REGISTRY
 from repro.protocols.base import LeakageEvent, LeakageLog, S1Context, owned_context
-from repro.server.jobs import JobStatus, QueryJob
+from repro.server.jobs import JobStatus, QueryJob, WatchJob, WatchSummary
+from repro.server.mutations import MutableRelation, MutationResult
 from repro.server.query_cache import QueryCache
 from repro.server.rendezvous import CoalescingTransport, ScanRendezvous
+from repro.server.sharding import invalidate_slices
 
 _QUEUE_DEPTH = REGISTRY.gauge(
     "repro_scheduler_queue_depth",
@@ -81,6 +92,23 @@ _QUEUE_DEPTH = REGISTRY.gauge(
 _JOBS_ACTIVE = REGISTRY.gauge(
     "repro_scheduler_jobs_active",
     "Jobs admitted and not yet finished (queued + running).",
+)
+_MUTATIONS = REGISTRY.counter(
+    "repro_mutations_total",
+    "Encrypted-relation mutations applied, by operation.",
+    labelnames=("op",),
+)
+_WATCHES_ACTIVE = REGISTRY.gauge(
+    "repro_watches_active",
+    "Continuous top-k watch jobs currently live.",
+)
+_WATCH_EVALUATIONS = REGISTRY.counter(
+    "repro_watch_evaluations_total",
+    "Top-k re-evaluations run by watch jobs.",
+)
+_WATCH_CHANGES = REGISTRY.counter(
+    "repro_watch_changes_total",
+    "TopKChanged events emitted by watch jobs.",
 )
 
 # The relation store: (scheme, relation) pairs keyed by relation id, with
@@ -224,6 +252,12 @@ class QuerySession:
         self._ctx = ctx
         self.session_id = session_id
         self.closed = False
+        #: Relation version this session pinned at open.  A session's
+        #: context captured the relation object (and, for remote
+        #: transports, its daemon registration), so queries after a
+        #: mutation would silently run against the predecessor — they
+        #: raise :class:`~repro.exceptions.StaleRelationError` instead.
+        self.version = server.relation.version
 
     # -- querying --------------------------------------------------------
 
@@ -231,6 +265,9 @@ class QuerySession:
         """Run one secure top-k query inside this session."""
         if self.closed:
             raise RuntimeError("session is closed")
+        current = self._server.relation.version
+        if current != self.version:
+            raise StaleRelationError(self.version, current)
         config = self._server._effective_config(config)
         return self._server.scheme.query(
             self._server.relation,
@@ -363,7 +400,7 @@ class TopKServer:
     def __init__(
         self,
         scheme: SecTopK,
-        relation: EncryptedRelation,
+        relation: EncryptedRelation | MutableRelation,
         transport: str = "inprocess",
         rtt_ms: float = 0.0,
         s2_workers: int = 0,
@@ -376,8 +413,17 @@ class TopKServer:
         coalesce_ms: float = 0.0,
         warm_start: bool = False,
         metrics_port: int | None = None,
+        state_dir: str | None = None,
     ):
         self.scheme = scheme
+        # A MutableRelation makes this server writable: insert/update/
+        # delete and windowed watches route through the wrapped handle,
+        # and `self.relation` always aliases its current successor.
+        if isinstance(relation, MutableRelation):
+            self._mutable: MutableRelation | None = relation
+            relation = relation.relation
+        else:
+            self._mutable = None
         self.relation = relation
         self.transport = transport
         self.rtt_ms = rtt_ms
@@ -425,9 +471,18 @@ class TopKServer:
         # cached pickle — either way repeated batches and rebuilt pools
         # never re-ship the ciphertexts.
         self._relation_key = _export_relation(scheme, relation)
+        # Warm-start depth history persistence (``--state-dir`` twin of
+        # the daemon's registration spill): load any prior observations
+        # for this exact relation content now, spill after fresh results.
+        self._state_dir = state_dir
+        self._load_depth_spill()
         self._session_lock = threading.Lock()
         self._session_counter = 0
         self._sessions: list[QuerySession] = []
+        # -- mutation / watch state --
+        self._mutation_lock = threading.Lock()
+        self._mutation_count = 0
+        self._watches: set[WatchJob] = set()
         self._query_pool: ProcessPoolExecutor | None = None
         self._query_pool_workers = 0
         self._query_pool_active = 0  # in-flight process batches
@@ -548,32 +603,62 @@ class TopKServer:
     def _cache_enabled(self, config: QueryConfig | None) -> bool:
         return self._cache is not None and (config is None or config.cache)
 
-    def _cache_key(self, token: Token, config: QueryConfig | None) -> tuple:
+    def _cache_key(
+        self, token: Token, config: QueryConfig | None, relation_key: str | None = None
+    ) -> tuple:
         return QueryCache.key(
-            self._relation_key, token.fingerprint(), config or QueryConfig()
+            relation_key if relation_key is not None else self._relation_key,
+            token.fingerprint(),
+            config or QueryConfig(),
         )
 
-    def _cache_lookup(self, token: Token, config: QueryConfig | None):
+    def _scan_cache_key(
+        self, token: Token, config: QueryConfig | None, relation_key: str | None = None
+    ) -> tuple:
+        return QueryCache.scan_key(
+            relation_key if relation_key is not None else self._relation_key,
+            token.scan_fingerprint(),
+            config or QueryConfig(),
+        )
+
+    def _cache_lookup(
+        self,
+        token: Token,
+        config: QueryConfig | None,
+        relation_key: str | None = None,
+    ):
         """Serve a repeat query from the cache, or ``None`` on a miss.
 
+        Exact repeats hit directly; a ``k' < k`` repeat of a query whose
+        ``k`` result is cached is served as the first ``k'`` items of
+        that result — winners are stored best-first, so the slice is an
+        exact top-``k'`` (see :mod:`repro.server.query_cache`).
+
         A hit is reshaped into what it is: zero S2 traffic, zero scanned
-        depths, and exactly the ``query_pattern`` repeat a fresh run of
-        the same token would have leaked (the repeat bit is necessarily
-        ``True`` — the entry exists because an identical query already
-        ran, and the pattern history never forgets).  The scheme's
-        query-pattern history is still updated so later queries see the
-        same L1 state a fresh run would have left behind.
+        depths, and exactly the ``query_pattern`` bit a fresh run of the
+        same token would have leaked — ``True`` for an exact repeat (an
+        identical query already ran), the honest history answer for a
+        prefix hit (the ``k'`` token may be new even though its answer
+        is not).  The scheme's query-pattern history is still updated so
+        later queries see the same L1 state a fresh run would have left
+        behind.
         """
         if not self._cache_enabled(config):
             return None
-        result = self._cache.get(self._cache_key(token, config))
+        result, sliced = self._cache.lookup(
+            self._cache_key(token, config, relation_key),
+            self._scan_cache_key(token, config, relation_key),
+            token.k,
+        )
         if result is None:
             return None
-        self.scheme.record_query_patterns([token])
+        repeated = self.scheme.observe_query_pattern(token)
         vars(result).pop("stats", None)  # cached_property of the stored run
+        if sliced:
+            result.items = result.items[: token.k]
         result.channel_stats = ChannelStats()
         result.leakage_events = [
-            LeakageEvent("S1", "SecQuery", "query_pattern", True)
+            LeakageEvent("S1", "SecQuery", "query_pattern", repeated)
         ]
         result.depth_seconds = []
         result.shard_stats = None
@@ -582,12 +667,23 @@ class TopKServer:
         result.trace = None  # the serving job attaches its own timeline
         return result
 
-    def _cache_store(self, token: Token, config: QueryConfig | None, result) -> None:
+    def _cache_store(
+        self,
+        token: Token,
+        config: QueryConfig | None,
+        result,
+        relation_key: str | None = None,
+    ) -> None:
         """Keep a fresh result for future repeats (deep copy: the caller
         owns — and may mutate — the returned object)."""
         if not self._cache_enabled(config):
             return
-        self._cache.put(self._cache_key(token, config), copy.deepcopy(result))
+        self._cache.put(
+            self._cache_key(token, config, relation_key),
+            copy.deepcopy(result),
+            scan_key=self._scan_cache_key(token, config, relation_key),
+            k=token.k,
+        )
 
     def invalidate_cache(self) -> int:
         """Drop every cached result (returns how many were dropped)."""
@@ -615,6 +711,281 @@ class TopKServer:
                 self._cache.invalidate_relation(new_key)
         _release_relation(old_key)
 
+    # -- mutations -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Current relation version (0 for a never-mutated relation)."""
+        return self.relation.version
+
+    def insert(self, row) -> MutationResult:
+        """Insert one row into the served relation (mutable servers)."""
+        return self._apply_mutation("insert", row)
+
+    def update(self, object_id: int, row) -> MutationResult:
+        """Replace one row's scores (same object id)."""
+        return self._apply_mutation("update", object_id, row)
+
+    def delete(self, object_id: int) -> MutationResult:
+        """Remove one row from the served relation."""
+        return self._apply_mutation("delete", object_id)
+
+    def mutate(self, op: str, *args) -> MutationResult:
+        """String-dispatch spelling of :meth:`insert` / :meth:`update` /
+        :meth:`delete` (the wire-friendly form clients use)."""
+        if op not in ("insert", "update", "delete"):
+            raise MutationError(f"unknown mutation op: {op!r}")
+        return self._apply_mutation(op, *args)
+
+    def _apply_mutation(self, op: str, *args) -> MutationResult:
+        """Apply one mutation and run the invalidation cascade.
+
+        Under the mutation lock: apply the op to the
+        :class:`MutableRelation` (incremental sorted-list maintenance,
+        version bump) and swap the served relation.  Then, outside it:
+        invalidate every consumer keyed by the predecessor's relation id
+        — result cache, shard-slice store, warm-start depth history and
+        its spill — tell a remote daemon to re-key its registration
+        (best-effort; the fallback is the lazy re-register on the next
+        session open), and wake every live watch.
+        """
+        if self._mutable is None:
+            raise MutationError(
+                "server relation is immutable — construct the server with "
+                "a MutableRelation to enable insert/update/delete"
+            )
+        with self._mutation_lock:
+            result = getattr(self._mutable, op)(*args)
+            new_relation = self._mutable.relation
+            with self._session_lock:
+                if self._closed:
+                    raise RuntimeError("server is closed")
+                old_key = self._relation_key
+                self._relation_key = _export_relation(self.scheme, new_relation)
+                self.relation = new_relation
+                new_key = self._relation_key
+            self._mutation_count += 1
+        if self._cache is not None:
+            self._cache.invalidate_relation(old_key)
+            if new_key != old_key:
+                self._cache.invalidate_relation(new_key)
+        invalidate_slices(old_key)
+        # A halting depth observed on the predecessor means nothing on
+        # the successor (content changed) — drop memory and spill.
+        self.scheme.drop_depth_history(old_key)
+        self._drop_depth_spill(old_key)
+        self._notify_daemon_mutation(old_key, new_key)
+        _release_relation(old_key)
+        _MUTATIONS.labels(op=op).inc()
+        with self._scheduler_lock:
+            watches = list(self._watches)
+        for watch in watches:
+            watch.notify()
+        return result
+
+    def _notify_daemon_mutation(self, old_key: str, new_key: str) -> None:
+        """Re-key a remote daemon's registration (best-effort).
+
+        A MUTATE frame moves the daemon's key material from the old
+        relation id to the new one, so the next session open skips the
+        re-upload.  Failures (old daemon without the frame, dead link)
+        are suppressed: the daemon then simply answers
+        ``UNKNOWN_RELATION`` on the next open and the client re-registers
+        — slower, never wrong.
+        """
+        if not is_socket_address(self.transport):
+            return
+        with contextlib.suppress(Exception):
+            client_for(self.transport).mutate_relation(old_key, new_key)
+
+    # -- continuous top-k (watch jobs) -----------------------------------
+
+    def watch(
+        self,
+        token: Token,
+        config: QueryConfig | None = None,
+        *,
+        window: int | None = None,
+        timeout: float | None = None,
+    ) -> WatchJob:
+        """Start a continuous top-k watch as a long-lived job.
+
+        The returned :class:`~repro.server.jobs.WatchJob` evaluates the
+        query immediately, then re-evaluates after every mutation,
+        streaming a :class:`~repro.events.TopKChanged` event whenever
+        the revealed winning set actually changes.  ``window=N`` watches
+        the last ``N`` inserted (still live) rows instead of the whole
+        relation — the sliding-window streaming mode (requires a mutable
+        server; ``k`` is clamped to the window's fill).  ``timeout``
+        bounds the watch's total lifetime like a job deadline.
+
+        End it with ``job.stop()`` (graceful: resolves ``DONE`` with a
+        :class:`~repro.server.jobs.WatchSummary`) or ``job.cancel()``;
+        :meth:`close` drains live watches itself.
+
+        Each watch occupies one scheduler slot for its lifetime; the
+        dispatch cap is raised past the live-watch count so watches can
+        never starve ordinary queries out of the worker pool.
+        """
+        if window is not None:
+            if window < 1:
+                raise QueryError("watch window must be >= 1")
+            if self._mutable is None:
+                raise MutationError(
+                    "windowed watches need a mutable relation (the window "
+                    "is defined over its insert log)"
+                )
+        config = self._effective_config(config)
+        job_id = self._reserve_ids(1)[0]
+        job = WatchJob(job_id, token, config, timeout=timeout, window=window)
+        job._runner = self._run_watch
+        with self._scheduler_lock:
+            self._watches.add(job)
+        _WATCHES_ACTIVE.inc()
+
+        def _retire(_job):
+            with self._scheduler_lock:
+                self._watches.discard(job)
+            _WATCHES_ACTIVE.dec()
+
+        job._add_done_callback(_retire)
+        self._dispatch(job, cap_hint=self._scheduler_cap + len(self._watches))
+        return job
+
+    def _run_watch(self, job: WatchJob) -> WatchSummary:
+        """Scheduler runner of one watch job: evaluate on every version
+        change, sleep on the wake event between changes."""
+        evaluations = 0
+        changes = 0
+        last_set: frozenset | None = None
+        last_pairs: tuple | None = None
+        last_version: int | None = None
+        seen_version: int | None = None
+        sequence = 0
+        while True:
+            if job._stopped:
+                break
+            job._control.check()
+            relation = self.relation  # snapshot: mutations swap atomically
+            version = relation.version
+            if seen_version is None or version != seen_version:
+                pairs = self._evaluate_watch(job, relation, version, sequence)
+                sequence += 1
+                seen_version = version
+                if pairs is not None:
+                    evaluations += 1
+                    job.evaluations = evaluations
+                    _WATCH_EVALUATIONS.inc()
+                    last_version = version
+                    current = frozenset(pairs)
+                    if last_set is None or current != last_set:
+                        changes += 1
+                        _WATCH_CHANGES.inc()
+                        last_set = current
+                        last_pairs = pairs
+                        job._record_event(
+                            TopKChanged(version=version, top_k=pairs)
+                        )
+                continue  # re-check stop/cancel/version before sleeping
+            job._wake.wait(timeout=job._control.remaining)
+            job._wake.clear()
+        return WatchSummary(
+            evaluations=evaluations,
+            changes=changes,
+            last_version=last_version,
+            last_top_k=last_pairs,
+        )
+
+    def _evaluate_watch(self, job: WatchJob, relation, version, sequence):
+        """One watch evaluation: a full salted query, revealed.
+
+        Full mode queries the served relation; windowed mode encrypts
+        the current insert window (same scheme, real object ids — the
+        encryption stream is a pure function of the rows, so identical
+        windows re-encrypt identically) and queries that.  Returns the
+        revealed ``(object_id, score)`` pairs, or ``None`` when there is
+        nothing to evaluate yet (empty window).
+        """
+        token = job.token
+        if job.window is not None:
+            rows, oids = self._mutable.window_rows(job.window)
+            if not rows:
+                return None
+            relation = self.scheme.encrypt(rows, object_ids=oids, version=version)
+            if token.k > len(rows):
+                token = replace(token, k=len(rows))
+        elif token.k > relation.n_objects:
+            token = replace(token, k=relation.n_objects)
+        salt = f":{self._salt_namespace}-watch-{job.job_id}-{sequence}#"
+        result = _run_salted_query(
+            self.scheme,
+            relation,
+            self.transport,
+            self.rtt_ms,
+            self._compute,
+            salt,
+            token,
+            job.config,
+            on_event=job._record_event,
+            control=job._control,
+            session_label=f"watch-{job.job_id}-{sequence}",
+            shard_executor=self._shard_executor(job.config),
+        )
+        return tuple(self.scheme.reveal(result))
+
+    # -- warm-start depth persistence ------------------------------------
+
+    def _depth_spill_path(self, relation_key: str) -> str | None:
+        if self._state_dir is None:
+            return None
+        if not relation_key.isalnum():
+            return None  # same safety gate as the daemon's spill names
+        return os.path.join(self._state_dir, f"{relation_key}.depths")
+
+    def _load_depth_spill(self) -> None:
+        """Import a prior run's halting-depth observations, if spilled.
+
+        Keyed by relation id — content fingerprint including the
+        version — so history can never leak across different data, and
+        a restart over unchanged data warm-starts immediately.
+        """
+        path = self._depth_spill_path(self._relation_key)
+        if path is None:
+            return
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            depths = [int(d) for d in payload["depths"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            return  # absent or corrupt spill: start cold, never fail
+        self.scheme.import_depth_history(self._relation_key, depths)
+
+    def _spill_depths(self) -> None:
+        """Persist the current depth history (atomic tmp + rename)."""
+        path = self._depth_spill_path(self._relation_key)
+        if path is None:
+            return
+        depths = self.scheme.export_depth_history(self._relation_key)
+        if not depths:
+            return
+        try:
+            os.makedirs(self._state_dir, mode=0o700, exist_ok=True)
+            tmp = f"{path}.tmp-{os.getpid()}"
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"relation_id": self._relation_key, "depths": depths}, fh
+                )
+            os.replace(tmp, path)
+        except OSError:
+            pass  # persistence is an optimization, never a failure mode
+
+    def _drop_depth_spill(self, relation_key: str) -> None:
+        path = self._depth_spill_path(relation_key)
+        if path is not None:
+            with contextlib.suppress(OSError):
+                os.remove(path)
+
     @property
     def stats(self) -> dict:
         """Operational counters: reuse layer + scheduler.
@@ -633,6 +1004,7 @@ class TopKServer:
                 "jobs_active": self._jobs_active,
                 "workers": self._scheduler_threads,
             }
+            watches_active = len(self._watches)
         return {
             "cache": cache_stats,
             "scheduler": scheduler,
@@ -641,6 +1013,9 @@ class TopKServer:
             "halting_depth_hint": self.scheme.halting_depth_hint(
                 self._relation_key
             ),
+            "version": self.relation.version,
+            "mutations": self._mutation_count,
+            "watches_active": watches_active,
         }
 
     @property
@@ -665,6 +1040,7 @@ class TopKServer:
         config: QueryConfig | None = None,
         *,
         timeout: float | None = None,
+        expect_version: int | None = None,
     ) -> QueryJob:
         """Submit one query as an asynchronous :class:`QueryJob`.
 
@@ -675,6 +1051,11 @@ class TopKServer:
         handle resolves via ``result()``, cancels via ``cancel()``, and
         streams progress via ``events()``.
 
+        ``expect_version`` pins the query to a relation version: if a
+        mutation lands before the job starts, it fails with
+        :class:`~repro.exceptions.StaleRelationError` instead of
+        silently answering over data the caller never saw.
+
         A submitted job's transcript (results, rounds, bytes, leakage)
         is bit-identical to the same query through :meth:`execute` or a
         sequential :meth:`execute_many` at the same request position —
@@ -684,6 +1065,7 @@ class TopKServer:
         job = self._make_job(
             job_id, token, self._effective_config(config), self._run_inline, timeout
         )
+        job._expect_version = expect_version
         self._dispatch(job)
         return job
 
@@ -810,7 +1192,16 @@ class TopKServer:
         so its rounds can share round-trips with concurrent jobs, and
         its fresh result feeds the cache on the way out.
         """
-        cached = self._cache_lookup(job.token, job.config)
+        # Snapshot the served relation and its key together: a mutation
+        # landing mid-job swaps both atomically, and a job must never
+        # compute over one version while caching under another.
+        with self._session_lock:
+            relation = self.relation
+            relation_key = self._relation_key
+        expected = getattr(job, "_expect_version", None)
+        if expected is not None and expected != relation.version:
+            raise StaleRelationError(expected, relation.version)
+        cached = self._cache_lookup(job.token, job.config, relation_key)
         if cached is not None:
             return cached
         rendezvous = self._rendezvous
@@ -835,7 +1226,7 @@ class TopKServer:
             with observe_batches(on_batch):
                 result = _run_salted_query(
                     self.scheme,
-                    self.relation,
+                    relation,
                     self.transport,
                     self.rtt_ms,
                     self._compute,
@@ -853,7 +1244,10 @@ class TopKServer:
                 rendezvous.withdraw()
         if wrappers:
             result.coalesced_rounds = wrappers[0].coalesced_rounds
-        self._cache_store(job.token, job.config, result)
+        self._cache_store(job.token, job.config, result, relation_key)
+        # A fresh result observed a halting depth: make the warm-start
+        # history durable (no-op without state_dir).
+        self._spill_depths()
         return result
 
     def _make_process_runner(self, executor, salt: str, prior: frozenset):
@@ -1096,8 +1490,11 @@ class TopKServer:
         to stop at their next round boundary and waited for; a process
         batch in flight has its pending pool futures cancelled (that
         batch's ``execute_many`` raises) — an explicit shutdown outranks
-        in-flight work.
+        in-flight work.  Live watch jobs drain with the running jobs:
+        ``WatchJob.cancel`` wakes the watch loop, so a watch parked on
+        its wake event terminates promptly instead of holding a worker.
         """
+        self._spill_depths()
         # Health flips first (sticky, idempotent): /healthz reports
         # draining for the whole teardown window while /metrics stays
         # scrapeable until the very end.

@@ -491,7 +491,13 @@ class TestListenerRobustness:
 
 class TestCuratedSurface:
     def test_all_leads_with_client_facade(self):
-        assert repro.__all__[:4] == ["connect", "TopKClient", "QueryJob", "JobStatus"]
+        assert repro.__all__[:5] == [
+            "connect",
+            "TopKClient",
+            "QueryJob",
+            "WatchJob",
+            "JobStatus",
+        ]
         for name in repro.__all__:
             assert getattr(repro, name) is not None
 

@@ -1,0 +1,790 @@
+"""Mutable encrypted relations + continuous top-k: the PR-9 subsystem.
+
+Locks down the mutation layer end to end:
+
+* **Transcript equivalence** (the tentpole property) — after *any*
+  interleaving of insert/update/delete, a query over the incrementally
+  maintained relation produces a transcript — results, rounds, bytes,
+  leakage event sequence — bit-identical to the same query over a
+  relation rebuilt from scratch at the final state, on every engine and
+  transport.  Hypothesis draws the interleavings.
+* **MutableRelation semantics** — splice positions, touched-prefix
+  lengths, copy-on-write suffix sharing, ``mutation_pattern`` leakage,
+  version monotonicity, error paths.
+* **Invalidation cascade** — every mutation path drops the result
+  cache, the process-wide shard-slice store, the warm-start depth
+  history (memory + spill) and re-keys a remote daemon's registration;
+  pinned consumers (sessions, ``expect_version`` jobs) fail with
+  :class:`~repro.exceptions.StaleRelationError` instead of silently
+  answering over stale data.
+* **Prefix cache serving** — a ``k' < k`` repeat of a cached query is
+  served as the first ``k'`` items with zero S2 rounds.
+* **Warm-start depth persistence** — ``state_dir`` spills survive a
+  restart over unchanged data and are dropped on every version bump.
+* **Continuous top-k** — ``watch()`` emits
+  :class:`~repro.events.TopKChanged` exactly when the revealed winning
+  set changes (plaintext oracle), windowed watches follow the insert
+  log, and ``close()`` drains live watches.
+
+The property tests require Hypothesis (the ``test`` extra) and skip
+cleanly where only the dependency-free core is installed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property harness needs the 'test' extra (hypothesis)"
+)
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+import repro  # noqa: E402
+from repro.core.params import SystemParams  # noqa: E402
+from repro.core.results import QueryConfig  # noqa: E402
+from repro.core.scheme import SecTopK  # noqa: E402
+from repro.events import TopKChanged  # noqa: E402
+from repro.exceptions import (  # noqa: E402
+    EncodingRangeError,
+    MutationError,
+    StaleRelationError,
+)
+from repro.server import MutableRelation, TopKServer  # noqa: E402
+from repro.server.sharding import _SLICE_STORE  # noqa: E402
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+SEED = 424242
+
+# Every property example runs two full secure queries; keep the budget
+# small and deterministic so the tier-1 suite stays fast and CI never
+# flakes on a fresh draw (same discipline as test_sharding).
+PROPERTY_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _transcript(scheme, result) -> tuple:
+    """Everything S2 (and the accountant) can see, as one comparable value."""
+    return (
+        scheme.reveal(result),
+        result.halting_depth,
+        result.channel_stats.rounds,
+        result.channel_stats.bytes_s1_to_s2,
+        result.channel_stats.bytes_s2_to_s1,
+        tuple(
+            (e.observer, e.protocol, e.kind, repr(e.payload))
+            for e in result.leakage_events
+        ),
+    )
+
+
+def _query_transcript(scheme, relation, attrs, k, config, transport):
+    """One query on a fresh context over ``relation`` (no cache)."""
+    token = scheme.token(attrs, k=k)
+    ctx = scheme._make_context(transport=transport, relation=relation)
+    try:
+        result = scheme.query(relation, token, config, ctx=ctx)
+    finally:
+        ctx.close()
+    return _transcript(scheme, result)
+
+
+def _apply(mutable: MutableRelation, ops) -> None:
+    """Replay a drawn mutation script, tolerating ids that went away."""
+    for op, payload in ops:
+        live = sorted(mutable._rows)
+        if op == "insert":
+            mutable.insert(payload)
+        elif op == "update":
+            mutable.update(live[payload % len(live)], payload_row(payload))
+        elif op == "delete" and len(live) > 1:
+            mutable.delete(live[payload % len(live)])
+
+
+def payload_row(seed: int, m: int = 2, spread: int = 30):
+    return [(7 * seed + 3 * j + 1) % spread for j in range(m)]
+
+
+def _exact_scores(rows_by_id: dict, attrs, weights=None):
+    weights = weights or [1] * len(attrs)
+    return {
+        oid: sum(w * row[a] for w, a in zip(weights, attrs))
+        for oid, row in rows_by_id.items()
+    }
+
+
+def _true_topk_ids(rows_by_id: dict, attrs, k) -> set:
+    """The unique top-k id set (callers keep aggregates distinct)."""
+    exact = _exact_scores(rows_by_id, attrs)
+    ranked = sorted(exact, key=lambda o: (-exact[o], o))
+    return set(ranked[:k])
+
+
+# ---------------------------------------------------------------------------
+# The tentpole property: mutated == rebuilt, bit for bit.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def mutation_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    m = 2
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=30), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.lists(st.integers(0, 30), min_size=m, max_size=m),
+                ),
+                st.tuples(st.just("update"), st.integers(0, 97)),
+                st.tuples(st.just("delete"), st.integers(0, 97)),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    attrs = [0, 1]
+    k = draw(st.integers(min_value=1, max_value=2))
+    engine = draw(st.sampled_from(["eager", "literal"]))
+    transport = draw(st.sampled_from(["inprocess", "threaded"]))
+    return rows, ops, attrs, k, engine, transport
+
+
+class TestMutatedEqualsRebuilt:
+    """Acceptance criterion: any interleaving of mutations produces a
+    relation whose query transcripts are bit-identical to a rebuild
+    from scratch at the final state."""
+
+    @given(case=mutation_cases())
+    @settings(**PROPERTY_SETTINGS)
+    def test_bit_parity(self, case):
+        rows, ops, attrs, k, engine, transport = case
+        config = QueryConfig(engine=engine)
+
+        scheme_a = SecTopK(SystemParams.tiny(), seed=SEED)
+        mutable = MutableRelation(scheme_a, rows)
+        _apply(mutable, ops)
+        grown = _query_transcript(
+            scheme_a, mutable.relation, attrs, k, config, transport
+        )
+
+        final_rows, final_oids = mutable.snapshot()
+        scheme_b = SecTopK(SystemParams.tiny(), seed=SEED)
+        rebuilt_relation = scheme_b.encrypt(
+            final_rows, object_ids=final_oids, version=mutable.version
+        )
+        rebuilt = _query_transcript(
+            scheme_b, rebuilt_relation, attrs, k, config, transport
+        )
+        assert grown == rebuilt, (
+            f"mutated transcript diverged from rebuild "
+            f"(engine={engine}, transport={transport}, ops={ops})"
+        )
+
+    def test_socket_transport_mutation_leg(self):
+        """The equivalence holds over a real S2 daemon too (the cheap
+        socket complement to the in-process/threaded property axis)."""
+        from repro.net.socket_transport import disconnect_all
+        from repro.server import S2Service
+
+        rows = [[(5 * i + j) % 17 for j in range(2)] for i in range(5)]
+        ops = [("insert", [16, 3]), ("update", 1), ("delete", 0)]
+        config = QueryConfig()
+        service = S2Service("tcp://127.0.0.1:0")
+        address = service.start()
+        try:
+            scheme_a = SecTopK(SystemParams.tiny(), seed=SEED)
+            mutable = MutableRelation(scheme_a, rows)
+            _apply(mutable, ops)
+            grown = _query_transcript(
+                scheme_a, mutable.relation, [0, 1], 2, config, address
+            )
+            final_rows, final_oids = mutable.snapshot()
+            scheme_b = SecTopK(SystemParams.tiny(), seed=SEED)
+            rebuilt_relation = scheme_b.encrypt(
+                final_rows, object_ids=final_oids, version=mutable.version
+            )
+            rebuilt = _query_transcript(
+                scheme_b, rebuilt_relation, [0, 1], 2, config, address
+            )
+            assert grown == rebuilt
+        finally:
+            disconnect_all()
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# MutableRelation semantics.
+# ---------------------------------------------------------------------------
+
+
+class TestMutableRelation:
+    def _mutable(self, rows=None, seed=SEED):
+        scheme = SecTopK(SystemParams.tiny(), seed=seed)
+        rows = rows if rows is not None else [[5, 2], [3, 9], [8, 1], [6, 6]]
+        return scheme, MutableRelation(scheme, rows)
+
+    def test_versions_are_monotonic_and_rekey_the_relation(self):
+        _, mutable = self._mutable()
+        ids = {mutable.relation.relation_id()}
+        res = mutable.insert([9, 9])
+        assert res.version == mutable.version == 1
+        ids.add(mutable.relation.relation_id())
+        res = mutable.update(res.object_id, [1, 1])
+        assert res.version == 2
+        ids.add(mutable.relation.relation_id())
+        res = mutable.delete(res.object_id)
+        assert res.version == 3
+        ids.add(mutable.relation.relation_id())
+        assert len(ids) == 4, "every version must key a distinct relation id"
+
+    def test_object_ids_are_never_reused(self):
+        _, mutable = self._mutable()
+        first = mutable.insert([9, 9]).object_id
+        mutable.delete(first)
+        second = mutable.insert([9, 9]).object_id
+        assert second > first
+
+    def test_touched_prefixes(self):
+        """Insert touches ``pos + 1`` entries, delete ``pos``, update
+        ``max(pos_old, pos_new + 1)`` — per sorted list."""
+        scheme, mutable = self._mutable(rows=[[10, 0], [5, 5], [0, 10]])
+        # New top of list 0 (pos 0 -> prefix 1); bottom of list 1
+        # (pos 3 -> prefix 4... list only has 3 entries + itself).
+        res = mutable.insert([11, 1])
+        by_name = dict(res.touched)
+        names = scheme.attribute_list_names()
+        assert by_name[names[0]] == 1  # lands on top: prefix is itself
+        assert by_name[names[1]] == 3  # lands at index 2 of 4
+        assert all(
+            1 <= p <= mutable.n_objects for p in by_name.values()
+        )
+        # Deleting the top of list 0 touches nothing before it.
+        res = mutable.delete(0)
+        by_name = dict(res.touched)
+        assert by_name[names[0]] == 1  # was at index 1 after the insert
+        # The untouched suffix is shared by reference with the
+        # predecessor (copy-on-write, not copy): [12, 0] lands on top of
+        # list 0, so everything below it is the predecessor's entries.
+        pred = mutable.relation
+        mutable.insert([12, 0])
+        succ = mutable.relation
+        name = names[0]
+        assert succ.lists[name][1:] == pred.lists[name]
+        assert succ.lists[name][-1] is pred.lists[name][-1]
+
+    def test_mutation_pattern_leakage_event(self):
+        _, mutable = self._mutable()
+        res = mutable.insert([7, 7])
+        (event,) = res.leakage_events
+        assert (event.observer, event.protocol, event.kind) == (
+            "S1",
+            "SecMutate",
+            "mutation_pattern",
+        )
+        assert event.payload == ("insert", res.touched)
+
+    def test_snapshot_and_log_replay(self):
+        _, mutable = self._mutable()
+        oid = mutable.insert([7, 7]).object_id
+        mutable.update(0, [1, 1])
+        mutable.delete(2)
+        rows, oids = mutable.snapshot()
+        assert oids == [0, 1, 3, oid]
+        assert rows[0] == [1, 1] and rows[-1] == [7, 7]
+        log = mutable.mutation_log()
+        assert [entry[0] for entry in log] == ["insert", "update", "delete"]
+        assert [entry[3] for entry in log] == [1, 2, 3]
+
+    def test_window_rows_follow_the_insert_log(self):
+        _, mutable = self._mutable(rows=[[1, 1], [2, 2]])
+        a = mutable.insert([3, 3]).object_id
+        b = mutable.insert([4, 4]).object_id
+        rows, oids = mutable.window_rows(2)
+        assert oids == [a, b]
+        mutable.delete(b)
+        rows, oids = mutable.window_rows(2)
+        assert oids == [1, a], "deleted rows drop out of the window"
+        with pytest.raises(MutationError):
+            mutable.window_rows(0)
+
+    def test_error_paths(self):
+        scheme, mutable = self._mutable()
+        with pytest.raises(MutationError, match="unknown object id"):
+            mutable.update(99, [1, 1])
+        with pytest.raises(MutationError, match="unknown object id"):
+            mutable.delete(99)
+        with pytest.raises(MutationError, match="attributes"):
+            mutable.insert([1, 2, 3])
+        with pytest.raises(EncodingRangeError):
+            mutable.insert([1, 1 << 40])
+        for oid in (0, 1, 2):
+            mutable.delete(oid)
+        with pytest.raises(MutationError, match="last object"):
+            mutable.delete(3)
+        # Failed mutations never bump the version.
+        assert mutable.version == 3
+
+
+# ---------------------------------------------------------------------------
+# The server-side invalidation cascade.
+# ---------------------------------------------------------------------------
+
+
+def _deployment(rows=None, seed=SEED, **server_kwargs):
+    scheme = SecTopK(SystemParams.tiny(), seed=seed)
+    rows = rows if rows is not None else [[5, 2], [3, 9], [8, 1], [6, 6]]
+    mutable = MutableRelation(scheme, rows)
+    server = TopKServer(scheme, mutable, **server_kwargs)
+    return scheme, mutable, server
+
+
+class TestServerMutations:
+    def test_results_track_mutations(self):
+        scheme, _, server = _deployment()
+        with server:
+            token = scheme.token([0, 1], k=2)
+            assert {o for o, _ in scheme.reveal(server.execute(token))} == {1, 3}
+            oid = server.insert([9, 9]).object_id
+            assert {o for o, _ in scheme.reveal(server.execute(token))} == {oid, 3}
+            server.update(oid, [0, 0])
+            assert {o for o, _ in scheme.reveal(server.execute(token))} == {1, 3}
+            server.delete(3)
+            assert {o for o, _ in scheme.reveal(server.execute(token))} == {1, 2}
+            stats = server.stats
+            assert stats["version"] == 3 and stats["mutations"] == 3
+
+    def test_immutable_server_rejects_mutations(self):
+        scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+        relation = scheme.encrypt([[5, 2], [3, 9]])
+        with TopKServer(scheme, relation) as server:
+            with pytest.raises(MutationError, match="immutable"):
+                server.insert([1, 1])
+
+    def test_unknown_op_rejected(self):
+        _, _, server = _deployment()
+        with server:
+            with pytest.raises(MutationError, match="unknown mutation op"):
+                server.mutate("truncate")
+
+    def test_every_mutation_path_invalidates_the_cache(self):
+        scheme, _, server = _deployment()
+        with server:
+            token = scheme.token([0, 1], k=2)
+            mutations = [
+                lambda: server.insert([9, 9]),
+                lambda: server.update(0, [2, 2]),
+                lambda: server.delete(1),
+            ]
+            for mutate in mutations:
+                server.execute(token)  # prime (or legitimately repeat)
+                assert server.execute(token).cache_hit
+                mutate()
+                after = server.execute(token)
+                assert not after.cache_hit, "mutation must drop the cache"
+
+    def test_mutation_invalidates_the_slice_store(self):
+        scheme, mutable, server = _deployment(
+            rows=[[(3 * i + j) % 19 for j in range(2)] for i in range(8)]
+        )
+        with server:
+            old_key = mutable.relation.relation_id()
+            server.execute(scheme.token([0, 1], k=2), QueryConfig(shards=3))
+            assert any(k[0] == old_key for k in _SLICE_STORE)
+            server.insert([18, 18])
+            assert not any(k[0] == old_key for k in _SLICE_STORE)
+
+    def test_sessions_pin_their_version(self):
+        scheme, _, server = _deployment()
+        with server:
+            token = scheme.token([0, 1], k=2)
+            with server.session() as session:
+                session.query(token)
+                server.insert([9, 9])
+                with pytest.raises(StaleRelationError) as exc:
+                    session.query(token)
+                assert exc.value.expected == 0 and exc.value.current == 1
+            # A fresh session sees the successor (object 4 = [9, 9] now
+            # dominates; second place is a 12-12 tie, either id is valid).
+            with server.session() as session:
+                revealed = scheme.reveal(session.query(token))
+                ids = {o for o, _ in revealed}
+                assert 4 in ids and ids < {1, 3, 4}
+
+    def test_expect_version_pins_a_job(self):
+        scheme, _, server = _deployment()
+        with server:
+            token = scheme.token([0, 1], k=2)
+            server.submit(token, expect_version=0).result()
+            server.insert([9, 9])
+            with pytest.raises(StaleRelationError):
+                server.submit(token, expect_version=0).result()
+            server.submit(token, expect_version=1).result()
+
+    def test_concurrent_mutation_churn(self):
+        """Interleaved mutations and queries from racing threads never
+        corrupt state: every query answers over *some* complete version
+        and the final state matches the plaintext mirror."""
+        scheme, mutable, server = _deployment()
+        errors: list[BaseException] = []
+        token = scheme.token([0, 1], k=1)
+
+        def churn():
+            try:
+                for i in range(4):
+                    oid = server.insert([i, i]).object_id
+                    server.execute(token)
+                    server.delete(oid)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        def query():
+            try:
+                for _ in range(6):
+                    server.execute(token)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        with server:
+            threads = [threading.Thread(target=churn), threading.Thread(target=query)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert not errors
+            rows, oids = mutable.snapshot()
+            assert len(rows) == 4 and server.version == 8
+            revealed = scheme.reveal(server.execute(token))
+            exact = _exact_scores(dict(zip(oids, rows)), [0, 1])
+            assert {o for o, _ in revealed} == _true_topk_ids(
+                dict(zip(oids, rows)), [0, 1], 1
+            ) or revealed[0][1] == max(exact.values())
+
+
+# ---------------------------------------------------------------------------
+# Prefix serving: k' < k repeats from the cache.
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixCacheServing:
+    def test_smaller_k_served_from_cached_result(self):
+        scheme, _, server = _deployment(
+            rows=[[(5 * i + 2 * j) % 21 for j in range(2)] for i in range(7)]
+        )
+        with server:
+            full = server.execute(scheme.token([0, 1], k=3))
+            assert not full.cache_hit
+            sliced = server.execute(scheme.token([0, 1], k=2))
+            assert sliced.cache_hit and sliced.stats.rounds == 0
+            assert scheme.reveal(sliced) == scheme.reveal(full)[:2]
+            stats = server.stats["cache"]
+            assert stats.prefix_hits == 1 and stats.hits == 1
+
+    def test_larger_k_misses(self):
+        scheme, _, server = _deployment()
+        with server:
+            server.execute(scheme.token([0, 1], k=2))
+            bigger = server.execute(scheme.token([0, 1], k=3))
+            assert not bigger.cache_hit
+            assert server.stats["cache"].prefix_hits == 0
+
+    def test_exact_hit_wins_over_prefix_serving(self):
+        scheme, _, server = _deployment(
+            rows=[[(5 * i + 2 * j) % 21 for j in range(2)] for i in range(7)]
+        )
+        with server:
+            server.execute(scheme.token([0, 1], k=2))  # miss, stored
+            again = server.execute(scheme.token([0, 1], k=2))
+            assert again.cache_hit
+            assert server.stats["cache"].prefix_hits == 0
+            server.execute(scheme.token([0, 1], k=4))  # miss, stored
+            sliced = server.execute(scheme.token([0, 1], k=3))
+            assert sliced.cache_hit and len(sliced.items) == 3
+            assert server.stats["cache"].prefix_hits == 1
+            # k=2 has its own exact entry: served exactly, not sliced.
+            exact = server.execute(scheme.token([0, 1], k=2))
+            assert exact.cache_hit and len(exact.items) == 2
+            assert server.stats["cache"].prefix_hits == 1
+
+    def test_prefix_hits_respect_config_and_relation(self):
+        scheme, _, server = _deployment()
+        with server:
+            server.execute(scheme.token([0, 1], k=3))
+            other_engine = server.execute(
+                scheme.token([0, 1], k=2), QueryConfig(engine="literal")
+            )
+            assert not other_engine.cache_hit
+            server.insert([9, 9])
+            after = server.execute(scheme.token([0, 1], k=2))
+            assert not after.cache_hit
+
+
+# ---------------------------------------------------------------------------
+# Warm-start depth persistence (--state-dir).
+# ---------------------------------------------------------------------------
+
+
+class TestDepthPersistence:
+    def test_depths_survive_a_restart(self, tmp_path):
+        import pickle
+
+        state = str(tmp_path)
+        rows = [[(3 * i + j) % 19 for j in range(2)] for i in range(8)]
+        scheme, mutable, server = _deployment(rows=rows, state_dir=state)
+        # Ciphertext randomness is not replayable, so a restart reloads
+        # the persisted deployment (scheme + relation) instead of
+        # re-encrypting — pickled up front, like the daemon's .reg spill.
+        blob = pickle.dumps((scheme, mutable))
+        with server:
+            server.execute(scheme.token([0, 1], k=2))
+            relation_key = mutable.relation.relation_id()
+        assert os.path.exists(os.path.join(state, f"{relation_key}.depths"))
+
+        # The reloaded deployment over unchanged data warm-starts from
+        # the spilled history immediately.
+        scheme2, mutable2 = pickle.loads(blob)
+        assert mutable2.relation.relation_id() == relation_key
+        with TopKServer(scheme2, mutable2, state_dir=state) as server2:
+            assert server2.stats["halting_depth_hint"] is not None
+
+    def test_mutation_drops_the_spill(self, tmp_path):
+        state = str(tmp_path)
+        scheme, mutable, server = _deployment(state_dir=state)
+        with server:
+            server.execute(scheme.token([0, 1], k=2))
+            old_key = mutable.relation.relation_id()
+            old_path = os.path.join(state, f"{old_key}.depths")
+            assert os.path.exists(old_path)
+            server.insert([9, 9])
+            assert not os.path.exists(old_path), (
+                "a version bump must drop the predecessor's depth spill"
+            )
+            assert server.stats["halting_depth_hint"] is None
+
+    def test_corrupt_spill_is_ignored(self, tmp_path):
+        import pickle
+
+        state = str(tmp_path)
+        scheme, mutable, server = _deployment(state_dir=state)
+        blob = pickle.dumps((scheme, mutable))
+        with server:
+            server.execute(scheme.token([0, 1], k=2))
+            key = mutable.relation.relation_id()
+        path = os.path.join(state, f"{key}.depths")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json{")
+        scheme2, mutable2 = pickle.loads(blob)
+        with TopKServer(scheme2, mutable2, state_dir=state) as server2:
+            assert server2.stats["halting_depth_hint"] is None
+
+
+# ---------------------------------------------------------------------------
+# Continuous top-k: watch jobs.
+# ---------------------------------------------------------------------------
+
+
+def _wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestWatch:
+    def test_events_match_the_plaintext_oracle(self):
+        """TopKChanged fires exactly when the winning set changes: the
+        initial evaluation, a membership change, and never for a no-op
+        update (same row content → bit-identical evaluation)."""
+        rows = [[10, 10], [6, 5], [1, 2]]  # distinct aggregates: 20, 11, 3
+        scheme, mutable, server = _deployment(rows=rows)
+        mirror = {i: rows[i] for i in range(len(rows))}
+        with server:
+            token = scheme.token([0, 1], k=2)
+            job = server.watch(token)
+            assert _wait_for(lambda: job.evaluations >= 1)
+            # 1) no-op update: version bumps, content identical.
+            server.update(1, [6, 5])
+            assert _wait_for(lambda: job.evaluations >= 2)
+            # 2) membership change: a new dominant row.
+            oid = server.insert([15, 15]).object_id
+            mirror[oid] = [15, 15]
+            assert _wait_for(lambda: job.evaluations >= 3)
+            job.stop()
+            summary = job.summary(timeout=60.0)
+        assert summary.evaluations == 3
+        assert summary.changes == 2, "the no-op update must not emit"
+        changes = list(job.changes())
+        assert [type(e) for e in changes] == [TopKChanged, TopKChanged]
+        assert {o for o, _ in changes[0].top_k} == {0, 1}
+        assert {o for o, _ in changes[1].top_k} == _true_topk_ids(
+            mirror, [0, 1], 2
+        )
+        assert changes[1].version == 2
+        assert summary.last_top_k == changes[1].top_k
+        assert summary.last_version == 2
+
+    def test_windowed_watch_follows_the_insert_log(self):
+        scheme, mutable, server = _deployment(rows=[[1, 1], [2, 2]])
+        with server:
+            job = server.watch(scheme.token([0, 1], k=1), window=2)
+            assert _wait_for(lambda: job.evaluations >= 1)
+            a = server.insert([9, 9]).object_id
+            assert _wait_for(lambda: job.evaluations >= 2)
+            b = server.insert([3, 3]).object_id
+            assert _wait_for(lambda: job.evaluations >= 3)
+            job.stop()
+            summary = job.summary(timeout=60.0)
+        events = list(job.changes())
+        # Window starts as the two seed rows, then slides over inserts:
+        # {0:2, 1:4} -> {1:4, a:18} -> {a:18, b:6}; top-1 follows.
+        assert [{o for o, _ in e.top_k} for e in events][:2] == [{1}, {a}]
+        assert {o for o, _ in summary.last_top_k} == {a}
+        assert summary.evaluations == 3
+
+    def test_windowed_watch_requires_a_mutable_relation(self):
+        scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+        relation = scheme.encrypt([[5, 2], [3, 9]])
+        with TopKServer(scheme, relation) as server:
+            with pytest.raises(MutationError, match="mutable"):
+                server.watch(scheme.token([0, 1], k=1), window=2)
+            # Full-mode watches over an immutable relation are legal
+            # (they evaluate once and then idle).
+            job = server.watch(scheme.token([0, 1], k=1))
+            assert _wait_for(lambda: job.evaluations >= 1)
+            job.stop()
+            assert job.summary(timeout=60.0).changes == 1
+
+    def test_close_drains_live_watches(self):
+        scheme, _, server = _deployment()
+        job = server.watch(scheme.token([0, 1], k=1))
+        assert _wait_for(lambda: job.evaluations >= 1)
+        server.close()
+        assert _wait_for(job.done, timeout=30.0), (
+            "close() must wake and resolve a parked watch"
+        )
+        assert server.stats["watches_active"] == 0
+
+    def test_stop_resolves_to_a_summary_and_cancel_cancels(self):
+        scheme, _, server = _deployment()
+        with server:
+            job = server.watch(scheme.token([0, 1], k=1))
+            assert _wait_for(lambda: job.evaluations >= 1)
+            job.stop()
+            summary = job.summary(timeout=60.0)
+            assert summary.evaluations == 1 and summary.changes == 1
+            assert job.status == "done"
+
+            other = server.watch(scheme.token([1], k=1))
+            assert _wait_for(lambda: other.evaluations >= 1)
+            other.cancel()
+            assert _wait_for(other.done, timeout=30.0)
+            assert other.status == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# Daemon re-keying (MUTATE / MUTATED frames).
+# ---------------------------------------------------------------------------
+
+
+class TestDaemonMutation:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.net.socket_transport import disconnect_all
+        from repro.server.s2_service import S2Service
+
+        service = S2Service("tcp://127.0.0.1:0", state_dir=str(tmp_path))
+        address = service.start()
+        yield service, address
+        disconnect_all()
+        service.close()
+
+    def test_mutations_rekey_the_registration(self, daemon):
+        service, address = daemon
+        scheme, mutable, server = _deployment(transport=address)
+        with server:
+            token = scheme.token([0, 1], k=2)
+            server.execute(token)
+            uploads_before = service.stats()["registration_uploads"]
+            server.insert([9, 9])
+            assert service.stats()["registration_mutations"] == 1
+            # The re-keyed registration serves the successor without a
+            # re-upload...
+            server.execute(token)
+            assert (
+                service.stats()["registration_uploads"] == uploads_before
+            )
+            # ...and the persisted spill moved with it.
+            new_key = mutable.relation.relation_id()
+            assert os.path.exists(
+                os.path.join(service.state_dir, f"{new_key}.reg")
+            )
+
+    def test_mutate_relation_is_idempotent_for_unknown_ids(self, daemon):
+        service, address = daemon
+        from repro.net.socket_transport import client_for
+
+        client = client_for(address)
+        assert client.mutate_relation("a" * 32, "b" * 32) is True
+        assert service.stats()["registration_mutations"] == 0
+
+    def test_interleaved_churn_over_the_daemon(self, daemon):
+        """The socket-smoke shape: mutations, queries and a watch
+        interleaved against one daemon connection."""
+        service, address = daemon
+        scheme, mutable, server = _deployment(transport=address)
+        with server:
+            token = scheme.token([0, 1], k=2)
+            watch = server.watch(token)
+            assert _wait_for(lambda: watch.evaluations >= 1)
+            for i in range(3):
+                oid = server.insert([10 + i, 10 + i]).object_id
+                revealed = scheme.reveal(server.execute(token))
+                assert oid in {o for o, _ in revealed}
+            watch.stop()
+            summary = watch.summary(timeout=120.0)
+            assert summary.evaluations == 4
+            assert service.stats()["registration_mutations"] == 3
+
+
+class TestClientFacade:
+    def test_client_mutation_and_watch_surface(self):
+        scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+        mutable = MutableRelation(scheme, [[5, 2], [3, 9], [8, 1]])
+        with repro.connect(scheme, mutable) as client:
+            token = client.token([0, 1], k=2)
+            assert client.version == 0
+            oid = client.insert([9, 9]).object_id
+            assert client.version == 1
+            client.update(oid, [7, 7])
+            client.delete(0)
+            assert client.version == 3
+            revealed = client.reveal(client.query(token))
+            assert {o for o, _ in revealed} == {1, oid}
+            job = client.watch(token)
+            assert _wait_for(lambda: job.evaluations >= 1)
+            job.stop()
+            assert job.summary(timeout=60.0).changes == 1
+        with pytest.raises(RuntimeError):
+            client.mutate("insert", [1, 1])
+        with pytest.raises(RuntimeError):
+            client.watch(token)
