@@ -249,6 +249,7 @@ class SecTopK:
         rows: list[list[int]],
         object_ids: list[int] | None = None,
         version: int = 0,
+        stream: str = "enc",
     ) -> EncryptedRelation:
         """Encrypt a relation into ``ER`` (Algorithm 2).
 
@@ -258,6 +259,18 @@ class SecTopK:
         indices, and rebuilding it from scratch with the same ids must
         reproduce the same sorted order — ties break by object id on
         both paths.  ``version`` seeds the relation's mutation counter.
+
+        ``stream`` labels the randomness stream this encryption draws
+        (deterministic schemes only; see :meth:`SecureRandom.spawn`).
+        The default ``"enc"`` is the data owner's one-time upload
+        stream.  Callers that encrypt *more than one plaintext relation*
+        under one scheme — the sliding-window watch path — MUST pass a
+        label that is unique per plaintext content: reusing one stream
+        across different plaintexts reuses Paillier randomness at
+        aligned positions, letting S1 divide ciphertexts pairwise and
+        brute-force score deltas.  A content-derived label keeps the
+        complementary property that re-encrypting identical content
+        yields identical ciphertexts.
         """
         if not rows:
             raise DataError("relation is empty")
@@ -274,7 +287,7 @@ class SecTopK:
             for value in row:
                 self.encoder.check_score(value)
 
-        rng = self._rng.spawn("enc")
+        rng = self._rng.spawn(stream)
         factory = self._ehl_factory(rng)
         prp = Prp(self._prp_key, width)
         self._attribute_width = width

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import contextlib
 import copy
+import hashlib
 import json
 import os
 import pickle
@@ -180,6 +181,20 @@ def _init_query_worker(relation_key, payload, transport, rtt_ms, backend_name) -
     _QUERY_WORKER["scheme"], _QUERY_WORKER["relation"] = entry
     _QUERY_WORKER["transport"] = transport
     _QUERY_WORKER["rtt_ms"] = rtt_ms
+
+
+def _window_stream(rows, oids) -> str:
+    """Randomness-stream label for one sliding-window encryption.
+
+    A pure function of the window's plaintext content, so re-encrypting
+    an unchanged window replays the same stream (identical ciphertexts,
+    a declared property of windowed watches) while any content change
+    lands on an independent stream — never sharing Paillier randomness
+    across different plaintexts, and never touching the base relation's
+    ``"enc"`` upload stream.
+    """
+    digest = hashlib.sha256(repr((rows, oids)).encode("utf-8"))
+    return f"window-{digest.hexdigest()[:16]}"
 
 
 def _run_salted_query(
@@ -632,7 +647,12 @@ class TopKServer:
         Exact repeats hit directly; a ``k' < k`` repeat of a query whose
         ``k`` result is cached is served as the first ``k'`` items of
         that result — winners are stored best-first, so the slice is an
-        exact top-``k'`` (see :mod:`repro.server.query_cache`).
+        exact top-``k'`` (see :mod:`repro.server.query_cache`).  A
+        sliced hit reports ``halting_depth`` 0: the source run's depth
+        belongs to the deeper ``k`` scan (a fresh ``k'`` run typically
+        halts shallower), so serving it would misattribute metadata to
+        a query that never ran.  Exact hits keep their depth — an
+        identical query really did halt there.
 
         A hit is reshaped into what it is: zero S2 traffic, zero scanned
         depths, and exactly the ``query_pattern`` bit a fresh run of the
@@ -656,6 +676,7 @@ class TopKServer:
         vars(result).pop("stats", None)  # cached_property of the stored run
         if sliced:
             result.items = result.items[: token.k]
+            result.halting_depth = 0
         result.channel_stats = ChannelStats()
         result.leakage_events = [
             LeakageEvent("S1", "SecQuery", "query_pattern", repeated)
@@ -755,11 +776,17 @@ class TopKServer:
                 "a MutableRelation to enable insert/update/delete"
             )
         with self._mutation_lock:
-            result = getattr(self._mutable, op)(*args)
-            new_relation = self._mutable.relation
+            # Closed check BEFORE touching the MutableRelation: a
+            # rejected mutation must leave it in lockstep with the
+            # served relation, never one committed version ahead.
+            # close() takes the mutation lock first, so it cannot flip
+            # _closed between this check and the swap below.
             with self._session_lock:
                 if self._closed:
                     raise RuntimeError("server is closed")
+            result = getattr(self._mutable, op)(*args)
+            new_relation = self._mutable.relation
+            with self._session_lock:
                 old_key = self._relation_key
                 self._relation_key = _export_relation(self.scheme, new_relation)
                 self.relation = new_relation
@@ -862,33 +889,36 @@ class TopKServer:
         last_version: int | None = None
         seen_version: int | None = None
         sequence = 0
-        while True:
-            if job._stopped:
-                break
-            job._control.check()
-            relation = self.relation  # snapshot: mutations swap atomically
-            version = relation.version
-            if seen_version is None or version != seen_version:
-                pairs = self._evaluate_watch(job, relation, version, sequence)
-                sequence += 1
-                seen_version = version
-                if pairs is not None:
-                    evaluations += 1
-                    job.evaluations = evaluations
-                    _WATCH_EVALUATIONS.inc()
-                    last_version = version
-                    current = frozenset(pairs)
-                    if last_set is None or current != last_set:
-                        changes += 1
-                        _WATCH_CHANGES.inc()
-                        last_set = current
-                        last_pairs = pairs
-                        job._record_event(
-                            TopKChanged(version=version, top_k=pairs)
-                        )
-                continue  # re-check stop/cancel/version before sleeping
-            job._wake.wait(timeout=job._control.remaining)
-            job._wake.clear()
+        try:
+            while True:
+                if job._stopped:
+                    break
+                job._control.check()
+                relation = self.relation  # snapshot: mutations swap atomically
+                version = relation.version
+                if seen_version is None or version != seen_version:
+                    pairs = self._evaluate_watch(job, relation, version, sequence)
+                    sequence += 1
+                    seen_version = version
+                    if pairs is not None:
+                        evaluations += 1
+                        job.evaluations = evaluations
+                        _WATCH_EVALUATIONS.inc()
+                        last_version = version
+                        current = frozenset(pairs)
+                        if last_set is None or current != last_set:
+                            changes += 1
+                            _WATCH_CHANGES.inc()
+                            last_set = current
+                            last_pairs = pairs
+                            job._record_event(
+                                TopKChanged(version=version, top_k=pairs)
+                            )
+                    continue  # re-check stop/cancel/version before sleeping
+                job._wake.wait(timeout=job._control.remaining)
+                job._wake.clear()
+        finally:
+            self._retire_window_registration(job)
         return WatchSummary(
             evaluations=evaluations,
             changes=changes,
@@ -900,18 +930,29 @@ class TopKServer:
         """One watch evaluation: a full salted query, revealed.
 
         Full mode queries the served relation; windowed mode encrypts
-        the current insert window (same scheme, real object ids — the
-        encryption stream is a pure function of the rows, so identical
-        windows re-encrypt identically) and queries that.  Returns the
-        revealed ``(object_id, score)`` pairs, or ``None`` when there is
-        nothing to evaluate yet (empty window).
+        the current insert window (same scheme, real object ids) and
+        queries that.  The window draws a randomness stream derived
+        from its *content* (:func:`_window_stream`): distinct windows
+        never share Paillier randomness with each other or with the
+        base relation's upload stream — one shared stream would let S1
+        divide aligned ciphertexts and brute-force score deltas — while
+        under a seeded scheme identical windows still re-encrypt
+        identically.  Returns the revealed ``(object_id, score)``
+        pairs, or ``None`` when there is nothing to evaluate yet
+        (empty window).
         """
         token = job.token
         if job.window is not None:
             rows, oids = self._mutable.window_rows(job.window)
             if not rows:
                 return None
-            relation = self.scheme.encrypt(rows, object_ids=oids, version=version)
+            relation = self.scheme.encrypt(
+                rows,
+                object_ids=oids,
+                version=version,
+                stream=_window_stream(rows, oids),
+            )
+            self._swap_window_registration(job, relation.relation_id())
             if token.k > len(rows):
                 token = replace(token, k=len(rows))
         elif token.k > relation.n_objects:
@@ -932,6 +973,43 @@ class TopKServer:
             shard_executor=self._shard_executor(job.config),
         )
         return tuple(self.scheme.reveal(result))
+
+    def _swap_window_registration(self, job: WatchJob, new_key: str) -> None:
+        """Retire the previous evaluation's window relation state.
+
+        Every windowed evaluation mints a relation whose id a socket
+        transport lazily registers with the S2 daemon (key upload +
+        state-dir spill) and whose halting depths the scheme records —
+        without cleanup a long-lived watch grows both without bound.
+        Re-keying the daemon entry old→new (the same MUTATE frame the
+        mutation cascade uses: key material is identical across the
+        scheme's relations) keeps the registry at one entry per watch
+        and pre-registers the next OPEN, and dropping the predecessor's
+        depth history and slice-store entries bounds the local side.
+        """
+        old_key = job._window_relation_key
+        job._window_relation_key = new_key
+        if old_key is None or old_key == new_key:
+            return
+        self.scheme.drop_depth_history(old_key)
+        invalidate_slices(old_key)
+        self._notify_daemon_mutation(old_key, new_key)
+
+    def _retire_window_registration(self, job: WatchJob) -> None:
+        """Drop a finished watch's last window relation state.
+
+        The daemon entry is re-keyed onto the served relation's id: if
+        that id is already registered the moved entry is simply
+        discarded (the daemon never clobbers), otherwise the move
+        pre-registers it — bounded either way.
+        """
+        old_key = job._window_relation_key
+        if old_key is None:
+            return
+        job._window_relation_key = None
+        self.scheme.drop_depth_history(old_key)
+        invalidate_slices(old_key)
+        self._notify_daemon_mutation(old_key, self._relation_key)
 
     # -- warm-start depth persistence ------------------------------------
 
@@ -1499,7 +1577,12 @@ class TopKServer:
         # draining for the whole teardown window while /metrics stays
         # scrapeable until the very end.
         self._health.drain()
-        with self._session_lock:
+        # Mutation lock before session lock (same order as
+        # _apply_mutation): an in-flight mutation commits fully — or its
+        # closed pre-check rejects it untouched — before _closed flips,
+        # so the MutableRelation can never end up ahead of the served
+        # relation, the caches, or the daemon registration.
+        with self._mutation_lock, self._session_lock:
             if self._closed:
                 return
             self._closed = True

@@ -524,6 +524,22 @@ class TestPrefixCacheServing:
             assert exact.cache_hit and len(exact.items) == 2
             assert server.stats["cache"].prefix_hits == 1
 
+    def test_sliced_hits_do_not_inherit_the_deeper_runs_depth(self):
+        """A prefix-served result reports halting_depth 0 — the k' query
+        never ran, so the deeper k run's depth would be misattributed
+        metadata; exact repeats keep their genuine depth."""
+        scheme, _, server = _deployment(
+            rows=[[(5 * i + 2 * j) % 21 for j in range(2)] for i in range(7)]
+        )
+        with server:
+            full = server.execute(scheme.token([0, 1], k=3))
+            assert full.halting_depth > 0
+            sliced = server.execute(scheme.token([0, 1], k=2))
+            assert sliced.cache_hit and sliced.halting_depth == 0
+            exact = server.execute(scheme.token([0, 1], k=3))
+            assert exact.cache_hit
+            assert exact.halting_depth == full.halting_depth
+
     def test_prefix_hits_respect_config_and_relation(self):
         scheme, _, server = _deployment()
         with server:
@@ -661,6 +677,18 @@ class TestWatch:
         assert {o for o, _ in summary.last_top_k} == {a}
         assert summary.evaluations == 3
 
+    def test_rejected_mutation_leaves_the_mutable_in_lockstep(self):
+        """A mutation against a closed server must be rejected *before*
+        touching the MutableRelation — a post-hoc check would leave it
+        one committed version ahead of the served relation and caches."""
+        scheme, mutable, server = _deployment()
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.insert([9, 9])
+        assert mutable.version == 0
+        assert mutable.mutation_log() == ()
+        assert server.relation is mutable.relation
+
     def test_windowed_watch_requires_a_mutable_relation(self):
         scheme = SecTopK(SystemParams.tiny(), seed=SEED)
         relation = scheme.encrypt([[5, 2], [3, 9]])
@@ -699,6 +727,67 @@ class TestWatch:
             other.cancel()
             assert _wait_for(other.done, timeout=30.0)
             assert other.status == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# Window re-encryption randomness (content-derived streams).
+# ---------------------------------------------------------------------------
+
+
+def _score_bytes(relation):
+    """Every list's score ciphertexts, in a comparable shape."""
+    return {
+        name: [item.score.to_bytes() for item in entries]
+        for name, entries in relation.lists.items()
+    }
+
+
+class TestWindowEncryptionStreams:
+    """Sliding-window re-encryption must never reuse Paillier
+    randomness across *different* plaintext relations: a shared stream
+    would let S1 divide aligned ciphertexts and brute-force the score
+    delta.  Identical window content, by contrast, must replay the same
+    stream (the declared dedup property of windowed watches)."""
+
+    def test_identical_windows_reencrypt_identically(self):
+        from repro.server.topk_server import _window_stream
+
+        scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+        scheme.encrypt([[5, 2], [3, 9]])
+        rows, oids = [[7, 1], [2, 8]], [4, 5]
+        label = _window_stream(rows, oids)
+        a = scheme.encrypt(rows, object_ids=oids, version=3, stream=label)
+        b = scheme.encrypt(rows, object_ids=oids, version=3, stream=label)
+        assert _score_bytes(a) == _score_bytes(b)
+
+    def test_distinct_windows_share_no_randomness(self):
+        from repro.server.topk_server import _window_stream
+
+        scheme = SecTopK(SystemParams.tiny(), seed=SEED)
+        base_rows = [[5, 2], [3, 9]]
+        base = scheme.encrypt(base_rows)
+        # Same plaintexts as the upload: any ciphertext equality could
+        # only come from replaying the upload's "enc" stream.
+        w = scheme.encrypt(
+            base_rows,
+            object_ids=[0, 1],
+            stream=_window_stream(base_rows, [0, 1]),
+        )
+        base_scores = _score_bytes(base)
+        w_scores = _score_bytes(w)
+        for name, ciphertexts in w_scores.items():
+            assert not set(ciphertexts) & set(base_scores[name])
+        # Two windows differing in one row: positions holding *equal*
+        # plaintexts must still carry independent randomness.
+        rows2, oids2 = [[5, 2], [4, 9]], [0, 1]
+        w2 = scheme.encrypt(
+            rows2, object_ids=oids2, stream=_window_stream(rows2, oids2)
+        )
+        w2_scores = _score_bytes(w2)
+        for name, ciphertexts in w2_scores.items():
+            # First entry of each list encrypts the same score in both
+            # windows (5 and 9 respectively) — bytes must differ.
+            assert ciphertexts[0] != w_scores[name][0]
 
 
 # ---------------------------------------------------------------------------
@@ -746,6 +835,34 @@ class TestDaemonMutation:
         client = client_for(address)
         assert client.mutate_relation("a" * 32, "b" * 32) is True
         assert service.stats()["registration_mutations"] == 0
+
+    def test_windowed_watch_bounds_daemon_registrations(self, daemon):
+        """Every windowed evaluation mints a fresh relation id; the
+        watch re-keys the daemon entry along (one MUTATE per window,
+        zero re-uploads) so a long-lived churn workload holds at most
+        one window registration — and retires even that on stop."""
+        service, address = daemon
+        scheme, mutable, server = _deployment(transport=address)
+        with server:
+            job = server.watch(scheme.token([0, 1], k=1), window=2)
+            assert _wait_for(lambda: job.evaluations >= 1)
+            uploads = service.stats()["registration_uploads"]
+            for i in range(3):
+                server.insert([5 + i, 6 + i])
+                assert _wait_for(lambda: job.evaluations >= i + 2)
+            # The window registration moved with each evaluation instead
+            # of accumulating, and never re-shipped key material.
+            assert service.stats()["registration_uploads"] == uploads
+            with service._lock:
+                assert len(service._registry) == 1
+            job.stop()
+            job.summary(timeout=120.0)
+            # The final re-key parks the entry under the served
+            # relation's id: nothing window-scoped survives the watch.
+            with service._lock:
+                assert set(service._registry) == {
+                    server.relation.relation_id()
+                }
 
     def test_interleaved_churn_over_the_daemon(self, daemon):
         """The socket-smoke shape: mutations, queries and a watch
