@@ -41,7 +41,7 @@ def connect(
     s2_workers: int = 0,
     max_pending: int = 128,
     scheduler_workers: int = 8,
-    shards: int = 0,
+    shards: int | list[str] | tuple[str, ...] = 0,
     cache: bool = True,
     cache_capacity: int = 256,
     coalesce_ms: float = 0.0,
@@ -62,7 +62,11 @@ def connect(
     depth slices scanned by shard workers and merged by the fan-in
     stage — transcripts (results, rounds, bytes, leakage) stay
     bit-identical to unsharded runs, and each result's
-    ``stats.shards`` carries the per-shard cost slice.
+    ``stats.shards`` carries the per-shard cost slice.  Pass a list of
+    shard-daemon addresses (``shards=["tcp://h1:p", "tcp://h2:p"]``)
+    to place those slices on remote
+    :class:`~repro.server.shard_service.ShardService` workers instead
+    of local threads — same transcripts, distributed storage scan.
 
     The reuse layer rides on knowledge S1 already holds (L1 leakage):
 

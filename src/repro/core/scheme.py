@@ -459,6 +459,7 @@ class SecTopK:
         config: QueryConfig | None = None,
         ctx: S1Context | None = None,
         shard_executor=None,
+        shard_placement: tuple[str, ...] | None = None,
     ) -> QueryResult:
         """Process a top-k query on the encrypted relation.
 
@@ -473,12 +474,23 @@ class SecTopK:
         runs inline — same transcript, no overlap.  The
         :class:`~repro.server.topk_server.TopKServer` scheduler passes
         its shard-worker pool here.
+
+        ``shard_placement`` (optional) maps a sharded query's plan
+        slices onto remote shard-worker daemons
+        (:mod:`repro.server.shard_service`) instead of local threads:
+        shard ``s`` is served by address ``s % len(placement)``.  The
+        remote scan is transcript-identical to the local one (the shard
+        link is S1-internal and never touches channel accounting).
         """
         config = config or QueryConfig()
         if ctx is not None:
-            return self._query(relation, token, config, ctx, shard_executor)
+            return self._query(
+                relation, token, config, ctx, shard_executor, shard_placement
+            )
         with owned_context(self._make_context()) as ctx:
-            return self._query(relation, token, config, ctx, shard_executor)
+            return self._query(
+                relation, token, config, ctx, shard_executor, shard_placement
+            )
 
     def _query(
         self,
@@ -487,6 +499,7 @@ class SecTopK:
         config: QueryConfig,
         ctx: S1Context,
         shard_executor=None,
+        shard_placement: tuple[str, ...] | None = None,
     ) -> QueryResult:
         # This query's slice of the (possibly shared, session-long)
         # leakage log and channel accounting starts here; S2 events land
@@ -529,6 +542,7 @@ class SecTopK:
                 config.effective_shards(),
                 window=config.check_every(),
                 executor=shard_executor,
+                placement=shard_placement,
             )
             enc_lists = shard_view
         else:

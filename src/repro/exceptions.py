@@ -42,6 +42,45 @@ class PeerDisconnected(TransportError):
     """
 
 
+class ShardFanInError(ProtocolError):
+    """The sharded scan's fan-in stage received batches that do not tile
+    the check window.
+
+    Carries the offending ``shard_id`` (when the contribution could be
+    attributed) and the window bounds, so an operator can tell *which*
+    worker desynchronized instead of only that one did.
+    """
+
+    def __init__(self, text: str, shard_id: int | None = None,
+                 window: tuple[int, int] | None = None):
+        detail = text
+        if shard_id is not None:
+            detail += f" (shard {shard_id})"
+        if window is not None:
+            detail += f" in window [{window[0]}, {window[1]})"
+        super().__init__(detail)
+        self.shard_id = shard_id
+        self.window = window
+
+
+class ShardWorkerError(TransportError):
+    """A remote shard worker failed to serve its slice.
+
+    Wraps the connection-level failure (timeout, ``PeerDisconnected``,
+    remote error report) with the shard id and worker address, so a
+    worker dying mid-window surfaces as a typed job failure naming the
+    culprit instead of a hung fan-in.
+    """
+
+    def __init__(self, shard_id: int, address: str, reason: str):
+        super().__init__(
+            f"shard worker {shard_id} at {address} failed: {reason}"
+        )
+        self.shard_id = shard_id
+        self.address = address
+        self.reason = reason
+
+
 class RemoteS2Error(TransportError):
     """The S2 service failed to service a request and reported why.
 

@@ -24,7 +24,7 @@ in", the global counter "how many round-trips crossed the link".
 
 from __future__ import annotations
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import ShardFanInError
 from repro.net.channel import Channel
 from repro.net.transport import Transport
 
@@ -35,7 +35,12 @@ def single_message_flow(msg):
     return reply
 
 
-def fan_in_batches(per_shard_batches: list, lo: int | None = None, hi: int | None = None) -> list:
+def fan_in_batches(
+    per_shard_batches: list,
+    lo: int | None = None,
+    hi: int | None = None,
+    shard_ids: list | None = None,
+) -> list:
     """Fan-in stage of the sharded scan: merge per-shard depth batches.
 
     Each shard worker contributes a batch of ``(depth, payload)`` pairs
@@ -43,25 +48,57 @@ def fan_in_batches(per_shard_batches: list, lo: int | None = None, hi: int | Non
     stage merges them into a single depth-ordered batch — the stream the
     engine consumes — *before* the window's rounds are built, so the
     messages that reach the round batcher are exactly the ones an
-    unsharded scan would send.  Validates that the shards' contributions
-    tile the window: a duplicated or missing depth means the shard plan
-    and the workers disagree, and silently proceeding would desynchronize
-    the transcript from the unsharded run.  Pass the window bounds
-    ``[lo, hi)`` to catch depths missing at the window *edges* too —
-    without them only interior gaps are detectable.
+    unsharded scan would send.  This is the single convergence point of
+    every placement: local thread workers and remote shard daemons both
+    land here, so one validation pins the invariant for all of them.
+
+    Validates that the shards' contributions tile the window: a
+    duplicated or missing depth means the shard plan and the workers
+    disagree, and silently proceeding would desynchronize the transcript
+    from the unsharded run.  Pass the window bounds ``[lo, hi)`` to
+    catch depths missing at the window *edges* too — without them only
+    interior gaps are detectable.  Pass ``shard_ids`` (one id per batch,
+    in batch order) and the raised :class:`ShardFanInError` names the
+    shard whose contribution broke the tiling.
     """
-    merged = [pair for batch in per_shard_batches for pair in batch]
+    if shard_ids is None:
+        shard_ids = [None] * len(per_shard_batches)
+    owner = {}
+    merged = []
+    for batch, shard_id in zip(per_shard_batches, shard_ids):
+        for pair in batch:
+            depth = pair[0]
+            if depth in owner:
+                raise ShardFanInError(
+                    "shard fan-in: overlapping depth batches at depth "
+                    f"{depth}",
+                    shard_id=shard_id,
+                    window=(lo, hi) if lo is not None and hi is not None else None,
+                )
+            owner[depth] = shard_id
+            merged.append(pair)
     merged.sort(key=lambda pair: pair[0])
     depths = [depth for depth, _ in merged]
-    if len(set(depths)) != len(depths):
-        raise ProtocolError("shard fan-in: overlapping depth batches")
     if lo is not None and hi is not None:
         if depths != list(range(lo, hi)):
-            raise ProtocolError(
-                f"shard fan-in: batches do not tile the window [{lo}, {hi})"
-            )
+            missing = sorted(set(range(lo, hi)) - set(depths))
+            stray = sorted(set(depths) - set(range(lo, hi)))
+            detail = f"shard fan-in: batches do not tile the window [{lo}, {hi})"
+            culprit = None
+            if stray:
+                detail += f"; stray depths {stray}"
+                culprit = owner.get(stray[0])
+            if missing:
+                detail += f"; missing depths {missing}"
+            raise ShardFanInError(detail, shard_id=culprit, window=(lo, hi))
     elif depths and depths != list(range(depths[0], depths[0] + len(depths))):
-        raise ProtocolError("shard fan-in: depth batches leave a gap")
+        gap_after = next(
+            d for d, nxt in zip(depths, depths[1:]) if nxt != d + 1
+        )
+        raise ShardFanInError(
+            f"shard fan-in: depth batches leave a gap after depth {gap_after}",
+            shard_id=owner.get(gap_after),
+        )
     return merged
 
 

@@ -91,6 +91,14 @@ CLOSED = 0x0A
 ERROR = 0x0B
 MUTATE = 0x0C
 MUTATED = 0x0D
+SLICE = 0x0E
+SLICED = 0x0F
+
+#: Banner of the S1 shard-worker daemon (:mod:`repro.server.shard_service`).
+#: A separate protocol from S2: shard daemons hold ciphertext rows, never
+#: key material, and speak SLICE/REQUEST/MUTATE only.  Strict — there is
+#: no older shard daemon to downgrade to.
+SHARD_BANNER = b"repro-shard/1"
 
 _HEADER = struct.Struct("!IBI")  # payload length, frame type, session id
 
@@ -566,9 +574,203 @@ class SocketTransport(Transport):
             pass  # a dead daemon cannot acknowledge; the session is gone
 
 
+# -- shard-worker client ---------------------------------------------------
+
+
+class ShardClient:
+    """One process's multiplexed connection to a shard-worker daemon.
+
+    The shard link reuses the S2 frame protocol's framing and reader-
+    thread demultiplexing, but the conversation is simpler: no key
+    material, no long-lived sessions — every request is one exchange
+    under a fresh session id, so concurrent shard workers mapped to the
+    same daemon interleave freely on one socket.  Depth-batch requests
+    take a per-call ``timeout``: a daemon that stops answering poisons
+    the connection and raises, so a worker dying mid-window surfaces as
+    a typed failure instead of a hung fan-in.
+
+    Byte accounting note: the shard link is S1-internal infrastructure
+    (storage tier, not the S1<->S2 channel), so nothing here touches the
+    query's :class:`~repro.net.channel.Channel` statistics — exactly why
+    remote placement is transcript-invisible.
+    """
+
+    def __init__(self, address: str, timeout: float | None = 10.0):
+        self.address = address
+        self.pid = os.getpid()
+        self._sock = connect_socket(address, timeout)
+        self._write_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, queue.SimpleQueue] = {}
+        self._session_ids = itertools.count(1)
+        self._dead: Exception | None = None
+        try:
+            self._sock.settimeout(timeout)
+            send_frame(self._sock, HELLO, 0, SHARD_BANNER)
+            ftype, _, payload = recv_frame(self._sock)
+            if ftype == ERROR:
+                kind, text = decode_error(payload)
+                raise TransportError(
+                    f"shard daemon at {address} rejected the handshake: "
+                    f"{kind}: {text}"
+                )
+            if ftype != HELLO_OK or payload != SHARD_BANNER:
+                raise TransportError(
+                    f"peer at {address} does not speak {SHARD_BANNER.decode()}"
+                )
+            self._sock.settimeout(None)
+        except BaseException:
+            self._sock.close()
+            raise
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-client:{address}", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                ftype, session_id, payload = recv_frame(self._sock)
+                if ftype == ERROR:
+                    kind, text = decode_error(payload)
+                    item: object = RemoteS2Error(kind, text)
+                else:
+                    item = (ftype, payload)
+                if not self._deliver(session_id, item):
+                    if ftype == ERROR:
+                        raise RemoteS2Error(kind, text)
+                    raise TransportError(
+                        f"unsolicited frame {ftype} for session {session_id}"
+                    )
+        except Exception as exc:  # noqa: BLE001 — every exit poisons the link
+            self._fail(exc)
+
+    def _deliver(self, session_id: int, item) -> bool:
+        with self._state_lock:
+            waiter = self._pending.get(session_id)
+        if waiter is None:
+            return False
+        waiter.put(item)
+        return True
+
+    def _fail(self, exc: Exception) -> None:
+        with self._state_lock:
+            if self._dead is None:
+                self._dead = exc
+            waiters = list(self._pending.values())
+        for waiter in waiters:
+            waiter.put(exc)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
+
+    def _roundtrip(
+        self, ftype: int, payload: bytes, expect: int,
+        timeout: float | None = None,
+    ) -> bytes:
+        session_id = next(self._session_ids)
+        with self._state_lock:
+            if self._dead is not None:
+                raise PeerDisconnected(
+                    f"connection to {self.address} is down: {self._dead}"
+                ) from self._dead
+            waiter: queue.SimpleQueue = queue.SimpleQueue()
+            self._pending[session_id] = waiter
+        try:
+            with self._write_lock:
+                send_frame(self._sock, ftype, session_id, payload)
+            try:
+                item = waiter.get(timeout=timeout)
+            except queue.Empty:
+                exc = TransportError(
+                    f"shard daemon at {self.address} did not answer within "
+                    f"{timeout:.1f}s"
+                )
+                # A silent daemon leaves the stream in an unknowable
+                # state; poison the connection so every other in-flight
+                # worker fails fast too instead of waiting out its own
+                # timeout against a wedged peer.
+                self._fail(exc)
+                raise exc from None
+        finally:
+            with self._state_lock:
+                self._pending.pop(session_id, None)
+        if isinstance(item, Exception):
+            raise item
+        got, reply = item
+        if got != expect:
+            raise TransportError(f"expected frame {expect}, peer sent {got}")
+        return reply
+
+    # -- shard operations -------------------------------------------------
+
+    def upload_slice(self, slice_payload: dict) -> None:
+        """Register one ``(relation_id, shard_id)`` slice (idempotent)."""
+        self._roundtrip(
+            SLICE,
+            pickle.dumps(slice_payload, protocol=pickle.HIGHEST_PROTOCOL),
+            SLICED,
+        )
+
+    def depth_batch(
+        self,
+        relation_id: str,
+        shard_id: int,
+        names: tuple,
+        weights: tuple,
+        lo: int,
+        hi: int,
+        timeout: float | None = None,
+    ) -> list:
+        """One window request: the shard's ``(depth, items)`` pairs.
+
+        Raises :class:`RemoteS2Error` with kind ``unknown-relation``
+        when the daemon does not hold the slice (callers upload and
+        retry).
+        """
+        from repro.net.messages import ShardBatch
+
+        msg = ShardBatch(
+            relation_id=relation_id,
+            shard_id=shard_id,
+            names=tuple(names),
+            weights=tuple(weights),
+            lo=lo,
+            hi=hi,
+        )
+        # Fresh codec per frame on both endpoints: a shard exchange is
+        # self-contained (keys re-register per reply), so no cross-request
+        # codec state needs to survive connection churn.
+        payload = WireCodec().encode_envelope([msg])
+        reply = self._roundtrip(REQUEST, payload, REPLY, timeout=timeout)
+        (batch,) = WireCodec().decode_replies(reply)
+        return list(batch)
+
+    def mutate(self, delta: dict) -> dict:
+        """Delta-sync the daemon's slices after a relation mutation."""
+        reply = self._roundtrip(
+            MUTATE, pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL),
+            MUTATED,
+        )
+        return pickle.loads(reply) if reply else {}
+
+    def close(self) -> None:
+        self._fail(TransportError("client connection closed"))
+
+
 # -- per-process client registry -------------------------------------------
 
 _CLIENTS: dict[str, S2Client] = {}
+_SHARD_CLIENTS: dict[str, ShardClient] = {}
 _CLIENTS_LOCK = threading.Lock()
 
 
@@ -582,6 +784,7 @@ def _reset_after_fork() -> None:
     global _CLIENTS_LOCK
     _CLIENTS_LOCK = threading.Lock()
     _CLIENTS.clear()
+    _SHARD_CLIENTS.clear()
 
 
 if hasattr(os, "register_at_fork"):
@@ -617,11 +820,39 @@ def client_for(address: str, timeout: float | None = 10.0) -> S2Client:
         return client
 
 
+def shard_client_for(address: str, timeout: float | None = 10.0) -> ShardClient:
+    """The process-wide shared shard-daemon client for ``address``.
+
+    Same discipline as :func:`client_for`: one connection per (process,
+    address), pid-checked against fork inheritance, and a poisoned
+    connection transparently replaced — a worker that failed once does
+    not doom the next query's attempt.
+    """
+    with _CLIENTS_LOCK:
+        client = _SHARD_CLIENTS.get(address)
+        if client is not None and (client.pid != os.getpid() or client.dead):
+            if client.pid != os.getpid():
+                try:
+                    client._sock.close()
+                except OSError:
+                    pass
+            else:
+                client.close()
+            _SHARD_CLIENTS.pop(address, None)
+            client = None
+        if client is None:
+            client = ShardClient(address, timeout)
+            _SHARD_CLIENTS[address] = client
+        return client
+
+
 def disconnect_all() -> None:
     """Drop every cached daemon connection (tests and benchmarks)."""
     with _CLIENTS_LOCK:
-        clients = list(_CLIENTS.values())
+        clients: list = list(_CLIENTS.values())
+        clients += list(_SHARD_CLIENTS.values())
         _CLIENTS.clear()
+        _SHARD_CLIENTS.clear()
     for client in clients:
         client.close()
 

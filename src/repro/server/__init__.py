@@ -39,6 +39,7 @@ __all__ = [
     "S2Service",
     "ScanRendezvous",
     "ShardPlan",
+    "ShardService",
     "TopKServer",
     "WatchJob",
     "WatchSummary",
@@ -46,10 +47,15 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Lazy so `python -m repro.server.s2_service` does not import the
-    # daemon module twice (once via this package, once as __main__).
+    # Lazy so `python -m repro.server.s2_service` (and the shard daemon)
+    # does not import the daemon module twice (once via this package,
+    # once as __main__).
     if name == "S2Service":
         from repro.server.s2_service import S2Service
 
         return S2Service
+    if name == "ShardService":
+        from repro.server.shard_service import ShardService
+
+        return ShardService
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -71,6 +71,41 @@ class MutationResult:
     """:class:`~repro.protocols.base.LeakageEvent` tuple for this op."""
 
 
+#: Row-index shift of each mutation op: a suffix entry at new global
+#: depth ``d`` (``d >= prefix_len``) was at old depth ``d - shift``.
+_OP_SHIFT = {"insert": 1, "update": 0, "delete": -1}
+
+
+def mutation_delta(
+    relation: EncryptedRelation, result: MutationResult, old_id: str
+) -> dict:
+    """The touched-prefix delta-sync payload for remote shard workers.
+
+    After a mutation only the re-encrypted prefix of each list differs
+    from the predecessor; everything below the splice point is the same
+    ``EncryptedItem`` objects shifted by the op's row delta.  A shard
+    daemon holding the predecessor's slices therefore needs just the
+    prefix rows (shipped here, straight from the successor relation) to
+    rebuild its slices under the successor's id — suffix rows it already
+    holds, referenced by the predecessor id ``old_id``
+    (:meth:`repro.server.shard_service.ShardService._mutate`).
+
+    ``relation`` must be the successor the mutation produced (its
+    ``relation_id`` becomes the delta's ``new_id``).
+    """
+    prefixes = {
+        name: list(relation.lists[name][:prefix_len])
+        for name, prefix_len in result.touched
+    }
+    return {
+        "old_id": old_id,
+        "new_id": relation.relation_id(),
+        "shift": _OP_SHIFT[result.op],
+        "new_n_rows": relation.n_objects,
+        "prefixes": prefixes,
+    }
+
+
 class MutableRelation:
     """An encrypted relation that supports insert / update / delete.
 

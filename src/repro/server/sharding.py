@@ -39,23 +39,40 @@ from __future__ import annotations
 import bisect
 import threading
 import time
+from collections import OrderedDict
 from collections.abc import Sequence
 
 from repro.core.results import ShardStats
 from repro.core.token import Token
-from repro.exceptions import QueryError
+from repro.exceptions import (
+    PeerDisconnected,
+    QueryError,
+    RemoteS2Error,
+    ShardWorkerError,
+    TransportError,
+)
 from repro.net.batching import fan_in_batches
 from repro.structures.items import EncryptedItem, weight_entries
 
-# Process-wide cache of unweighted shard slices, keyed by
-# (relation_id, permuted list names, n_shards) — the sharded sibling of
-# the topk_server relation store (fork workers inherit it for free).
-# Entries are lists of per-shard, per-list row slices sharing the
-# relation's EncryptedItem objects, so the cache costs references only;
-# a small FIFO bound keeps long-lived multi-relation servers in check.
-_SLICE_STORE: dict[tuple, list] = {}
+# Process-wide LRU cache of unweighted shard slices, keyed by
+# (relation_id, permuted list names, n_shards, list count, row count) —
+# the sharded sibling of the topk_server relation store (fork workers
+# inherit it for free).  The trailing shape fingerprint guards against
+# relation-id reuse: a server registering a *different* relation object
+# under a recycled id (e.g. a forced ``_relation_id``) misses instead of
+# serving the old rows.  Entries are lists of per-shard, per-list row
+# slices sharing the relation's EncryptedItem objects, so the cache
+# costs references only; a small LRU bound keeps long-lived
+# multi-relation servers in check, and hits refresh recency so a hot
+# relation's slices outlive cold ones.
+_SLICE_STORE: OrderedDict[tuple, list] = OrderedDict()
 _SLICE_STORE_MAX = 32
 _SLICE_LOCK = threading.Lock()
+
+#: Seconds a remote shard worker gets to answer one depth-batch request
+#: before the scan gives up and surfaces a typed failure (tests shrink
+#: this to exercise the no-hang guarantee).
+SHARD_REQUEST_TIMEOUT = 30.0
 
 
 class ShardPlan:
@@ -182,6 +199,125 @@ class ShardWorker:
         )
 
 
+class RemoteShardWorker:
+    """One shard's scan state when its slice lives on a remote daemon.
+
+    Same interface as :class:`ShardWorker`, but the rows sit on a
+    :class:`~repro.server.shard_service.ShardService` reached through a
+    multiplexed :class:`~repro.net.socket_transport.ShardClient`
+    session.  :meth:`prepare` only records the token's weights — the
+    per-item modexp work runs on the daemon, per batch, against its
+    registered slice.  The slice is uploaded lazily: the first batch
+    request against an id the daemon does not hold comes back
+    ``unknown-relation``, the worker ships rows ``[lo, hi)`` of every
+    relation list once, and retries.  Scalar weighting is deterministic
+    and the wire codec round-trips ciphertexts exactly, so the items a
+    remote worker returns are value-identical to a local worker's — the
+    parity invariant does not depend on where the slice lives.
+
+    Connection-level failures (timeout, peer death, remote error) are
+    wrapped in :class:`~repro.exceptions.ShardWorkerError` naming this
+    shard and its address, so a worker dying mid-window surfaces as a
+    typed job failure instead of a hung fan-in.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "lo",
+        "hi",
+        "address",
+        "records_scanned",
+        "depth_reached",
+        "elapsed",
+        "_relation",
+        "_names",
+        "_n_shards",
+        "_weights",
+    )
+
+    def __init__(self, shard_id: int, lo: int, hi: int, relation,
+                 names: tuple[int, ...], address: str, n_shards: int):
+        self.shard_id = shard_id
+        self.lo = lo
+        self.hi = hi
+        self.address = address
+        self.records_scanned = 0
+        self.depth_reached = 0
+        self.elapsed = 0.0
+        self._relation = relation
+        self._names = tuple(names)
+        self._n_shards = n_shards
+        self._weights: tuple[int, ...] = ()
+
+    def prepare(self, weights: tuple[int, ...]) -> "RemoteShardWorker":
+        """Record the token's per-list weights (applied daemon-side)."""
+        self._weights = tuple(weights)
+        return self
+
+    def _slice_payload(self) -> dict:
+        """The one-time slice upload: rows ``[lo, hi)`` of every list."""
+        return {
+            "relation_id": self._relation.relation_id(),
+            "shard_id": self.shard_id,
+            "n_shards": self._n_shards,
+            "lo": self.lo,
+            "hi": self.hi,
+            "lists": {
+                name: entries[self.lo : self.hi]
+                for name, entries in self._relation.lists.items()
+            },
+        }
+
+    def depth_batch(self, lo: int, hi: int) -> list[tuple[int, list[EncryptedItem]]]:
+        """This shard's ``(depth, items-per-list)`` pairs for the window
+        ``[lo, hi)``, fetched from the remote daemon."""
+        from repro.net.socket_transport import shard_client_for
+
+        started = time.perf_counter()
+        lo = max(lo, self.lo)
+        hi = min(hi, self.hi)
+        if lo >= hi:
+            return []
+        try:
+            client = shard_client_for(self.address)
+            try:
+                batch = client.depth_batch(
+                    self._relation.relation_id(), self.shard_id,
+                    self._names, self._weights, lo, hi,
+                    timeout=SHARD_REQUEST_TIMEOUT,
+                )
+            except RemoteS2Error as exc:
+                if exc.kind != "unknown-relation":
+                    raise
+                client.upload_slice(self._slice_payload())
+                batch = client.depth_batch(
+                    self._relation.relation_id(), self.shard_id,
+                    self._names, self._weights, lo, hi,
+                    timeout=SHARD_REQUEST_TIMEOUT,
+                )
+        except ShardWorkerError:
+            raise
+        except (PeerDisconnected, TransportError) as exc:
+            raise ShardWorkerError(self.shard_id, self.address, str(exc)) from exc
+        if batch:
+            self.records_scanned += len(batch) * len(self._names)
+            self.depth_reached = max(self.depth_reached, hi)
+        self.elapsed += time.perf_counter() - started
+        return batch
+
+    def stats(self) -> ShardStats:
+        """This shard's slice of the query's cost profile (elapsed
+        includes the network round-trips to its daemon)."""
+        return ShardStats(
+            shard_id=self.shard_id,
+            depth_lo=self.lo,
+            depth_hi=self.hi,
+            records_scanned=self.records_scanned,
+            depth_reached=self.depth_reached,
+            elapsed_seconds=self.elapsed,
+        )
+
+
 class ShardedColumn(Sequence):
     """One query list's view over the shard workers.
 
@@ -237,6 +373,7 @@ class ShardedQueryLists(Sequence):
         n_shards: int,
         window: int = 1,
         executor=None,
+        placement: tuple[str, ...] | None = None,
     ):
         self.n_rows = relation.n_objects
         self.n_lists = len(token.permuted_lists)
@@ -244,11 +381,24 @@ class ShardedQueryLists(Sequence):
         self.plan = ShardPlan.for_scan(self.n_rows, n_shards)
         self._executor = executor
         self._cache: dict[int, list[EncryptedItem]] = {}
-        slices = _shard_slices(relation, token.permuted_lists, self.plan)
-        self._workers = [
-            ShardWorker(shard, lo, hi, slices[shard])
-            for shard, (lo, hi) in enumerate(self.plan.bounds)
-        ]
+        if placement:
+            # Remote placement: shard s lives on daemon s % len(placement)
+            # (round-robin, so fewer daemons than shards still works).
+            # No local slicing or weighting — the rows ship to the
+            # daemons once and the modexp work runs there.
+            self._workers = [
+                RemoteShardWorker(
+                    shard, lo, hi, relation, token.permuted_lists,
+                    placement[shard % len(placement)], self.plan.n_shards,
+                )
+                for shard, (lo, hi) in enumerate(self.plan.bounds)
+            ]
+        else:
+            slices = _shard_slices(relation, token.permuted_lists, self.plan)
+            self._workers = [
+                ShardWorker(shard, lo, hi, slices[shard])
+                for shard, (lo, hi) in enumerate(self.plan.bounds)
+            ]
         self._columns = [ShardedColumn(self, j) for j in range(self.n_lists)]
         self._fan_out(
             [(worker.prepare, (token.effective_weights(),)) for worker in self._workers]
@@ -282,7 +432,10 @@ class ShardedQueryLists(Sequence):
         batches = self._fan_out(
             [(worker.depth_batch, (lo, hi)) for worker in workers]
         )
-        for fetched, items in fan_in_batches(batches, lo, hi):
+        merged = fan_in_batches(
+            batches, lo, hi, shard_ids=[w.shard_id for w in workers]
+        )
+        for fetched, items in merged:
             self._cache[fetched] = items
 
     def item(self, slot: int, depth: int) -> EncryptedItem:
@@ -327,18 +480,34 @@ def _shard_slices(relation, names: tuple[int, ...], plan: ShardPlan) -> list:
     replaces items per query, it never mutates them), so cache entries
     are cheap and safe to share across queries, servers and forked
     workers.
+
+    The store is a true LRU under one lock for the whole
+    lookup/build/evict path: a hit moves its entry to the recent end, a
+    miss evicts from the stale end — a hot relation's slices survive a
+    parade of cold ones.  The key carries the relation's shape
+    fingerprint (list count + row count) next to its id, so a different
+    relation recycled under the same id rebuilds instead of serving the
+    predecessor's rows.
     """
-    key = (relation.relation_id(), tuple(names), plan.n_shards)
+    key = (
+        relation.relation_id(),
+        tuple(names),
+        plan.n_shards,
+        len(relation.lists),
+        relation.n_objects,
+    )
     with _SLICE_LOCK:
         slices = _SLICE_STORE.get(key)
-        if slices is None:
+        if slices is not None:
+            _SLICE_STORE.move_to_end(key)
+        else:
             entries_by_list = [relation.list_for(name) for name in names]
             slices = [
                 [entries[lo:hi] for entries in entries_by_list]
                 for lo, hi in plan.bounds
             ]
             while len(_SLICE_STORE) >= _SLICE_STORE_MAX:
-                _SLICE_STORE.pop(next(iter(_SLICE_STORE)))
+                _SLICE_STORE.popitem(last=False)
             _SLICE_STORE[key] = slices
     return slices
 

@@ -76,12 +76,12 @@ from repro.exceptions import (
     TransportError,
 )
 from repro.net.channel import ChannelStats
-from repro.net.socket_transport import client_for, is_socket_address
+from repro.net.socket_transport import client_for, is_socket_address, shard_client_for
 from repro.obs.exporter import HealthState, MetricsExporter
 from repro.obs.metrics import REGISTRY
 from repro.protocols.base import LeakageEvent, LeakageLog, S1Context, owned_context
 from repro.server.jobs import JobStatus, QueryJob, WatchJob, WatchSummary
-from repro.server.mutations import MutableRelation, MutationResult
+from repro.server.mutations import MutableRelation, MutationResult, mutation_delta
 from repro.server.query_cache import QueryCache
 from repro.server.rendezvous import CoalescingTransport, ScanRendezvous
 from repro.server.sharding import invalidate_slices
@@ -211,6 +211,7 @@ def _run_salted_query(
     session_label: str | None = None,
     shard_executor=None,
     transport_wrap=None,
+    shard_placement: tuple[str, ...] | None = None,
 ) -> QueryResult:
     """One salted query with leakage attached — the single body behind
     both the in-process path and the worker path, so the two can never
@@ -232,7 +233,8 @@ def _run_salted_query(
         # scheme._query attaches the per-query leakage slice itself; on
         # this fresh context that slice is the whole session log.
         return scheme.query(
-            relation, token, config, ctx=ctx, shard_executor=shard_executor
+            relation, token, config, ctx=ctx, shard_executor=shard_executor,
+            shard_placement=shard_placement,
         )
 
 
@@ -290,6 +292,7 @@ class QuerySession:
             config,
             ctx=self._ctx,
             shard_executor=self._server._shard_executor(config),
+            shard_placement=self._server.shard_placement,
         )
 
     # -- per-session observability ---------------------------------------
@@ -373,6 +376,20 @@ class TopKServer:
         scheduler places on its shard-worker pool; the fan-in merge
         keeps the S2-visible transcript bit-identical to unsharded
         execution (see :mod:`repro.server.sharding`).
+
+        **Placement form**: a sequence of shard-daemon addresses
+        (``shards=["tcp://h1:p", "tcp://h2:p"]``) makes the shard
+        workers *remote* — the plan's slices are uploaded once to
+        :mod:`repro.server.shard_service` daemons (shard ``s`` on
+        address ``s % len(addresses)``) and every check window's depth
+        batches return over multiplexed shard sessions, converging in
+        the same fan-in stage.  The shard count defaults to the number
+        of addresses (``QueryConfig(shards=N)`` still overrides the
+        count; the placement sticks).  Transcript-identical to local
+        threads; mutations delta-sync the remote slices
+        (:func:`repro.server.mutations.mutation_delta`).  Note
+        ``execute_many(mode="process")`` workers run their shards
+        locally — transcript-identical by the same invariant.
     cache:
         Leakage-aware result cache (default on): a repeat of a query the
         server already answered — same relation, token fingerprint and
@@ -422,7 +439,7 @@ class TopKServer:
         s2_mode: str = "auto",
         max_pending: int = 128,
         scheduler_workers: int = 8,
-        shards: int = 0,
+        shards: int | list[str] | tuple[str, ...] = 0,
         cache: bool = True,
         cache_capacity: int = 256,
         coalesce_ms: float = 0.0,
@@ -454,8 +471,26 @@ class TopKServer:
             raise ValueError("max_pending must be >= 1")
         if scheduler_workers < 1:
             raise ValueError("scheduler_workers must be >= 1")
-        if shards < 0:
-            raise ValueError("shards must be >= 0")
+        if isinstance(shards, (list, tuple)):
+            # Placement form: remote shard-worker daemons.  The shard
+            # count defaults to one shard per daemon (QueryConfig can
+            # still raise it; the round-robin placement spreads extras).
+            if not shards:
+                raise ValueError("shard placement must name at least one address")
+            for address in shards:
+                if not is_socket_address(address):
+                    raise ValueError(
+                        f"shard placement entries must be socket addresses "
+                        f"(tcp:// or unix://), got {address!r}"
+                    )
+            self.shard_placement: tuple[str, ...] | None = tuple(shards)
+            # A single-daemon placement still shards (the scan only goes
+            # remote through the sharded path, which needs >= 2 slices).
+            shards = max(2, len(self.shard_placement))
+        else:
+            if shards < 0:
+                raise ValueError("shards must be >= 0")
+            self.shard_placement = None
         if coalesce_ms < 0:
             raise ValueError("coalesce_ms must be >= 0")
         if cache_capacity < 1:
@@ -802,6 +837,7 @@ class TopKServer:
         self.scheme.drop_depth_history(old_key)
         self._drop_depth_spill(old_key)
         self._notify_daemon_mutation(old_key, new_key)
+        self._notify_shard_mutation(old_key, new_relation, result)
         _release_relation(old_key)
         _MUTATIONS.labels(op=op).inc()
         with self._scheduler_lock:
@@ -824,6 +860,40 @@ class TopKServer:
             return
         with contextlib.suppress(Exception):
             client_for(self.transport).mutate_relation(old_key, new_key)
+
+    def _notify_shard_mutation(
+        self, old_key: str, new_relation, result: MutationResult
+    ) -> None:
+        """Delta-sync remote shard workers across a mutation (best-effort).
+
+        Ships each placement daemon the re-encrypted touched prefixes
+        plus the suffix shift so it can rebuild its held slices under
+        the successor's id without a full slice re-upload.  Failures are
+        suppressed: a daemon that missed the frame answers
+        ``UNKNOWN_RELATION`` on the next scan and the worker re-uploads
+        its slice — slower, never wrong.
+        """
+        if not self.shard_placement:
+            return
+        delta = mutation_delta(new_relation, result, old_key)
+        for address in self.shard_placement:
+            with contextlib.suppress(Exception):
+                shard_client_for(address).mutate(delta)
+
+    def _drop_shard_registration(self, old_key: str) -> None:
+        """Drop-only shard MUTATE: purge ``old_key``'s slices remotely.
+
+        Used by the watch/window retirement paths, whose successor
+        relations are wholesale re-encryptions — there is no valid
+        prefix delta, so the remote slices are simply dropped and the
+        next evaluation re-uploads lazily.
+        """
+        if not self.shard_placement:
+            return
+        delta = {"old_id": old_key, "new_id": None, "prefixes": None}
+        for address in self.shard_placement:
+            with contextlib.suppress(Exception):
+                shard_client_for(address).mutate(delta)
 
     # -- continuous top-k (watch jobs) -----------------------------------
 
@@ -971,6 +1041,7 @@ class TopKServer:
             control=job._control,
             session_label=f"watch-{job.job_id}-{sequence}",
             shard_executor=self._shard_executor(job.config),
+            shard_placement=self.shard_placement,
         )
         return tuple(self.scheme.reveal(result))
 
@@ -994,6 +1065,7 @@ class TopKServer:
         self.scheme.drop_depth_history(old_key)
         invalidate_slices(old_key)
         self._notify_daemon_mutation(old_key, new_key)
+        self._drop_shard_registration(old_key)
 
     def _retire_window_registration(self, job: WatchJob) -> None:
         """Drop a finished watch's last window relation state.
@@ -1010,6 +1082,7 @@ class TopKServer:
         self.scheme.drop_depth_history(old_key)
         invalidate_slices(old_key)
         self._notify_daemon_mutation(old_key, self._relation_key)
+        self._drop_shard_registration(old_key)
 
     # -- warm-start depth persistence ------------------------------------
 
@@ -1316,6 +1389,7 @@ class TopKServer:
                     session_label=f"job-{job.job_id}",
                     shard_executor=self._shard_executor(job.config),
                     transport_wrap=transport_wrap,
+                    shard_placement=self.shard_placement,
                 )
         finally:
             if rendezvous is not None:
